@@ -1,0 +1,114 @@
+"""A4 — comparators: Persistent Count-Min space vs CM-PBE, and Kleinberg's
+automaton vs the paper's acceleration-threshold bursts.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.baselines.exact import ExactBurstStore
+from repro.baselines.kleinberg import KleinbergBurstDetector
+from repro.core.cmpbe import CMPBE
+from repro.eval.metrics import mean_absolute_error
+from repro.eval.tables import format_table
+from repro.sketch.persistent_countmin import PersistentCountMin
+from repro.workloads.profiles import DAY
+
+import numpy as np
+
+
+def test_a4_pcm_vs_cmpbe(benchmark, olympicrio_stream):
+    """PCM keeps exact per-cell histories; CM-PBE compresses them.  At a
+    similar point-query error, CM-PBE should be several times smaller —
+    that compression is the paper's core contribution over PCM."""
+    stream = olympicrio_stream
+    exact = ExactBurstStore.from_stream(stream)
+    t_end = float(stream.timestamps[-1])
+
+    def build():
+        pcm = PersistentCountMin(width=6, depth=3, seed=0)
+        for event_id, timestamp in stream:
+            pcm.update(event_id, timestamp)
+        cmpbe = CMPBE.with_pbe1(
+            eta=150, width=6, depth=3, buffer_size=1500, seed=0
+        )
+        cmpbe.extend(stream)
+        cmpbe.finalize()
+        return pcm, cmpbe
+
+    pcm, cmpbe = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rng = np.random.default_rng(0)
+    event_ids = exact.event_ids()
+    queries = [
+        (int(event_ids[rng.integers(0, len(event_ids))]),
+         float(rng.uniform(2 * DAY, t_end)))
+        for _ in range(100)
+    ]
+    truths = [exact.burstiness(e, t, DAY) for e, t in queries]
+    pcm_err = mean_absolute_error(
+        [pcm.burstiness(e, t, DAY) for e, t in queries], truths
+    )
+    cm_err = mean_absolute_error(
+        [cmpbe.burstiness(e, t, DAY) for e, t in queries], truths
+    )
+    rows = [
+        {"method": "PCM (exact cells)",
+         "space_mb": pcm.size_in_bytes() / 2**20,
+         "mean_abs_error": pcm_err},
+        {"method": "CM-PBE-1 (eta=150)",
+         "space_mb": cmpbe.size_in_bytes() / 2**20,
+         "mean_abs_error": cm_err},
+    ]
+    report(
+        "comparator_a4_pcm",
+        format_table(rows, title="A4: PCM vs CM-PBE (olympicrio-like)"),
+    )
+    assert cmpbe.size_in_bytes() < pcm.size_in_bytes() / 2
+
+
+def test_a4_kleinberg_vs_threshold(benchmark, soccer_timestamps):
+    """Kleinberg's burst windows should overlap the acceleration-based
+    bursty intervals on the same stream — two definitions, one story."""
+    exact = ExactBurstStore()
+    for t in soccer_timestamps:
+        exact.update(0, t)
+    grid = np.arange(2 * DAY, 31 * DAY, DAY / 4)
+    values = [exact.burstiness(0, t, DAY) for t in grid]
+    theta = 0.5 * max(values)
+    t_end = soccer_timestamps[-1] + 2 * DAY
+    threshold_intervals = exact.bursty_times(0, theta, DAY, t_end=t_end)
+
+    detector = KleinbergBurstDetector(s=2.0, gamma=1.0)
+    kleinberg_intervals = benchmark.pedantic(
+        detector.burst_intervals,
+        args=(soccer_timestamps,),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {"method": "acceleration threshold",
+         "n_intervals": len(threshold_intervals),
+         "first_day": threshold_intervals[0][0] / DAY,
+         "last_day": threshold_intervals[-1][1] / DAY},
+        {"method": "kleinberg automaton",
+         "n_intervals": len(kleinberg_intervals),
+         "first_day": kleinberg_intervals[0].start / DAY,
+         "last_day": kleinberg_intervals[-1].end / DAY},
+    ]
+    report(
+        "comparator_a4_kleinberg",
+        format_table(rows, title="A4: burst definitions on soccer"),
+    )
+
+    def overlap(a_intervals, b_intervals):
+        total = 0.0
+        for s1, e1 in a_intervals:
+            for s2, e2 in b_intervals:
+                total += max(0.0, min(e1, e2) - max(s1, s2))
+        return total
+
+    klein = [(iv.start, iv.end) for iv in kleinberg_intervals]
+    shared = overlap(threshold_intervals, klein)
+    assert shared > 0, "the two burst definitions must agree somewhere"

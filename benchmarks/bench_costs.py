@@ -1,0 +1,42 @@
+"""§II-B / §III-C — cost table: space, point-query latency and error of
+the exact baseline vs PBE-1 vs PBE-2 on the soccer stream.
+
+Expected shape (paper): both sketches are orders of magnitude smaller
+than the exact store at modest error; query latency is O(log n) for all
+three (binary search), so the same ballpark.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.harness import cost_comparison
+from repro.eval.tables import format_table
+
+
+def test_cost_comparison(benchmark, soccer_timestamps):
+    rows = benchmark.pedantic(
+        cost_comparison,
+        args=(soccer_timestamps,),
+        kwargs={"eta": 100, "gamma": 20.0, "n_queries": 200},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "costs",
+        format_table(
+            rows, title="Space / query latency / error (soccer stream)"
+        ),
+    )
+    by_method = {row["method"]: row for row in rows}
+    assert by_method["exact"]["mean_abs_error"] == 0.0
+    # Sketches are much smaller than the exact store.
+    assert by_method["PBE-1"]["space_kb"] < (
+        by_method["exact"]["space_kb"] / 3
+    )
+    assert by_method["PBE-2"]["space_kb"] < (
+        by_method["exact"]["space_kb"] / 10
+    )
+    # All methods answer point queries in microseconds (O(log n)).
+    for row in rows:
+        assert row["query_us"] < 1_000

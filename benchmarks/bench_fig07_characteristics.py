@@ -1,0 +1,53 @@
+"""Fig. 7 — dataset characteristics: incoming rate and burstiness of the
+soccer and swimming events (tau = 1 day).
+
+Expected shape (paper): swimming's bursts concentrate in the first half
+then collapse to ~zero; soccer bursts all month with the largest burst
+right before the final.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.harness import characteristics_series
+from repro.eval.tables import format_table
+from repro.streams.events import SingleEventStream
+from repro.workloads.profiles import DAY
+
+
+def test_fig07_characteristics(
+    benchmark, soccer_timestamps, swimming_timestamps
+):
+    def run():
+        return {
+            "soccer": characteristics_series(
+                SingleEventStream(soccer_timestamps), tau=DAY
+            ),
+            "swimming": characteristics_series(
+                SingleEventStream(swimming_timestamps), tau=DAY
+            ),
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    blocks = []
+    for name, rows in series.items():
+        blocks.append(
+            format_table(rows, title=f"Fig 7 ({name}): tau = 1 day")
+        )
+    text = "\n\n".join(blocks)
+    report("fig07_characteristics", text)
+
+    soccer = series["soccer"]
+    swimming = series["swimming"]
+    # Swimming: active first half, dead second half.
+    late = max(
+        row["incoming_rate"] for row in swimming if row["day"] > 15
+    )
+    early = max(
+        row["incoming_rate"] for row in swimming if row["day"] <= 10
+    )
+    assert late < early / 10
+    # Soccer: the largest burst falls late in the month (the final).
+    peak = max(soccer, key=lambda row: row["burstiness"])
+    assert peak["day"] >= 25

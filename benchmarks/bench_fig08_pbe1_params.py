@@ -1,0 +1,57 @@
+"""Fig. 8 — PBE-1 parameter study: space & construction cost vs eta (8a),
+point-query accuracy vs eta (8b), on soccer and swimming.
+
+Expected shape (paper): space grows linearly in eta; construction time
+grows with eta; the approximation error collapses quickly as eta grows
+(errors in the tens for burstiness values in the hundreds/thousands once
+eta reaches a modest fraction of the buffer size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.eval.harness import pbe1_parameter_study
+from repro.eval.tables import format_table
+
+ETAS = [25, 50, 100, 200, 400]
+BUFFER = 1500
+
+
+def test_fig08_pbe1_parameter_study(
+    benchmark, soccer_timestamps, swimming_timestamps
+):
+    streams = {
+        "soccer": soccer_timestamps,
+        "swimming": swimming_timestamps,
+    }
+
+    rows = benchmark.pedantic(
+        pbe1_parameter_study,
+        args=(streams, ETAS),
+        kwargs={"buffer_size": BUFFER, "n_queries": 100},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig08_pbe1_params",
+        format_table(
+            rows,
+            title=f"Fig 8: PBE-1 study (buffer n = {BUFFER}, tau = 1 day)",
+        ),
+    )
+
+    for name in streams:
+        series = [row for row in rows if row["event"] == name]
+        spaces = [row["space_kb"] for row in series]
+        errors = [row["mean_abs_error"] for row in series]
+        # 8a: space strictly grows with eta, roughly linearly.
+        assert all(a < b for a, b in zip(spaces, spaces[1:]))
+        growth = spaces[-1] / spaces[0]
+        assert 0.25 * (ETAS[-1] / ETAS[0]) <= growth <= 4 * (
+            ETAS[-1] / ETAS[0]
+        )
+        # 8b: error shrinks as eta grows.
+        assert errors[0] > errors[-1]
+        assert errors[-1] < np.mean(errors[:2])

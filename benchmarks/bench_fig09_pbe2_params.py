@@ -1,0 +1,49 @@
+"""Fig. 9 — PBE-2 parameter study: space & construction cost vs gamma
+(9a), point-query accuracy vs gamma (9b), on soccer and swimming.
+
+Expected shape (paper): space drops quickly as gamma grows, then
+flattens; construction stays fast and mostly flat; the error is linear in
+and bounded by gamma (well under the 4*gamma worst case).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.harness import pbe2_parameter_study
+from repro.eval.tables import format_table
+
+GAMMAS = [10.0, 20.0, 50.0, 100.0, 200.0, 500.0]
+
+
+def test_fig09_pbe2_parameter_study(
+    benchmark, soccer_timestamps, swimming_timestamps
+):
+    streams = {
+        "soccer": soccer_timestamps,
+        "swimming": swimming_timestamps,
+    }
+
+    rows = benchmark.pedantic(
+        pbe2_parameter_study,
+        args=(streams, GAMMAS),
+        kwargs={"n_queries": 100},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig09_pbe2_params",
+        format_table(rows, title="Fig 9: PBE-2 study (tau = 1 day)"),
+    )
+
+    for name in streams:
+        series = [row for row in rows if row["event"] == name]
+        spaces = [row["space_kb"] for row in series]
+        # 9a: space non-increasing in gamma, with a steep initial drop.
+        assert all(a >= b for a, b in zip(spaces, spaces[1:]))
+        assert spaces[0] > 2 * spaces[-1]
+        # 9b: error bounded by the 4*gamma guarantee (Lemma 4), and in
+        # practice below gamma itself for most settings.
+        for row in series:
+            assert row["mean_abs_error"] <= 4 * row["gamma"]
+        assert series[0]["mean_abs_error"] < series[-1]["mean_abs_error"]

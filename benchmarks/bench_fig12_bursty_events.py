@@ -1,0 +1,85 @@
+"""Fig. 12 — bursty event detection: precision and recall of the dyadic
+CM-PBE index vs total space, on both datasets.
+
+Expected shape (paper): precision and recall rise towards 1 as space
+grows; recall generally beats precision (a real burst changes the
+incoming rate enough to be captured, while collisions of non-bursty
+events can fabricate a few false positives); olympicrio beats uspolitics
+at equal space.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.eval.harness import bursty_event_detection_study
+from repro.eval.tables import format_table
+
+WIDTH, DEPTH = 6, 3
+ETAS = [20, 100]
+GAMMAS = [40.0, 5.0]
+
+
+def _run(stream, universe_size):
+    return bursty_event_detection_study(
+        stream,
+        universe_size=universe_size,
+        etas=ETAS,
+        gammas=GAMMAS,
+        width=WIDTH,
+        depth=DEPTH,
+        buffer_size=1500,
+        n_times=6,
+        theta_fractions=(0.2, 0.5, 0.8),
+    )
+
+
+def _check_shapes(rows):
+    for sketch in ("CM-PBE-1", "CM-PBE-2"):
+        series = [row for row in rows if row["sketch"] == sketch]
+        assert len(series) == 2
+        small, large = series
+        assert small["space_mb"] < large["space_mb"]
+        # More space should not hurt the combined quality.
+        small_f1 = _f1(small)
+        large_f1 = _f1(large)
+        assert large_f1 >= small_f1 - 0.1
+        assert large["recall"] >= 0.5
+
+
+def _f1(row):
+    p, r = row["precision"], row["recall"]
+    return 0.0 if p + r == 0 else 2 * p * r / (p + r)
+
+
+def test_fig12a_olympicrio(benchmark, olympicrio_stream):
+    universe = 128
+    rows = benchmark.pedantic(
+        _run, args=(olympicrio_stream, universe), rounds=1, iterations=1
+    )
+    report(
+        "fig12a_bursty_events_olympicrio",
+        format_table(
+            rows,
+            title="Fig 12a: bursty event detection (olympicrio-like)",
+        ),
+    )
+    _check_shapes(rows)
+
+
+def test_fig12b_uspolitics(benchmark, uspolitics_dataset):
+    universe = 192
+    rows = benchmark.pedantic(
+        _run,
+        args=(uspolitics_dataset.stream, universe),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig12b_bursty_events_uspolitics",
+        format_table(
+            rows,
+            title="Fig 12b: bursty event detection (uspolitics-like)",
+        ),
+    )
+    _check_shapes(rows)

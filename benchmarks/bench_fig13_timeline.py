@@ -1,0 +1,53 @@
+"""Fig. 13 — bursty events from uspolitics over the election timeline,
+aggregated by party (the paper's estorm.org demo).
+
+Expected shape (paper): intermittent spikes of burstiness for both
+categories across the months, with detected bursts aligning with the
+planted ground-truth spike onsets.
+"""
+
+from __future__ import annotations
+
+from conftest import POLITICS_EVENTS, report
+
+from repro.core.dyadic import BurstyEventIndex
+from repro.eval.harness import timeline_study
+from repro.eval.tables import format_table
+from repro.workloads.profiles import DAY
+
+
+def test_fig13_timeline(benchmark, uspolitics_dataset):
+    dataset = uspolitics_dataset
+    index = BurstyEventIndex.with_pbe1(
+        POLITICS_EVENTS, eta=100, width=6, depth=3, buffer_size=1500
+    )
+    index.extend(dataset.stream)
+    index.finalize()
+
+    rows = benchmark.pedantic(
+        timeline_study,
+        args=(dataset, index),
+        kwargs={"tau": DAY, "step": 2 * DAY, "theta": 15.0},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig13_timeline",
+        format_table(
+            rows,
+            title=(
+                "Fig 13: bursty-event timeline by party "
+                f"(K={POLITICS_EVENTS}, tau=1d, step=2d, theta=15)"
+            ),
+        ),
+    )
+
+    # Bursts appear on the timeline (at least one party lights up; with
+    # few detections at this scale the split between parties is chance).
+    total = max(
+        row["democrat"] + row["republican"] for row in rows
+    )
+    assert total > 0
+    # The timeline is spiky/intermittent: some steps loud, most quiet.
+    bursty_steps = [row for row in rows if row["n_bursty"] > 0]
+    assert 0 < len(bursty_steps) < 0.8 * len(rows)

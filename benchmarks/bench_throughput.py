@@ -1,0 +1,107 @@
+"""Construction throughput and point-query latency micro-benchmarks.
+
+These are the repeated-measurement benchmarks (pytest-benchmark's bread
+and butter): elements/second into each sketch and microseconds per point
+query out of it.  The paper reports construction times in Fig. 8a/9a;
+this suite gives the per-operation view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cmpbe import CMPBE
+from repro.core.dyadic import BurstyEventIndex
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.workloads.profiles import DAY
+
+N_ELEMENTS = 4_000
+
+
+@pytest.fixture(scope="module")
+def burst_chunk(soccer_timestamps):
+    return soccer_timestamps[:N_ELEMENTS]
+
+
+@pytest.fixture(scope="module")
+def mixed_chunk(olympicrio_stream):
+    return list(olympicrio_stream)[:N_ELEMENTS]
+
+
+class TestConstructionThroughput:
+    def test_pbe1_ingest(self, benchmark, burst_chunk):
+        def run():
+            sketch = PBE1(eta=100, buffer_size=1500)
+            sketch.extend(burst_chunk)
+            sketch.flush()
+            return sketch
+
+        sketch = benchmark(run)
+        assert sketch.count == len(burst_chunk)
+
+    def test_pbe2_ingest(self, benchmark, burst_chunk):
+        def run():
+            sketch = PBE2(gamma=20.0)
+            sketch.extend(burst_chunk)
+            sketch.finalize()
+            return sketch
+
+        sketch = benchmark(run)
+        assert sketch.count == len(burst_chunk)
+
+    def test_cmpbe1_ingest(self, benchmark, mixed_chunk):
+        def run():
+            sketch = CMPBE.with_pbe1(
+                eta=100, width=6, depth=3, buffer_size=1500
+            )
+            sketch.extend(mixed_chunk)
+            return sketch
+
+        sketch = benchmark(run)
+        assert sketch.count == len(mixed_chunk)
+
+    def test_index_ingest(self, benchmark, mixed_chunk):
+        def run():
+            index = BurstyEventIndex.with_pbe2(
+                128, gamma=20.0, width=6, depth=3
+            )
+            index.extend(mixed_chunk)
+            return index
+
+        index = benchmark(run)
+        assert index.level_sketch(0).count == len(mixed_chunk)
+
+
+class TestQueryLatency:
+    @pytest.fixture(scope="class")
+    def built(self, soccer_timestamps, olympicrio_stream):
+        pbe1 = PBE1(eta=100, buffer_size=1500)
+        pbe1.extend(soccer_timestamps)
+        pbe1.flush()
+        pbe2 = PBE2(gamma=20.0)
+        pbe2.extend(soccer_timestamps)
+        pbe2.finalize()
+        index = BurstyEventIndex.with_pbe1(
+            128, eta=60, width=6, depth=3, buffer_size=1500
+        )
+        index.extend(list(olympicrio_stream)[:20_000])
+        index.finalize()
+        return pbe1, pbe2, index
+
+    def test_pbe1_point_query(self, benchmark, built):
+        pbe1, _, _ = built
+        benchmark(pbe1.burstiness, 15 * DAY, DAY)
+
+    def test_pbe2_point_query(self, benchmark, built):
+        _, pbe2, _ = built
+        benchmark(pbe2.burstiness, 15 * DAY, DAY)
+
+    def test_index_point_query(self, benchmark, built):
+        _, _, index = built
+        benchmark(index.point_query, 0, 15 * DAY, DAY)
+
+    def test_index_bursty_event_query(self, benchmark, built):
+        _, _, index = built
+        benchmark(index.bursty_events, 15 * DAY, 100.0, DAY)

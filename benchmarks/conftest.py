@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark suite.
+
+Workload sizes here are the knobs that trade fidelity for wall-clock time;
+they default to laptop scales that finish the whole suite in minutes while
+preserving every shape the paper reports.  Results are printed AND written
+to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.olympics import (
+    make_olympicrio,
+    make_soccer_stream,
+    make_swimming_stream,
+)
+from repro.workloads.politics import make_uspolitics
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Single-event stream volume (paper: 1,000,000 after normalization).
+SINGLE_STREAM_MENTIONS = 20_000
+#: Mixed-stream volume (paper: ~5,000,000).
+MIXED_STREAM_MENTIONS = 30_000
+#: Mixed-stream event count (paper: 864 / 1,689).
+OLYMPICS_EVENTS = 128
+POLITICS_EVENTS = 192
+
+
+def report(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Stitch all persisted tables into benchmarks/results/REPORT.md."""
+    from repro.eval.reporting import write_report
+
+    if RESULTS_DIR.is_dir() and any(RESULTS_DIR.glob("*.txt")):
+        write_report(RESULTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def soccer_timestamps() -> list[float]:
+    return list(
+        make_soccer_stream(total_mentions=SINGLE_STREAM_MENTIONS).timestamps
+    )
+
+
+@pytest.fixture(scope="session")
+def swimming_timestamps() -> list[float]:
+    return list(
+        make_swimming_stream(
+            total_mentions=SINGLE_STREAM_MENTIONS
+        ).timestamps
+    )
+
+
+@pytest.fixture(scope="session")
+def olympicrio_stream():
+    return make_olympicrio(
+        n_events=OLYMPICS_EVENTS, total_mentions=MIXED_STREAM_MENTIONS
+    )
+
+
+@pytest.fixture(scope="session")
+def uspolitics_dataset():
+    return make_uspolitics(
+        n_events=POLITICS_EVENTS, total_mentions=MIXED_STREAM_MENTIONS
+    )

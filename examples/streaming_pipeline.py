@@ -1,0 +1,76 @@
+"""The full paper pipeline, end to end: tweets -> h -> sketches -> queries.
+
+Synthesizes raw text messages (the information stream ``M`` of §II-A),
+maps them to event ids with a hashtag-based ``h``, feeds the resulting
+event stream *online* into a CM-PBE-2 (no buffering — every element is
+folded into the sketch the moment it arrives), then answers historical
+queries about events whose raw text is long gone.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CMPBE
+from repro.text import HashtagEventMapper, SyntheticTweetSource
+
+TOPICS = ["weather", "earthquake", "election", "soccer"]
+HORIZON = 5_000
+
+
+def tweet_firehose(rng: np.random.Generator):
+    """Yield messages: steady weather chatter, an earthquake surge at
+    t=3000, slow-ramping election talk, periodic soccer spikes."""
+    source = SyntheticTweetSource(
+        topics=TOPICS, seed=1, multi_topic_probability=0.05
+    )
+    for t in range(HORIZON):
+        if rng.uniform() < 0.25:  # weather: stable
+            yield source.message(0, float(t))
+        if t >= 3_000 and rng.uniform() < 4 * np.exp(-(t - 3_000) / 300):
+            yield source.message(1, float(t))  # earthquake outbreak
+        if rng.uniform() < 0.4 * t / HORIZON:  # election: slow ramp
+            yield source.message(2, float(t))
+        if (t // 500) % 2 == 1 and rng.uniform() < 0.3:  # soccer matches
+            yield source.message(3, float(t))
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    mapper = HashtagEventMapper(
+        vocabulary={topic: i for i, topic in enumerate(TOPICS)}
+    )
+    sketch = CMPBE.with_pbe2(gamma=5.0, width=4, depth=3)
+
+    n_messages = 0
+    for message in tweet_firehose(rng):
+        for event_id in mapper.map(message):
+            sketch.update(event_id, message.timestamp)
+        n_messages += 1
+    sketch.finalize()
+    print(f"Processed {n_messages} messages online; "
+          f"sketch is {sketch.size_in_bytes() / 1024:.1f} KB "
+          f"(the raw text would be ~{n_messages * 60 / 1024:.0f} KB).\n")
+
+    tau = 250.0
+    print(f"Historical burstiness (tau={tau:.0f}):")
+    print(f"{'t':>6}  " + "".join(f"{topic:>12}" for topic in TOPICS))
+    for t in range(500, HORIZON + 1, 500):
+        values = [
+            sketch.burstiness(event_id, float(t), tau)
+            for event_id in range(len(TOPICS))
+        ]
+        print(f"{t:>6}  " + "".join(f"{value:12.0f}" for value in values))
+
+    quake = sketch.burstiness(1, 3_200.0, tau)
+    weather = sketch.burstiness(0, 3_200.0, tau)
+    print(f"\nAt t=3200 the earthquake's burstiness ({quake:.0f}) dwarfs "
+          f"weather's ({weather:.0f}),")
+    print("even though weather has far more total mentions — burst is "
+          "acceleration, not frequency (paper §I).")
+
+
+if __name__ == "__main__":
+    main()

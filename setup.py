@@ -1,0 +1,6 @@
+"""Shim so legacy editable installs work where the ``wheel`` package is
+unavailable (``pip install -e . --no-build-isolation``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Bursty Event Detection Throughout Histories.
+
+A reproduction of Paul, Peng & Li (ICDE 2019): succinct probabilistic data
+structures (PBE-1, PBE-2, CM-PBE) and query strategies that detect bursty
+events at *any* point in a stream's history without storing the stream.
+
+Quickstart::
+
+    from repro import HistoricalBurstAnalyzer
+
+    analyzer = HistoricalBurstAnalyzer("cm-pbe-1", universe_size=1024)
+    analyzer.ingest(stream)                 # (event_id, timestamp) pairs
+    analyzer.point_query(event_id=7, t=86_400.0, tau=3_600.0)
+    analyzer.bursty_events(t=86_400.0, theta=50.0, tau=3_600.0)
+    analyzer.bursty_times(event_id=7, theta=50.0, tau=3_600.0)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure.
+"""
+
+from repro.core import (
+    CMPBE,
+    PBE1,
+    PBE2,
+    BurstyEvent,
+    BurstyEventIndex,
+    EmptySketchError,
+    HistoricalBurstAnalyzer,
+    InvalidParameterError,
+    ReproError,
+    StreamOrderError,
+    burst_frequency,
+    burstiness,
+    burstiness_series,
+    bursty_time_intervals,
+    incoming_rate_series,
+)
+from repro.baselines import ExactBurstStore, KleinbergBurstDetector
+from repro.streams import EventStream, SingleEventStream, StaircaseCurve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMPBE",
+    "PBE1",
+    "PBE2",
+    "BurstyEvent",
+    "BurstyEventIndex",
+    "EmptySketchError",
+    "HistoricalBurstAnalyzer",
+    "InvalidParameterError",
+    "ReproError",
+    "StreamOrderError",
+    "burst_frequency",
+    "burstiness",
+    "burstiness_series",
+    "bursty_time_intervals",
+    "incoming_rate_series",
+    "ExactBurstStore",
+    "KleinbergBurstDetector",
+    "EventStream",
+    "SingleEventStream",
+    "StaircaseCurve",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baselines: the exact store and the Kleinberg burst automaton."""
+
+from repro.baselines.exact import ExactBurstStore
+from repro.baselines.kleinberg import BurstInterval, KleinbergBurstDetector
+
+__all__ = ["ExactBurstStore", "BurstInterval", "KleinbergBurstDetector"]
+
+from repro.baselines.macd import MacdPoint, MacdTrendScorer  # noqa: E402
+from repro.baselines.wavelet import (  # noqa: E402
+    HaarBurstDetector,
+    WaveletBurst,
+    haar_details,
+)
+
+__all__ += [
+    "MacdPoint",
+    "MacdTrendScorer",
+    "HaarBurstDetector",
+    "WaveletBurst",
+    "haar_details",
+]

@@ -1,0 +1,132 @@
+"""MACD trending score (related-work baseline, §VII [23], [24]).
+
+Lu et al. and Schubert et al. score trending topics with a variant of the
+Moving Average Convergence Divergence indicator: the difference between a
+fast and a slow exponentially-weighted moving average of the mention
+rate, optionally compared against its own smoothed "signal line".  A
+topic trends when MACD crosses above the signal line.
+
+The baseline is *online* (constant state per event) but — unlike PBE —
+only answers "is it trending NOW"; there is no historical query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["MacdTrendScorer", "MacdPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class MacdPoint:
+    """MACD state at one evaluation instant."""
+
+    t: float
+    rate: float
+    macd: float
+    signal: float
+
+    @property
+    def histogram(self) -> float:
+        """MACD minus its signal line (positive = gaining momentum)."""
+        return self.macd - self.signal
+
+
+class MacdTrendScorer:
+    """EWMA-based trending score over a binned mention-rate series.
+
+    Parameters
+    ----------
+    bin_width:
+        Width of the rate bins.
+    fast, slow:
+        Span (in bins) of the fast and slow EWMAs (classic 12/26).
+    signal:
+        Span of the EWMA applied to the MACD itself (classic 9).
+    """
+
+    def __init__(
+        self,
+        bin_width: float,
+        fast: int = 12,
+        slow: int = 26,
+        signal: int = 9,
+    ) -> None:
+        if bin_width <= 0:
+            raise InvalidParameterError("bin_width must be > 0")
+        if not 0 < fast < slow:
+            raise InvalidParameterError("need 0 < fast < slow")
+        if signal <= 0:
+            raise InvalidParameterError("signal must be > 0")
+        self.bin_width = bin_width
+        self.fast = fast
+        self.slow = slow
+        self.signal = signal
+
+    @staticmethod
+    def _ewma(values: np.ndarray, span: int) -> np.ndarray:
+        alpha = 2.0 / (span + 1.0)
+        out = np.empty_like(values)
+        state = values[0]
+        for i, value in enumerate(values):
+            state = alpha * value + (1.0 - alpha) * state
+            out[i] = state
+        return out
+
+    def score_series(
+        self,
+        timestamps: Sequence[float],
+        t_start: float | None = None,
+        t_end: float | None = None,
+    ) -> list[MacdPoint]:
+        """Compute the MACD series over binned rates of one event."""
+        if len(timestamps) == 0:
+            return []
+        start = t_start if t_start is not None else float(timestamps[0])
+        end = t_end if t_end is not None else float(timestamps[-1])
+        if end <= start:
+            raise InvalidParameterError("t_end must exceed t_start")
+        n_bins = max(2, int(np.ceil((end - start) / self.bin_width)))
+        counts = np.zeros(n_bins, dtype=np.float64)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        ts = ts[(ts >= start) & (ts < start + n_bins * self.bin_width)]
+        idx = ((ts - start) / self.bin_width).astype(np.int64)
+        np.add.at(counts, idx, 1.0)
+        fast = self._ewma(counts, self.fast)
+        slow = self._ewma(counts, self.slow)
+        macd = fast - slow
+        signal = self._ewma(macd, self.signal)
+        return [
+            MacdPoint(
+                t=start + (i + 1) * self.bin_width,
+                rate=float(counts[i]),
+                macd=float(macd[i]),
+                signal=float(signal[i]),
+            )
+            for i in range(n_bins)
+        ]
+
+    def trending_intervals(
+        self,
+        timestamps: Sequence[float],
+        t_start: float | None = None,
+        t_end: float | None = None,
+    ) -> list[tuple[float, float]]:
+        """Maximal intervals where MACD is above its signal line."""
+        points = self.score_series(timestamps, t_start, t_end)
+        intervals: list[tuple[float, float]] = []
+        open_start: float | None = None
+        for point in points:
+            if point.histogram > 0 and open_start is None:
+                open_start = point.t - self.bin_width
+            elif point.histogram <= 0 and open_start is not None:
+                intervals.append((open_start, point.t - self.bin_width))
+                open_start = None
+        if open_start is not None:
+            intervals.append((open_start, points[-1].t))
+        return intervals

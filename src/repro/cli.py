@@ -1,0 +1,309 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+generate
+    Synthesize an `olympicrio`- or `uspolitics`-like stream to a file.
+build
+    Ingest a stream file into a CM-PBE sketch and serialize it.
+query
+    Answer point / bursty-time queries from a serialized sketch.
+inspect
+    Print a sketch's or stream's vital statistics.
+experiment
+    Run one of the paper's figures at a chosen scale and print the table.
+validate
+    Score a serialized sketch's accuracy against its source stream.
+report
+    Stitch persisted benchmark tables into one REPORT.md.
+
+Streams are stored in the binary format of :mod:`repro.streams.io`
+(``--csv`` switches to CSV); sketches use :mod:`repro.core.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.cmpbe import CMPBE
+from repro.core.queries import bursty_time_intervals
+from repro.core.serialize import dump_cmpbe, load_cmpbe
+from repro.eval import harness
+from repro.eval.tables import format_table
+from repro.streams.io import read_binary, read_csv, write_binary, write_csv
+from repro.workloads.olympics import make_olympicrio, make_soccer_stream
+from repro.workloads.politics import make_uspolitics
+from repro.workloads.profiles import DAY
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bursty event detection throughout histories",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a workload stream"
+    )
+    generate.add_argument(
+        "dataset", choices=["olympicrio", "uspolitics"],
+    )
+    generate.add_argument("--out", required=True, type=Path)
+    generate.add_argument("--events", type=int, default=128)
+    generate.add_argument("--mentions", type=int, default=50_000)
+    generate.add_argument("--seed", type=int, default=2016)
+    generate.add_argument(
+        "--csv", action="store_true", help="write CSV instead of binary"
+    )
+
+    build = commands.add_parser(
+        "build", help="ingest a stream into a CM-PBE sketch"
+    )
+    build.add_argument("stream", type=Path)
+    build.add_argument("--out", required=True, type=Path)
+    build.add_argument(
+        "--method", choices=["cm-pbe-1", "cm-pbe-2"], default="cm-pbe-1"
+    )
+    build.add_argument("--eta", type=int, default=100)
+    build.add_argument("--buffer-size", type=int, default=1500)
+    build.add_argument("--gamma", type=float, default=20.0)
+    build.add_argument("--width", type=int, default=6)
+    build.add_argument("--depth", type=int, default=3)
+    build.add_argument("--seed", type=int, default=0)
+
+    query = commands.add_parser(
+        "query", help="answer a historical burst query from a sketch"
+    )
+    query.add_argument(
+        "kind", choices=["point", "bursty-times"],
+    )
+    query.add_argument("--sketch", required=True, type=Path)
+    query.add_argument("--event", required=True, type=int)
+    query.add_argument("--t", type=float, help="query time (point)")
+    query.add_argument("--theta", type=float, help="threshold")
+    query.add_argument("--tau", type=float, default=DAY)
+    query.add_argument(
+        "--t-end", type=float, help="history end for bursty-times"
+    )
+
+    inspect = commands.add_parser(
+        "inspect", help="print statistics of a stream or sketch file"
+    )
+    inspect.add_argument("path", type=Path)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's figures"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=["fig7", "fig8", "fig9", "fig11", "costs"],
+    )
+    experiment.add_argument("--mentions", type=int, default=20_000)
+    experiment.add_argument("--events", type=int, default=64)
+
+    validate = commands.add_parser(
+        "validate",
+        help="score a sketch's accuracy against its source stream",
+    )
+    validate.add_argument("--sketch", required=True, type=Path)
+    validate.add_argument("--stream", required=True, type=Path)
+    validate.add_argument("--tau", type=float, default=DAY)
+    validate.add_argument("--times", type=int, default=16)
+
+    report_cmd = commands.add_parser(
+        "report",
+        help="stitch benchmarks/results/*.txt into one REPORT.md",
+    )
+    report_cmd.add_argument(
+        "--results",
+        type=Path,
+        default=Path("benchmarks") / "results",
+    )
+    report_cmd.add_argument("--out", type=Path, default=None)
+    return parser
+
+
+def _read_stream(path: Path):
+    if path.suffix == ".csv":
+        return read_csv(path)
+    return read_binary(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "olympicrio":
+        stream = make_olympicrio(
+            n_events=args.events,
+            total_mentions=args.mentions,
+            seed=args.seed,
+        )
+    else:
+        stream = make_uspolitics(
+            n_events=args.events,
+            total_mentions=args.mentions,
+            seed=args.seed,
+        ).stream
+    if args.csv:
+        write_csv(stream, args.out)
+    else:
+        write_binary(stream, args.out)
+    print(
+        f"wrote {len(stream)} mentions of "
+        f"{len(stream.distinct_event_ids())} events to {args.out}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    stream = _read_stream(args.stream)
+    if args.method == "cm-pbe-1":
+        sketch = CMPBE.with_pbe1(
+            eta=args.eta,
+            width=args.width,
+            depth=args.depth,
+            buffer_size=args.buffer_size,
+            seed=args.seed,
+        )
+    else:
+        sketch = CMPBE.with_pbe2(
+            gamma=args.gamma,
+            width=args.width,
+            depth=args.depth,
+            seed=args.seed,
+        )
+    sketch.extend(stream)
+    payload = dump_cmpbe(sketch)
+    args.out.write_bytes(payload)
+    print(
+        f"ingested {sketch.count} mentions -> {args.method} sketch, "
+        f"{len(payload)} bytes on disk "
+        f"({sketch.size_in_bytes()} logical) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    sketch = load_cmpbe(args.sketch.read_bytes())
+    if args.kind == "point":
+        if args.t is None:
+            print("error: point queries need --t", file=sys.stderr)
+            return 2
+        value = sketch.burstiness(args.event, args.t, args.tau)
+        print(f"b({args.event}, t={args.t}, tau={args.tau}) = {value}")
+        return 0
+    if args.theta is None:
+        print("error: bursty-times needs --theta", file=sys.stderr)
+        return 2
+    knots = sketch.segment_starts(args.event)
+    if not knots:
+        print("(no data for this event)")
+        return 0
+    t_end = args.t_end if args.t_end is not None else max(knots) + 2 * args.tau
+    intervals = bursty_time_intervals(
+        sketch.curve(args.event),
+        knots,
+        args.theta,
+        args.tau,
+        t_end=t_end,
+        piecewise="constant",
+    )
+    if not intervals:
+        print("(never bursty at this threshold)")
+    for start, end in intervals:
+        print(f"bursty from {start} to {end}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    data = args.path.read_bytes()
+    if data[:4] == b"CMPB":
+        sketch = load_cmpbe(data)
+        print(
+            f"CM-PBE sketch: {sketch.depth}x{sketch.width} grid, "
+            f"combiner={sketch.combiner}, count={sketch.count}, "
+            f"{sketch.size_in_bytes()} bytes logical"
+        )
+        return 0
+    from repro.workloads.stats import describe_stream
+
+    stream = _read_stream(args.path)
+    print("event stream:")
+    print(describe_stream(stream).summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    soccer = make_soccer_stream(total_mentions=args.mentions)
+    if args.figure == "fig7":
+        rows = harness.characteristics_series(soccer, tau=DAY)
+        print(format_table(rows, title="Fig 7 (soccer), tau = 1 day"))
+    elif args.figure == "fig8":
+        rows = harness.pbe1_parameter_study(
+            {"soccer": list(soccer.timestamps)}, etas=[25, 100, 400],
+            n_queries=50,
+        )
+        print(format_table(rows, title="Fig 8: PBE-1 parameter study"))
+    elif args.figure == "fig9":
+        rows = harness.pbe2_parameter_study(
+            {"soccer": list(soccer.timestamps)},
+            gammas=[10.0, 50.0, 200.0],
+            n_queries=50,
+        )
+        print(format_table(rows, title="Fig 9: PBE-2 parameter study"))
+    elif args.figure == "fig11":
+        stream = make_olympicrio(
+            n_events=args.events, total_mentions=args.mentions
+        )
+        rows = harness.cmpbe_space_accuracy(
+            stream, etas=[6, 60], gammas=[300.0, 15.0], n_queries=50
+        )
+        print(format_table(rows, title="Fig 11: CM-PBE error vs space"))
+    else:
+        rows = harness.cost_comparison(
+            list(soccer.timestamps), n_queries=100
+        )
+        print(format_table(rows, title="Cost comparison"))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.eval.validation import validate_sketch
+
+    sketch = load_cmpbe(args.sketch.read_bytes())
+    stream = _read_stream(args.stream)
+    report = validate_sketch(
+        sketch, stream, tau=args.tau, n_times=args.times
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import write_report
+
+    target = write_report(args.results, args.out)
+    print(f"wrote {target}")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "inspect": _cmd_inspect,
+    "experiment": _cmd_experiment,
+    "validate": _cmd_validate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)

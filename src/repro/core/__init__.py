@@ -1,0 +1,85 @@
+"""Core contribution: PBE sketches, CM-PBE, the dyadic index and queries."""
+
+from repro.core.burstiness import (
+    burst_frequency,
+    burstiness,
+    burstiness_series,
+    incoming_rate_series,
+)
+from repro.core.cmpbe import CMPBE
+from repro.core.dyadic import BurstyEvent, BurstyEventIndex
+from repro.core.errors import (
+    EmptySketchError,
+    FinalizedError,
+    InvalidParameterError,
+    NotFinalizedError,
+    ReproError,
+    StreamOrderError,
+)
+from repro.core.pbe1 import (
+    PBE1,
+    StaircaseApproximation,
+    approximate_staircase,
+    approximate_staircase_bruteforce,
+    smallest_eta_for_error,
+)
+from repro.core.monitor import BurstAlert, BurstMonitor, MonitoredAnalyzer
+from repro.core.parallel import (
+    build_pbe1_chunked,
+    build_pbe2_chunked,
+    merge_pbe1,
+    merge_pbe2,
+)
+from repro.core.pbe2 import PBE2, LineSegment
+from repro.core.queries import (
+    HistoricalBurstAnalyzer,
+    bursty_time_intervals,
+    max_burstiness,
+)
+from repro.core.serialize import (
+    dump_cmpbe,
+    dump_pbe1,
+    dump_pbe2,
+    load_cmpbe,
+    load_pbe1,
+    load_pbe2,
+)
+
+__all__ = [
+    "burst_frequency",
+    "burstiness",
+    "burstiness_series",
+    "incoming_rate_series",
+    "CMPBE",
+    "BurstyEvent",
+    "BurstyEventIndex",
+    "EmptySketchError",
+    "FinalizedError",
+    "InvalidParameterError",
+    "NotFinalizedError",
+    "ReproError",
+    "StreamOrderError",
+    "PBE1",
+    "StaircaseApproximation",
+    "approximate_staircase",
+    "approximate_staircase_bruteforce",
+    "smallest_eta_for_error",
+    "PBE2",
+    "LineSegment",
+    "HistoricalBurstAnalyzer",
+    "bursty_time_intervals",
+    "max_burstiness",
+    "BurstAlert",
+    "BurstMonitor",
+    "MonitoredAnalyzer",
+    "build_pbe1_chunked",
+    "build_pbe2_chunked",
+    "merge_pbe1",
+    "merge_pbe2",
+    "dump_cmpbe",
+    "dump_pbe1",
+    "dump_pbe2",
+    "load_cmpbe",
+    "load_pbe1",
+    "load_pbe2",
+]

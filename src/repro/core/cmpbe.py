@@ -1,0 +1,287 @@
+"""CM-PBE: historical burstiness sketches for mixed event streams (§IV).
+
+A naive per-event PBE would need one sketch per distinct event id.  CM-PBE
+instead keeps a ``depth x width`` Count-Min grid whose *cells are PBEs*:
+an incoming ``(event_id, timestamp)`` is hashed to one cell per row, the
+event id is dropped, and the cell's PBE ingests the timestamp as if all
+collided events were a single stream (Fig. 5).
+
+A cell's estimate of ``F_e(t)`` is two-sided: hash collisions add mass
+(overestimate) while the PBE itself never overestimates its collided
+stream (underestimate) — so the **median** over the ``d`` rows is returned
+(the paper's choice; the classic Count-Min ``min`` combiner is available
+as an ablation).  Theorem 1:
+``Pr[|F~_e(t) - F_e(t)| <= eps * N + Delta] >= 1 - delta`` for CM-PBE-1
+(replace ``Delta`` with ``gamma`` for CM-PBE-2).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Protocol
+
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.sketch.countmin import dimensions_for
+from repro.sketch.hashing import HashFamily
+from repro.streams.frequency import burstiness_from_curve
+
+__all__ = ["CMPBE", "DirectPBEMap", "PersistentSketchCell"]
+
+
+class PersistentSketchCell(Protocol):
+    """What a CM-PBE cell must support (PBE1 and PBE2 both qualify)."""
+
+    def update(self, timestamp: float, count: int = 1) -> None: ...
+
+    def value(self, t: float) -> float: ...
+
+    def size_in_bytes(self) -> int: ...
+
+
+class _EventCurveView:
+    """Adapter exposing CM-PBE's per-event estimate as a cumulative curve."""
+
+    __slots__ = ("_sketch", "_event_id")
+
+    def __init__(self, sketch: "CMPBE", event_id: int) -> None:
+        self._sketch = sketch
+        self._event_id = event_id
+
+    def value(self, t: float) -> float:
+        return self._sketch.cumulative_frequency(self._event_id, t)
+
+    def size_in_bytes(self) -> int:
+        return self._sketch.size_in_bytes()
+
+
+class CMPBE:
+    """Count-Min sketch of persistent burstiness estimators.
+
+    Parameters
+    ----------
+    cell_factory:
+        Zero-argument callable returning a fresh PBE for each cell; use
+        :meth:`with_pbe1` / :meth:`with_pbe2` for the paper's two variants.
+    width, depth:
+        Grid dimensions (``w = O(1/eps)`` columns, ``d = O(log 1/delta)``
+        rows); see :meth:`from_error_bounds`.
+    combiner:
+        ``"median"`` (paper default) or ``"min"`` (classic CM, ablation).
+    seed:
+        Hash-family seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        cell_factory: Callable[[], PersistentSketchCell],
+        width: int,
+        depth: int,
+        combiner: str = "median",
+        seed: int = 0,
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise InvalidParameterError("width and depth must be > 0")
+        if combiner not in ("median", "min"):
+            raise InvalidParameterError(
+                f"combiner must be 'median' or 'min', got {combiner!r}"
+            )
+        self.width = width
+        self.depth = depth
+        self.combiner = combiner
+        self.seed = seed
+        self._hashes = HashFamily(depth=depth, width=width, seed=seed)
+        self._cells: list[list[PersistentSketchCell]] = [
+            [cell_factory() for _ in range(width)] for _ in range(depth)
+        ]
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Named constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_pbe1(
+        cls,
+        eta: int,
+        width: int,
+        depth: int,
+        buffer_size: int = 1500,
+        combiner: str = "median",
+        seed: int = 0,
+    ) -> "CMPBE":
+        """CM-PBE-1: cells are buffered optimal-staircase PBEs."""
+        return cls(
+            cell_factory=lambda: PBE1(eta=eta, buffer_size=buffer_size),
+            width=width,
+            depth=depth,
+            combiner=combiner,
+            seed=seed,
+        )
+
+    @classmethod
+    def with_pbe2(
+        cls,
+        gamma: float,
+        width: int,
+        depth: int,
+        unit: float = 1.0,
+        combiner: str = "median",
+        seed: int = 0,
+    ) -> "CMPBE":
+        """CM-PBE-2: cells are buffer-free PLA PBEs."""
+        return cls(
+            cell_factory=lambda: PBE2(gamma=gamma, unit=unit),
+            width=width,
+            depth=depth,
+            combiner=combiner,
+            seed=seed,
+        )
+
+    @staticmethod
+    def dimensions_from_error_bounds(
+        epsilon: float, delta: float
+    ) -> tuple[int, int]:
+        """``(width, depth)`` for a ``Pr[err > eps N] <= delta`` guarantee."""
+        return dimensions_for(epsilon, delta)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, event_id: int, timestamp: float, count: int = 1) -> None:
+        """Ingest ``count`` mentions of ``event_id`` at ``timestamp``."""
+        for row, column in enumerate(self._hashes.hash_all(event_id)):
+            self._cells[row][column].update(timestamp, count)
+        self._count += count
+
+    def extend(self, records) -> None:
+        """Ingest many ``(event_id, timestamp)`` pairs in stream order."""
+        for event_id, timestamp in records:
+            self.update(event_id, timestamp)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def cumulative_frequency(self, event_id: int, t: float) -> float:
+        """Estimate ``F_e(t)`` by combining the ``d`` row estimates."""
+        estimates = [
+            self._cells[row][column].value(t)
+            for row, column in enumerate(self._hashes.hash_all(event_id))
+        ]
+        if self.combiner == "median":
+            return float(statistics.median(estimates))
+        return float(min(estimates))
+
+    def burstiness(self, event_id: int, t: float, tau: float) -> float:
+        """Point query ``q(e, t, tau)``: estimated ``b_e(t)`` (Eq. 2)."""
+        return burstiness_from_curve(
+            _EventCurveView(self, event_id), t, tau
+        )
+
+    def curve(self, event_id: int) -> _EventCurveView:
+        """A :class:`CumulativeCurve` view of one event's estimate."""
+        return _EventCurveView(self, event_id)
+
+    def segment_starts(self, event_id: int) -> list[float]:
+        """Union of the knot times of every cell the event hashes into.
+
+        The per-event estimate can only change at these instants, so
+        bursty-time queries need point queries only there (§V).
+        """
+        knots: set[float] = set()
+        for row, column in enumerate(self._hashes.hash_all(event_id)):
+            cell = self._cells[row][column]
+            knots.update(cell.segment_starts())  # type: ignore[attr-defined]
+        return sorted(knots)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Flush every cell that supports flushing (PBE2 finalize/PBE1 flush)."""
+        for row in self._cells:
+            for cell in row:
+                flush = getattr(cell, "finalize", None) or getattr(
+                    cell, "flush", None
+                )
+                if flush is not None:
+                    flush()
+
+    @property
+    def count(self) -> int:
+        """Total mentions ingested (the paper's ``N``)."""
+        return self._count
+
+    def size_in_bytes(self) -> int:
+        """Sum of all cell footprints."""
+        return sum(
+            cell.size_in_bytes() for row in self._cells for cell in row
+        )
+
+
+class DirectPBEMap:
+    """A collision-free 'sketch': one PBE per id, allocated lazily.
+
+    Used at the coarse levels of the dyadic index where the number of
+    distinct range ids is at or below the CM-PBE width: hashing so few ids
+    into so few cells would merge siblings (catastrophic for the pruning
+    rule) while direct mapping costs no more space.  Exposes the same
+    query surface as :class:`CMPBE`.
+    """
+
+    def __init__(self, cell_factory: Callable[[], PersistentSketchCell]) -> None:
+        self._cell_factory = cell_factory
+        self._cells: dict[int, PersistentSketchCell] = {}
+        self._count = 0
+
+    def update(self, event_id: int, timestamp: float, count: int = 1) -> None:
+        """Ingest ``count`` mentions of ``event_id`` at ``timestamp``."""
+        cell = self._cells.get(event_id)
+        if cell is None:
+            cell = self._cell_factory()
+            self._cells[event_id] = cell
+        cell.update(timestamp, count)
+        self._count += count
+
+    def extend(self, records) -> None:
+        """Ingest many ``(event_id, timestamp)`` pairs in stream order."""
+        for event_id, timestamp in records:
+            self.update(event_id, timestamp)
+
+    def cumulative_frequency(self, event_id: int, t: float) -> float:
+        """Exact-per-cell estimate of ``F_e(t)`` (0 for unseen ids)."""
+        cell = self._cells.get(event_id)
+        return cell.value(t) if cell is not None else 0.0
+
+    def burstiness(self, event_id: int, t: float, tau: float) -> float:
+        """Estimated ``b_e(t)`` from the id's own PBE."""
+        return burstiness_from_curve(_EventCurveView(self, event_id), t, tau)
+
+    def curve(self, event_id: int) -> "_EventCurveView":
+        """A cumulative-curve view of one id's estimate."""
+        return _EventCurveView(self, event_id)
+
+    def segment_starts(self, event_id: int) -> list[float]:
+        """Knot times of the id's PBE (empty for unseen ids)."""
+        cell = self._cells.get(event_id)
+        if cell is None:
+            return []
+        return sorted(cell.segment_starts())  # type: ignore[attr-defined]
+
+    def finalize(self) -> None:
+        """Flush every cell that supports flushing."""
+        for cell in self._cells.values():
+            flush = getattr(cell, "finalize", None) or getattr(
+                cell, "flush", None
+            )
+            if flush is not None:
+                flush()
+
+    @property
+    def count(self) -> int:
+        """Total mentions ingested."""
+        return self._count
+
+    def size_in_bytes(self) -> int:
+        """Sum of all cell footprints."""
+        return sum(cell.size_in_bytes() for cell in self._cells.values())

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish the specific
+failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StreamOrderError(ReproError):
+    """A stream element arrived with a timestamp smaller than its predecessor.
+
+    All sketches in this library process elements online and rely on
+    non-decreasing timestamps; feeding an out-of-order element would silently
+    corrupt the frequency curves, so it is rejected eagerly.
+    """
+
+
+class FinalizedError(ReproError):
+    """An update was attempted on a sketch that has already been finalized."""
+
+
+class NotFinalizedError(ReproError):
+    """A query was attempted on a sketch that has not been finalized yet."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or query parameter is outside its valid domain."""
+
+
+class EmptySketchError(ReproError):
+    """A query requires data but the sketch has ingested no elements."""

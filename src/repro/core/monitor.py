@@ -1,0 +1,176 @@
+"""Real-time burst monitoring.
+
+The paper positions itself against systems that detect *current* bursty
+events in real time (§I, [6]-[9]); this module supplies that substrate so
+live detection and historical queries can run off the same ingest path:
+
+* :class:`BurstMonitor` ingests ``(event_id, timestamp)`` elements,
+  maintains the last ``2 tau`` of per-event history (older elements are
+  evicted — that is the whole point: a monitor needs no history), and
+  emits a :class:`BurstAlert` whenever an event's *current* burstiness
+  crosses the threshold,
+* pairing it with a CM-PBE in :class:`MonitoredAnalyzer` gives live
+  alerts plus full historical queryability at sketch cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.cmpbe import CMPBE
+from repro.core.errors import InvalidParameterError, StreamOrderError
+
+__all__ = ["BurstAlert", "BurstMonitor", "MonitoredAnalyzer"]
+
+
+@dataclass(frozen=True, slots=True)
+class BurstAlert:
+    """An event whose live burstiness crossed the threshold."""
+
+    event_id: int
+    timestamp: float
+    burstiness: float
+
+
+class BurstMonitor:
+    """Sliding-window detector of *currently* bursting events.
+
+    Parameters
+    ----------
+    tau:
+        Burst span; the live burstiness at time ``t`` is
+        ``f(t - tau, t) - f(t - 2 tau, t - tau)`` over the retained
+        window.
+    theta:
+        Alert threshold on the live burstiness.
+    cooldown:
+        Minimum time between two alerts for the same event (suppresses
+        alert storms while a burst is ongoing).
+    """
+
+    def __init__(
+        self, tau: float, theta: float, cooldown: float | None = None
+    ) -> None:
+        if tau <= 0:
+            raise InvalidParameterError(f"tau must be > 0, got {tau}")
+        if theta <= 0:
+            raise InvalidParameterError(f"theta must be > 0, got {theta}")
+        self.tau = tau
+        self.theta = theta
+        self.cooldown = cooldown if cooldown is not None else tau
+        self._windows: dict[int, deque[float]] = {}
+        self._last_alert: dict[int, float] = {}
+        self._clock = float("-inf")
+        self._started_at: float | None = None
+
+    def update(self, event_id: int, timestamp: float) -> BurstAlert | None:
+        """Ingest one element; return an alert if the event is bursting."""
+        if timestamp < self._clock:
+            raise StreamOrderError(
+                f"timestamp {timestamp} arrived after {self._clock}"
+            )
+        self._clock = timestamp
+        if self._started_at is None:
+            self._started_at = timestamp
+        window = self._windows.get(event_id)
+        if window is None:
+            window = deque()
+            self._windows[event_id] = window
+        window.append(timestamp)
+        self._evict(window, timestamp)
+        if timestamp - self._started_at < 2 * self.tau:
+            # Warm-up: with less than 2*tau of history the trailing
+            # window is artificially empty, which mimics acceleration.
+            return None
+        value = self._burstiness(window, timestamp)
+        if value < self.theta:
+            return None
+        last = self._last_alert.get(event_id)
+        if last is not None and timestamp - last < self.cooldown:
+            return None
+        self._last_alert[event_id] = timestamp
+        return BurstAlert(event_id, timestamp, float(value))
+
+    def consume(
+        self,
+        stream: Iterable[tuple[int, float]],
+        callback: Callable[[BurstAlert], None] | None = None,
+    ) -> list[BurstAlert]:
+        """Ingest a whole stream, collecting (and optionally forwarding)
+        every alert."""
+        alerts = []
+        for event_id, timestamp in stream:
+            alert = self.update(event_id, timestamp)
+            if alert is not None:
+                alerts.append(alert)
+                if callback is not None:
+                    callback(alert)
+        return alerts
+
+    def current_burstiness(self, event_id: int) -> float:
+        """Live burstiness of ``event_id`` at the monitor's clock."""
+        window = self._windows.get(event_id)
+        if window is None:
+            return 0.0
+        return float(self._burstiness(window, self._clock))
+
+    def _evict(self, window: deque[float], now: float) -> None:
+        horizon = now - 2 * self.tau
+        while window and window[0] < horizon:
+            window.popleft()
+
+    def _burstiness(self, window: deque[float], now: float) -> int:
+        self._evict(window, now)
+        recent = 0
+        previous = 0
+        boundary = now - self.tau
+        for timestamp in reversed(window):
+            if timestamp > boundary:
+                recent += 1
+            else:
+                previous += 1
+        return recent - previous
+
+    @property
+    def n_tracked_events(self) -> int:
+        """Events with at least one element still inside the window."""
+        return sum(1 for window in self._windows.values() if window)
+
+    def memory_elements(self) -> int:
+        """Total retained elements (bounded by the streams' 2-tau rate)."""
+        return sum(len(window) for window in self._windows.values())
+
+
+class MonitoredAnalyzer:
+    """Live alerts + historical queries off one ingest path.
+
+    Wraps a :class:`BurstMonitor` (current bursts, exact over the last
+    ``2 tau``) and a :class:`~repro.core.cmpbe.CMPBE` (any point in
+    history, approximate): each incoming element feeds both.
+    """
+
+    def __init__(self, monitor: BurstMonitor, sketch: CMPBE) -> None:
+        self.monitor = monitor
+        self.sketch = sketch
+        self.alerts: list[BurstAlert] = []
+
+    def update(self, event_id: int, timestamp: float) -> BurstAlert | None:
+        """Feed one element to both sides; return any live alert."""
+        self.sketch.update(event_id, timestamp)
+        alert = self.monitor.update(event_id, timestamp)
+        if alert is not None:
+            self.alerts.append(alert)
+        return alert
+
+    def ingest(self, stream: Iterable[tuple[int, float]]) -> None:
+        """Feed a whole stream."""
+        for event_id, timestamp in stream:
+            self.update(event_id, timestamp)
+
+    def historical_burstiness(
+        self, event_id: int, t: float, tau: float
+    ) -> float:
+        """Historical point query, answered by the sketch."""
+        return self.sketch.burstiness(event_id, t, tau)

@@ -1,0 +1,383 @@
+"""PBE-1: persistent burstiness estimation with buffering (paper §III-A).
+
+PBE-1 approximates the exact cumulative-frequency staircase ``F(t)`` with a
+staircase ``F~(t)`` built from ``eta`` of its own corner points, never
+overestimating and minimizing the enclosed area ``Delta`` (the paper's
+Eq. 3).  Lemmas 2/3 show the optimal approximation is a staircase through a
+*subset* of the exact corners that must include both boundary corners, which
+reduces construction to a discrete DP (Algorithm 1).
+
+**DP acceleration.**  With prefix weights
+``CW(j) = sum_{m<j} (x_{m+1} - x_m) * y_m`` the cost of a gap between
+consecutive selected corners ``i < j`` is::
+
+    cost(i, j) = CW(j) - CW(i) - y_i * (x_j - x_i)
+
+so each DP layer ``E_k[j] = min_i E_{k-1}[i] + cost(i, j)`` is a
+lower-envelope query over lines ``f_i(x) = -y_i * x + c_i`` evaluated at
+``x_j``.  Because corner ordinates strictly increase, the lines arrive with
+strictly decreasing slopes while queries have increasing abscissae, so a
+monotone convex-hull trick evaluates each layer in ``O(n)`` — ``O(eta * n)``
+total instead of the naive ``O(eta * n^2)``.  The naive DP is kept
+(:func:`approximate_staircase_bruteforce`) as a cross-check oracle for
+tests.
+
+**Streaming.**  :class:`PBE1` buffers incoming elements until the exact
+curve of the current buffer reaches ``buffer_size`` corners, compresses the
+buffer to ``eta`` corners with the DP, appends them to the persistent
+corner list, and restarts.  Both buffer boundary corners are always kept
+(Corollary 1), so consecutive buffers join exactly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import (
+    EmptySketchError,
+    InvalidParameterError,
+    StreamOrderError,
+)
+from repro.streams.frequency import (
+    BYTES_PER_FLOAT,
+    burstiness_from_curve,
+)
+
+__all__ = [
+    "PBE1",
+    "StaircaseApproximation",
+    "approximate_staircase",
+    "approximate_staircase_bruteforce",
+    "smallest_eta_for_error",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StaircaseApproximation:
+    """Result of one offline approximation run."""
+
+    selected: np.ndarray  # indices into the input corner arrays
+    error: float  # area Delta between exact and approximate curves
+
+
+def _gap_cost_table(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Prefix weights ``CW[j] = sum_{m<j} (x_{m+1} - x_m) * y_m``."""
+    n = xs.size
+    cw = np.zeros(n, dtype=np.float64)
+    if n >= 2:
+        cw[1:] = np.cumsum((xs[1:] - xs[:-1]) * ys[:-1])
+    return cw
+
+
+def approximate_staircase_bruteforce(
+    xs: np.ndarray, ys: np.ndarray, eta: int
+) -> StaircaseApproximation:
+    """Reference ``O(eta * n^2)`` DP — used to validate the fast version."""
+    xs, ys, trivial = _validated(xs, ys, eta)
+    if trivial is not None:
+        return trivial
+    n = xs.size
+    cw = _gap_cost_table(xs, ys)
+
+    def cost(i: int, j: int) -> float:
+        return cw[j] - cw[i] - ys[i] * (xs[j] - xs[i])
+
+    inf = np.inf
+    energy = np.full((eta + 1, n), inf)
+    parent = np.full((eta + 1, n), -1, dtype=np.int64)
+    energy[1][0] = 0.0
+    for k in range(2, eta + 1):
+        for j in range(k - 1, n):
+            best = inf
+            best_i = -1
+            for i in range(k - 2, j):
+                if energy[k - 1][i] == inf:
+                    continue
+                candidate = energy[k - 1][i] + cost(i, j)
+                if candidate < best:
+                    best = candidate
+                    best_i = i
+            energy[k][j] = best
+            parent[k][j] = best_i
+    return _backtrack(energy, parent, eta, n)
+
+
+def approximate_staircase(
+    xs: np.ndarray, ys: np.ndarray, eta: int
+) -> StaircaseApproximation:
+    """Optimal ``eta``-corner staircase approximation in ``O(eta * n)``.
+
+    Returns the selected corner indices (always containing ``0`` and
+    ``n - 1``) and the minimal area error.
+    """
+    xs, ys, trivial = _validated(xs, ys, eta)
+    if trivial is not None:
+        return trivial
+    n = xs.size
+    cw = _gap_cost_table(xs, ys)
+    inf = float("inf")
+
+    prev = [inf] * n  # E_{k-1}
+    prev[0] = 0.0
+    parent = np.full((eta + 1, n), -1, dtype=np.int32)
+    xs_list = xs.tolist()
+    ys_list = ys.tolist()
+    cw_list = cw.tolist()
+
+    best_layer_error = inf
+    for k in range(2, eta + 1):
+        current = [inf] * n
+        # Monotone convex-hull trick: lines f_i(x) = -y_i * x + intercept_i
+        # arrive with strictly decreasing slopes, queries at increasing x_j.
+        slopes: list[float] = []
+        intercepts: list[float] = []
+        owners: list[int] = []
+        head = 0
+        for j in range(k - 1, n):
+            i = j - 1
+            if prev[i] != inf:
+                slope = -ys_list[i]
+                intercept = prev[i] - cw_list[i] + ys_list[i] * xs_list[i]
+                # Pop hull lines made redundant by the new line.
+                while len(slopes) - head >= 2:
+                    s1, c1 = slopes[-2], intercepts[-2]
+                    s2, c2 = slopes[-1], intercepts[-1]
+                    # line 2 is unnecessary if the crossing of line 1 and the
+                    # new line lies at or below line 2.
+                    if (c2 - c1) * (s2 - slope) >= (intercept - c2) * (
+                        s1 - s2
+                    ):
+                        slopes.pop()
+                        intercepts.pop()
+                        owners.pop()
+                    else:
+                        break
+                if len(slopes) - head == 1 and slopes[-1] == slope:
+                    # Equal slopes cannot happen (ys strictly increase) but
+                    # guard against float collapse: keep the lower line.
+                    if intercept < intercepts[-1]:
+                        intercepts[-1] = intercept
+                        owners[-1] = i
+                else:
+                    slopes.append(slope)
+                    intercepts.append(intercept)
+                    owners.append(i)
+                if head >= len(slopes):
+                    head = len(slopes) - 1
+            if head < len(slopes):
+                x = xs_list[j]
+                while head + 1 < len(slopes) and (
+                    slopes[head + 1] * x + intercepts[head + 1]
+                    <= slopes[head] * x + intercepts[head]
+                ):
+                    head += 1
+                value = slopes[head] * x + intercepts[head]
+                current[j] = value + cw_list[j]
+                parent[k][j] = owners[head]
+        prev = current
+    return _backtrack_lists(prev[n - 1], parent, eta, n)
+
+
+def smallest_eta_for_error(
+    xs: np.ndarray, ys: np.ndarray, max_error: float
+) -> StaircaseApproximation:
+    """Smallest number of corners whose optimal error is ``<= max_error``.
+
+    This is the paper's alternative mode where the user imposes a hard cap
+    on the error instead of a space budget (§III-A).  The DP layers are
+    computed incrementally until the cap is met.
+    """
+    if max_error < 0:
+        raise InvalidParameterError("max_error must be >= 0")
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    n = xs.size
+    if n <= 2:
+        return StaircaseApproximation(np.arange(n), 0.0)
+    for eta in range(2, n + 1):
+        result = approximate_staircase(xs, ys, eta)
+        if result.error <= max_error:
+            return result
+    return StaircaseApproximation(np.arange(n), 0.0)
+
+
+def _validated(
+    xs: np.ndarray, ys: np.ndarray, eta: int
+) -> tuple[np.ndarray, np.ndarray, StaircaseApproximation | None]:
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise InvalidParameterError("xs and ys must be 1-d of equal size")
+    n = xs.size
+    if eta < 2 and n > 1:
+        raise InvalidParameterError(
+            f"eta must be >= 2 to keep both boundary corners, got {eta}"
+        )
+    if n >= 2 and (np.any(np.diff(xs) <= 0) or np.any(np.diff(ys) <= 0)):
+        raise InvalidParameterError(
+            "corners must have strictly increasing xs and ys"
+        )
+    if eta >= n or n <= 2:
+        return xs, ys, StaircaseApproximation(np.arange(n), 0.0)
+    return xs, ys, None
+
+
+def _backtrack(
+    energy: np.ndarray, parent: np.ndarray, eta: int, n: int
+) -> StaircaseApproximation:
+    error = float(energy[eta][n - 1])
+    selected = [n - 1]
+    j = n - 1
+    for k in range(eta, 1, -1):
+        j = int(parent[k][j])
+        selected.append(j)
+    selected.reverse()
+    return StaircaseApproximation(np.asarray(selected), error)
+
+
+def _backtrack_lists(
+    final_error: float, parent: np.ndarray, eta: int, n: int
+) -> StaircaseApproximation:
+    selected = [n - 1]
+    j = n - 1
+    for k in range(eta, 1, -1):
+        j = int(parent[k][j])
+        selected.append(j)
+    selected.reverse()
+    return StaircaseApproximation(np.asarray(selected), float(final_error))
+
+
+class PBE1:
+    """Streaming PBE-1 for a single event stream.
+
+    Parameters
+    ----------
+    eta:
+        Corner budget per buffer (the paper's ``eta``; space/error knob).
+    buffer_size:
+        Corners of the exact curve buffered before compression (the paper's
+        ``n``; defaults to the paper's experimental value 1500).
+    """
+
+    def __init__(self, eta: int, buffer_size: int = 1500) -> None:
+        if eta < 2:
+            raise InvalidParameterError(f"eta must be >= 2, got {eta}")
+        if buffer_size < 2:
+            raise InvalidParameterError(
+                f"buffer_size must be >= 2, got {buffer_size}"
+            )
+        self.eta = eta
+        self.buffer_size = buffer_size
+        self._kept_xs: list[float] = []
+        self._kept_ys: list[float] = []
+        self._buffer_xs: list[float] = []
+        self._buffer_ys: list[float] = []
+        self._count = 0
+        self._construction_error = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, timestamp: float, count: int = 1) -> None:
+        """Ingest ``count`` occurrences at ``timestamp`` (non-decreasing)."""
+        if count <= 0:
+            raise InvalidParameterError("count must be positive")
+        last = (
+            self._buffer_xs[-1]
+            if self._buffer_xs
+            else (self._kept_xs[-1] if self._kept_xs else None)
+        )
+        if last is not None and timestamp < last:
+            raise StreamOrderError(
+                f"timestamp {timestamp} arrived after {last}"
+            )
+        self._count += count
+        if self._buffer_xs and self._buffer_xs[-1] == timestamp:
+            self._buffer_ys[-1] = float(self._count)
+            return
+        if (
+            not self._buffer_xs
+            and self._kept_xs
+            and self._kept_xs[-1] == timestamp
+        ):
+            # Same timestamp as the final kept corner of the previous
+            # buffer: the corner simply grows taller.
+            self._kept_ys[-1] = float(self._count)
+            return
+        self._buffer_xs.append(float(timestamp))
+        self._buffer_ys.append(float(self._count))
+        if len(self._buffer_xs) >= self.buffer_size:
+            self._compress_buffer()
+
+    def extend(self, timestamps) -> None:
+        """Ingest many occurrence timestamps in stream order."""
+        for t in timestamps:
+            self.update(t)
+
+    def flush(self) -> None:
+        """Compress any partially filled buffer (call before querying the
+        most recent corners at full fidelity; queries work without it)."""
+        if self._buffer_xs:
+            self._compress_buffer()
+
+    def _compress_buffer(self) -> None:
+        xs = np.asarray(self._buffer_xs)
+        ys = np.asarray(self._buffer_ys)
+        result = approximate_staircase(xs, ys, self.eta)
+        self._construction_error += result.error
+        self._kept_xs.extend(xs[result.selected].tolist())
+        self._kept_ys.extend(ys[result.selected].tolist())
+        self._buffer_xs = []
+        self._buffer_ys = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def value(self, t: float) -> float:
+        """Estimate ``F~(t)`` — never above the exact ``F(t)``."""
+        buffer_idx = bisect.bisect_right(self._buffer_xs, t) - 1
+        if buffer_idx >= 0:
+            return self._buffer_ys[buffer_idx]
+        idx = bisect.bisect_right(self._kept_xs, t) - 1
+        if idx < 0:
+            return 0.0
+        return self._kept_ys[idx]
+
+    def burstiness(self, t: float, tau: float) -> float:
+        """Point query ``q(e, t, tau)``: estimated ``b(t)``."""
+        if self._count == 0:
+            raise EmptySketchError("PBE1 has ingested no elements")
+        return burstiness_from_curve(self, t, tau)
+
+    def segment_starts(self) -> list[float]:
+        """Times at which the approximate curve changes level.
+
+        The bursty-time query (paper §V) only needs point queries at these
+        instants (plus their ``tau``/``2 tau`` shifts).
+        """
+        return list(self._kept_xs) + list(self._buffer_xs)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_corners(self) -> int:
+        """Corners currently stored (kept plus still-buffered)."""
+        return len(self._kept_xs) + len(self._buffer_xs)
+
+    @property
+    def count(self) -> int:
+        """Total occurrences ingested."""
+        return self._count
+
+    @property
+    def construction_error(self) -> float:
+        """Accumulated optimal area error over all compressed buffers."""
+        return self._construction_error
+
+    def size_in_bytes(self) -> int:
+        """Two floats per kept corner (buffered corners are transient)."""
+        return 2 * BYTES_PER_FLOAT * len(self._kept_xs)

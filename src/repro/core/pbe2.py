@@ -1,0 +1,298 @@
+"""PBE-2: persistent burstiness estimation without buffering (paper §III-B).
+
+PBE-2 maintains an *online* piecewise-linear approximation (PLA) of the
+cumulative-frequency staircase.  Every point of the approximation must stay
+within ``[F(t) - gamma, F(t)]`` — never overestimating, never more than the
+user error ``gamma`` below.  Each corner of the exact curve contributes a
+*timestamped frequency range*; a line ``a t + b`` that cuts through a set
+of ranges corresponds to a point ``(a, b)`` in the convex feasibility
+polygon formed by the ranges' half-planes (Fig. 4).  The polygon is clipped
+incrementally; when it empties, the current segment is finalized (any
+surviving ``(a, b)`` works — we take the centroid) and a new polygon starts
+from the offending range (Algorithm 2).
+
+Following the paper, for every corner ``p_i = (t_i, F(t_i))`` a *pre-corner*
+``(t_i - u, F(t_i - u))`` is also constrained (``u`` = one clock unit), so
+the line cannot drift on the level span before a tall jump.
+
+Lemma 4: the resulting burstiness estimate satisfies
+``|b~(t) - b(t)| <= 4 * gamma``.  As in the paper, the guarantee is over
+the *discrete clock domain* (timestamps that are multiples of ``unit``):
+between two adjacent ticks a line may interpolate a jump, which is
+exactly what the pre-corner constraints bound at tick resolution.
+
+Duplicate timestamps are handled with a one-element delay: a corner is only
+committed to the polygon once a strictly later timestamp proves its final
+height.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.errors import (
+    EmptySketchError,
+    InvalidParameterError,
+    StreamOrderError,
+)
+from repro.sketch.geometry import (
+    ConvexPolygon,
+    HalfPlane,
+    strip_parallelogram,
+)
+from repro.streams.frequency import BYTES_PER_FLOAT, burstiness_from_curve
+
+__all__ = ["PBE2", "LineSegment"]
+
+
+@dataclass(frozen=True, slots=True)
+class LineSegment:
+    """One finalized PLA piece: ``a * t + b`` effective on [t_start, t_end]."""
+
+    a: float
+    b: float
+    t_start: float
+    t_end: float
+
+    def value(self, t: float) -> float:
+        """Evaluate the line, holding the end value beyond ``t_end``.
+
+        Holding (rather than extrapolating) keeps the estimate at or below
+        the non-decreasing exact curve for timestamps in the gap before the
+        next segment starts.
+        """
+        clamped = min(max(t, self.t_start), self.t_end)
+        return self.a * clamped + self.b
+
+
+class PBE2:
+    """Streaming, buffer-free PLA sketch for a single event stream.
+
+    Parameters
+    ----------
+    gamma:
+        Per-point error tolerance (the paper's ``gamma``); the estimate of
+        ``F(t)`` stays within ``[F(t) - gamma, F(t)]``.
+    unit:
+        Clock granularity: the least interval between distinct timestamps
+        (1 second for the paper's datasets).
+    max_polygon_vertices:
+        Optional hard cap on the feasibility polygon's complexity; when
+        exceeded the current segment is finalized early (the paper's
+        space-constraint escape hatch).
+    """
+
+    def __init__(
+        self,
+        gamma: float,
+        unit: float = 1.0,
+        max_polygon_vertices: int | None = None,
+    ) -> None:
+        if gamma <= 0:
+            raise InvalidParameterError(f"gamma must be > 0, got {gamma}")
+        if unit <= 0:
+            raise InvalidParameterError(f"unit must be > 0, got {unit}")
+        if max_polygon_vertices is not None and max_polygon_vertices < 3:
+            raise InvalidParameterError("max_polygon_vertices must be >= 3")
+        self.gamma = float(gamma)
+        self.unit = float(unit)
+        self.max_polygon_vertices = max_polygon_vertices
+        self._segments: list[LineSegment] = []
+        self._segment_starts: list[float] = []
+        # One-element delay for duplicate timestamps.
+        self._pending_t: float | None = None
+        self._pending_y = 0.0
+        self._last_committed_t: float | None = None
+        self._last_committed_y = 0.0
+        # Live polygon state.
+        self._polygon: ConvexPolygon | None = None
+        self._open_ranges: list[tuple[float, float, float]] = []
+        self._group_start: float | None = None
+        self._group_last_t: float | None = None
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, timestamp: float, count: int = 1) -> None:
+        """Ingest ``count`` occurrences at ``timestamp`` (non-decreasing)."""
+        if count <= 0:
+            raise InvalidParameterError("count must be positive")
+        timestamp = float(timestamp)
+        if self._pending_t is not None:
+            if timestamp < self._pending_t:
+                raise StreamOrderError(
+                    f"timestamp {timestamp} arrived after {self._pending_t}"
+                )
+            if timestamp == self._pending_t:
+                self._pending_y += count
+                self._count += count
+                return
+            self._commit_pending()
+        self._pending_t = timestamp
+        self._pending_y = self._last_committed_y + count
+        self._count += count
+
+    def extend(self, timestamps) -> None:
+        """Ingest many occurrence timestamps in stream order."""
+        for t in timestamps:
+            self.update(t)
+
+    def _commit_pending(self) -> None:
+        """Push the now-final pending corner (and its pre-corner) into the
+        feasibility polygon."""
+        t = self._pending_t
+        y = self._pending_y
+        assert t is not None
+        pre_t = t - self.unit
+        prev_t = self._last_committed_t
+        if prev_t is None or pre_t > prev_t:
+            self._add_range(pre_t, self._last_committed_y)
+        self._add_range(t, y)
+        self._last_committed_t = t
+        self._last_committed_y = y
+        self._pending_t = None
+
+    def _add_range(self, t: float, freq: float) -> None:
+        """Add the timestamped frequency range ``(t, [freq - gamma, freq])``."""
+        lo = freq - self.gamma
+        hi = freq
+        if self._polygon is None:
+            self._open_ranges.append((t, lo, hi))
+            if len(self._open_ranges) == 2:
+                (t1, lo1, hi1), (t2, lo2, hi2) = self._open_ranges
+                self._polygon = strip_parallelogram(
+                    t1, lo1, hi1, t2, lo2, hi2
+                )
+                self._group_start = t1
+                self._group_last_t = t2
+            else:
+                self._group_start = t
+                self._group_last_t = t
+            return
+        clipped = self._polygon.clipped(HalfPlane(-t, -1.0, -lo))
+        clipped = clipped.clipped(HalfPlane(t, 1.0, hi))
+        if clipped.is_empty():
+            self._finalize_group()
+            self._open_ranges = [(t, lo, hi)]
+            self._group_start = t
+            self._group_last_t = t
+            return
+        self._polygon = clipped
+        self._group_last_t = t
+        if (
+            self.max_polygon_vertices is not None
+            and clipped.n_vertices > self.max_polygon_vertices
+        ):
+            self._finalize_group()
+            self._open_ranges = []
+            self._group_start = None
+            self._group_last_t = None
+
+    def _finalize_group(self) -> None:
+        """Emit the line segment for the current polygon / open ranges."""
+        segment = self._provisional_segment()
+        if segment is not None:
+            self._segments.append(segment)
+            self._segment_starts.append(segment.t_start)
+        self._polygon = None
+
+    def _provisional_segment(self) -> LineSegment | None:
+        if self._polygon is not None and not self._polygon.is_empty():
+            a, b = self._polygon.centroid()
+            assert self._group_start is not None
+            assert self._group_last_t is not None
+            return LineSegment(a, b, self._group_start, self._group_last_t)
+        if self._open_ranges:
+            # A lone range: a flat line at its exact frequency value.
+            t, _lo, hi = self._open_ranges[0]
+            return LineSegment(0.0, hi, t, t)
+        return None
+
+    def _pending_segment(self) -> LineSegment | None:
+        """A flat piece for a not-yet-committed duplicate-buffered corner."""
+        if self._pending_t is None:
+            return None
+        return LineSegment(
+            0.0, self._pending_y, self._pending_t, self._pending_t
+        )
+
+    def finalize(self) -> None:
+        """Flush all live state into finalized segments.
+
+        Queries work without calling this (live state is consulted on the
+        fly); finalizing simply freezes the current polygon.
+        """
+        if self._pending_t is not None:
+            self._commit_pending()
+        if self._polygon is not None or self._open_ranges:
+            self._finalize_group()
+            self._open_ranges = []
+            self._group_start = None
+            self._group_last_t = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def value(self, t: float) -> float:
+        """Estimate ``F~(t)`` within ``[F(t) - gamma, F(t)]`` (clamped >= 0).
+
+        Between finalized segments the last value is held; before the first
+        segment the estimate is 0.
+        """
+        live: list[LineSegment] = []
+        provisional = self._provisional_segment()
+        if provisional is not None:
+            live.append(provisional)
+        pending = self._pending_segment()
+        if pending is not None:
+            live.append(pending)
+        for segment in reversed(live):
+            if t >= segment.t_start:
+                return max(0.0, segment.value(t))
+        idx = bisect.bisect_right(self._segment_starts, t) - 1
+        if idx < 0:
+            return 0.0
+        return max(0.0, self._segments[idx].value(t))
+
+    def burstiness(self, t: float, tau: float) -> float:
+        """Point query ``q(e, t, tau)``: estimated ``b(t)``."""
+        if self._count == 0:
+            raise EmptySketchError("PBE2 has ingested no elements")
+        return burstiness_from_curve(self, t, tau)
+
+    def segment_starts(self) -> list[float]:
+        """Knot times where the approximation changes behaviour."""
+        knots = list(self._segment_starts)
+        knots.extend(s.t_end for s in self._segments)
+        provisional = self._provisional_segment()
+        if provisional is not None:
+            knots.append(provisional.t_start)
+            knots.append(provisional.t_end)
+        pending = self._pending_segment()
+        if pending is not None:
+            knots.append(pending.t_start)
+        return knots
+
+    @property
+    def segments(self) -> list[LineSegment]:
+        """Finalized PLA segments (call :meth:`finalize` to include all)."""
+        return list(self._segments)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        """Number of finalized segments."""
+        return len(self._segments)
+
+    @property
+    def count(self) -> int:
+        """Total occurrences ingested."""
+        return self._count
+
+    def size_in_bytes(self) -> int:
+        """Four floats per finalized segment."""
+        return 4 * BYTES_PER_FLOAT * len(self._segments)

@@ -1,0 +1,425 @@
+"""Query layer: the three historical burst queries over any backend.
+
+This module provides
+
+* :func:`bursty_time_intervals` — the bursty time query over an
+  approximate curve (paper §V): the burstiness of a staircase or PLA
+  approximation can only change at segment boundaries (and their ``tau``
+  shifts), so point queries at those breakpoints suffice,
+* :class:`HistoricalBurstAnalyzer` — the user-facing facade that unifies
+  the exact baseline and the CM-PBE-1 / CM-PBE-2 sketches behind the three
+  query types of §II-A.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.cmpbe import CMPBE
+from repro.core.dyadic import BurstyEvent, BurstyEventIndex
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.streams.frequency import CumulativeCurve, burstiness_from_curve
+
+__all__ = [
+    "bursty_time_intervals",
+    "max_burstiness",
+    "HistoricalBurstAnalyzer",
+]
+
+
+def max_burstiness(
+    curve: CumulativeCurve,
+    knots: Iterable[float],
+    tau: float,
+    t_start: float,
+    t_end: float,
+    piecewise: Literal["constant", "linear"] = "constant",
+) -> tuple[float, float]:
+    """The time and value of the largest estimated burstiness in a range.
+
+    Answers the paper's motivating question "what was THE bursty moment
+    of week w?" — over an approximation, ``b~`` changes only at the knot
+    times and their ``tau`` shifts (piecewise constant for staircases,
+    piecewise linear for PLAs, where the maximum of each piece sits at an
+    endpoint), so evaluating at breakpoints inside the range suffices.
+
+    Returns ``(t_star, b_star)``; raises if the range is empty.
+    """
+    if tau <= 0:
+        raise InvalidParameterError(f"tau must be > 0, got {tau}")
+    if t_end <= t_start:
+        raise InvalidParameterError("t_end must exceed t_start")
+    candidates = {t_start, t_end}
+    for knot in knots:
+        for shifted in (knot, knot + tau, knot + 2 * tau):
+            if t_start <= shifted <= t_end:
+                candidates.add(shifted)
+            if piecewise == "linear":
+                # Sample just inside each breakpoint: pieces may jump.
+                before = shifted - 1e-9
+                if t_start <= before <= t_end:
+                    candidates.add(before)
+    best_t = t_start
+    best_value = float("-inf")
+    for t in sorted(candidates):
+        value = burstiness_from_curve(curve, t, tau)
+        if value > best_value:
+            best_value = value
+            best_t = t
+    return best_t, best_value
+
+
+def bursty_time_intervals(
+    curve: CumulativeCurve,
+    knots: Iterable[float],
+    theta: float,
+    tau: float,
+    t_end: float,
+    piecewise: Literal["constant", "linear"] = "constant",
+    merge_gap: float = 0.0,
+) -> list[tuple[float, float]]:
+    """Maximal intervals of ``[min knot, t_end]`` where ``b~(t) >= theta``.
+
+    Parameters
+    ----------
+    curve:
+        Any cumulative-curve estimator.
+    knots:
+        Times where the curve's behaviour can change (corner times for
+        staircases, segment boundaries for PLAs).  Breakpoints of the
+        burstiness function are the knots plus their ``tau`` and ``2 tau``
+        shifts.
+    piecewise:
+        ``"constant"`` for staircase curves (burstiness is a step
+        function, evaluated once per breakpoint) or ``"linear"`` for PLA
+        curves (burstiness is piecewise linear; threshold crossings are
+        interpolated inside each piece).
+    merge_gap:
+        Coalesce reported intervals separated by less than this (useful
+        to suppress sliver gaps where the estimate briefly dips below
+        ``theta`` at a breakpoint).
+    """
+    if tau <= 0:
+        raise InvalidParameterError(f"tau must be > 0, got {tau}")
+    knot_list = sorted(knots)
+    if not knot_list:
+        return []
+    breakpoints = sorted(
+        {
+            shifted
+            for knot in knot_list
+            for shifted in (knot, knot + tau, knot + 2 * tau)
+            if shifted <= t_end
+        }
+    )
+    if not breakpoints:
+        return []
+    if breakpoints[-1] < t_end:
+        breakpoints.append(t_end)
+    if piecewise == "constant":
+        raw = _constant_intervals(curve, breakpoints, theta, tau, t_end)
+    elif piecewise == "linear":
+        raw = _linear_intervals(curve, breakpoints, theta, tau)
+    else:
+        raise InvalidParameterError(
+            f"piecewise must be 'constant' or 'linear', got {piecewise!r}"
+        )
+    return _merge_intervals(raw, merge_gap)
+
+
+def _constant_intervals(
+    curve: CumulativeCurve,
+    breakpoints: list[float],
+    theta: float,
+    tau: float,
+    t_end: float,
+) -> list[tuple[float, float]]:
+    intervals: list[tuple[float, float]] = []
+    open_start: float | None = None
+    for point in breakpoints:
+        value = burstiness_from_curve(curve, point, tau)
+        if value >= theta and open_start is None:
+            open_start = point
+        elif value < theta and open_start is not None:
+            intervals.append((open_start, point))
+            open_start = None
+    if open_start is not None:
+        intervals.append((open_start, t_end))
+    return intervals
+
+
+def _linear_intervals(
+    curve: CumulativeCurve,
+    breakpoints: list[float],
+    theta: float,
+    tau: float,
+) -> list[tuple[float, float]]:
+    intervals: list[tuple[float, float]] = []
+    for left, right in zip(breakpoints, breakpoints[1:]):
+        width = right - left
+        if width <= 0:
+            continue
+        # Sample just inside the piece: the function may jump at the
+        # breakpoints themselves.
+        inner = min(width * 1e-9, 1e-9)
+        lo_t = left + inner
+        hi_t = right - inner
+        b_lo = burstiness_from_curve(curve, lo_t, tau)
+        b_hi = burstiness_from_curve(curve, hi_t, tau)
+        if b_lo >= theta and b_hi >= theta:
+            intervals.append((left, right))
+        elif b_lo >= theta or b_hi >= theta:
+            if b_hi == b_lo:
+                crossing = left if b_lo >= theta else right
+            else:
+                fraction = (theta - b_lo) / (b_hi - b_lo)
+                crossing = left + min(max(fraction, 0.0), 1.0) * width
+            if b_lo >= theta:
+                intervals.append((left, crossing))
+            else:
+                intervals.append((crossing, right))
+    return intervals
+
+
+def _merge_intervals(
+    intervals: list[tuple[float, float]],
+    merge_gap: float = 0.0,
+) -> list[tuple[float, float]]:
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1] + merge_gap:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class _ExactCurveView:
+    """Adapter exposing the exact store's per-event F as a curve."""
+
+    __slots__ = ("_store", "_event_id")
+
+    def __init__(self, store: ExactBurstStore, event_id: int) -> None:
+        self._store = store
+        self._event_id = event_id
+
+    def value(self, t: float) -> float:
+        return float(self._store.cumulative_frequency(self._event_id, t))
+
+    def size_in_bytes(self) -> int:
+        return self._store.size_in_bytes()
+
+
+class HistoricalBurstAnalyzer:
+    """User-facing facade over the three historical burst queries.
+
+    Parameters
+    ----------
+    method:
+        ``"exact"`` (the §II-B baseline), ``"cm-pbe-1"`` or ``"cm-pbe-2"``.
+    universe_size:
+        Size ``K`` of the event-id space.  Required for the sketch methods
+        (the dyadic bursty-event index is built over it).
+    eta, buffer_size:
+        PBE-1 knobs (used by ``cm-pbe-1``).
+    gamma, unit:
+        PBE-2 knobs (used by ``cm-pbe-2``).
+    width, depth:
+        CM-PBE grid dimensions.
+    with_index:
+        Build the dyadic index for fast bursty event queries (doubles as
+        the leaf-level point-query sketch).  When ``False`` a single
+        leaf-level CM-PBE is kept and bursty event queries scan all ids.
+    """
+
+    _METHODS = ("exact", "cm-pbe-1", "cm-pbe-2")
+
+    def __init__(
+        self,
+        method: str = "cm-pbe-1",
+        universe_size: int | None = None,
+        eta: int = 100,
+        buffer_size: int = 1500,
+        gamma: float = 20.0,
+        unit: float = 1.0,
+        width: int = 6,
+        depth: int = 3,
+        combiner: str = "median",
+        with_index: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if method not in self._METHODS:
+            raise InvalidParameterError(
+                f"method must be one of {self._METHODS}, got {method!r}"
+            )
+        self.method = method
+        self.universe_size = universe_size
+        self._t_end = float("-inf")
+        self._exact: ExactBurstStore | None = None
+        self._index: BurstyEventIndex | None = None
+        self._leaf: CMPBE | None = None
+        self._piecewise: Literal["constant", "linear"] = "constant"
+        if method == "exact":
+            self._exact = ExactBurstStore()
+            return
+        if universe_size is None:
+            raise InvalidParameterError(
+                "universe_size is required for sketch methods"
+            )
+        if method == "cm-pbe-1":
+            def cell_factory():
+                return PBE1(eta=eta, buffer_size=buffer_size)
+            self._piecewise = "constant"
+        else:
+            def cell_factory():
+                return PBE2(gamma=gamma, unit=unit)
+            self._piecewise = "linear"
+        if with_index:
+            self._index = BurstyEventIndex(
+                universe_size,
+                cell_factory=cell_factory,
+                width=width,
+                depth=depth,
+                combiner=combiner,
+                seed=seed,
+            )
+            self._leaf = self._index.level_sketch(0)
+        else:
+            self._leaf = CMPBE(
+                cell_factory=cell_factory,
+                width=width,
+                depth=depth,
+                combiner=combiner,
+                seed=seed,
+            )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, event_id: int, timestamp: float, count: int = 1) -> None:
+        """Ingest one stream element."""
+        self._t_end = max(self._t_end, timestamp)
+        if self._exact is not None:
+            self._exact.update(event_id, timestamp, count)
+        elif self._index is not None:
+            self._index.update(event_id, timestamp, count)
+        else:
+            assert self._leaf is not None
+            self._leaf.update(event_id, timestamp, count)
+
+    def ingest(self, stream: Iterable[tuple[int, float]]) -> None:
+        """Ingest a whole timestamp-ordered stream."""
+        for event_id, timestamp in stream:
+            self.update(event_id, timestamp)
+
+    # ------------------------------------------------------------------
+    # The three queries (§II-A)
+    # ------------------------------------------------------------------
+    def point_query(self, event_id: int, t: float, tau: float) -> float:
+        """POINT QUERY ``q(e, t, tau)`` → ``b_e(t)``."""
+        if self._exact is not None:
+            return float(self._exact.burstiness(event_id, t, tau))
+        assert self._leaf is not None
+        return self._leaf.burstiness(event_id, t, tau)
+
+    def bursty_times(
+        self,
+        event_id: int,
+        theta: float,
+        tau: float,
+        t_end: float | None = None,
+        merge_gap: float = 0.0,
+    ) -> list[tuple[float, float]]:
+        """BURSTY TIME QUERY ``q(e, theta, tau)`` → intervals with
+        ``b_e(t) >= theta``."""
+        end = t_end if t_end is not None else self._t_end + 2 * tau
+        if self._exact is not None:
+            return self._exact.bursty_times(event_id, theta, tau, t_end=end)
+        assert self._leaf is not None
+        knots = self._leaf.segment_starts(event_id)
+        return bursty_time_intervals(
+            self._leaf.curve(event_id),
+            knots,
+            theta,
+            tau,
+            t_end=end,
+            piecewise=self._piecewise,
+            merge_gap=merge_gap,
+        )
+
+    def bursty_events(
+        self, t: float, theta: float, tau: float
+    ) -> list[BurstyEvent]:
+        """BURSTY EVENT QUERY ``q(t, theta, tau)`` → events with
+        ``b_e(t) >= theta``."""
+        if self._exact is not None:
+            return self._exact.bursty_events(t, theta, tau)
+        if self._index is not None:
+            return self._index.bursty_events(t, theta, tau)
+        assert self._leaf is not None
+        if self.universe_size is None:
+            raise InvalidParameterError("universe_size unknown")
+        hits = []
+        for event_id in range(self.universe_size):
+            value = self._leaf.burstiness(event_id, t, tau)
+            if value >= theta:
+                hits.append(BurstyEvent(event_id, value))
+        hits.sort(key=lambda hit: -hit.burstiness)
+        return hits
+
+    def peak_burstiness(
+        self,
+        event_id: int,
+        t_start: float,
+        t_end: float,
+        tau: float,
+    ) -> tuple[float, float]:
+        """``(t_star, b_star)``: the event's burstiest moment in a range."""
+        if self._exact is not None:
+            times = self._exact.timestamps_of(event_id)
+            knots = [t for t in times if t_start - 2 * tau <= t <= t_end]
+            return max_burstiness(
+                _ExactCurveView(self._exact, event_id),
+                knots,
+                tau,
+                t_start,
+                t_end,
+            )
+        assert self._leaf is not None
+        return max_burstiness(
+            self._leaf.curve(event_id),
+            self._leaf.segment_starts(event_id),
+            tau,
+            t_start,
+            t_end,
+            piecewise=self._piecewise,
+        )
+
+    # ------------------------------------------------------------------
+    def cumulative_frequency(self, event_id: int, t: float) -> float:
+        """Estimated (or exact) ``F_e(t)``."""
+        if self._exact is not None:
+            return float(self._exact.cumulative_frequency(event_id, t))
+        assert self._leaf is not None
+        return self._leaf.cumulative_frequency(event_id, t)
+
+    def finalize(self) -> None:
+        """Flush sketch buffers (no-op for the exact baseline)."""
+        if self._index is not None:
+            self._index.finalize()
+        elif self._leaf is not None:
+            self._leaf.finalize()
+
+    def size_in_bytes(self) -> int:
+        """Storage footprint of the chosen backend."""
+        if self._exact is not None:
+            return self._exact.size_in_bytes()
+        if self._index is not None:
+            return self._index.size_in_bytes()
+        assert self._leaf is not None
+        return self._leaf.size_in_bytes()

@@ -1,0 +1,337 @@
+"""Compact binary (de)serialization of the PBE sketches.
+
+A historical-burstiness sketch only pays off if it can outlive the
+process that built it.  This module freezes finalized sketches into a
+small tagged binary format (little-endian, float64 payloads):
+
+* PBE-1 — the kept corner arrays,
+* PBE-2 — the finalized segment coefficients,
+* CM-PBE — grid dimensions, hash seed, combiner and every cell.
+
+Sketches are flushed/finalized on dump; loading returns a sketch that
+answers queries exactly as the original did (ingesting *more* data into a
+loaded PBE-1/PBE-2 is supported and continues from the stored state).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+
+from repro.core.cmpbe import CMPBE
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2, LineSegment
+
+__all__ = [
+    "dump_direct_map",
+    "load_direct_map",
+    "dump_index",
+    "load_index",
+    "dump_pbe1",
+    "load_pbe1",
+    "dump_pbe2",
+    "load_pbe2",
+    "dump_cmpbe",
+    "load_cmpbe",
+]
+
+_PBE1_MAGIC = b"PBE1"
+_PBE2_MAGIC = b"PBE2"
+_CMPBE_MAGIC = b"CMPB"
+_HEADER_1 = struct.Struct("<4sIIQd")  # magic, eta, buffer, count, n_corners
+_HEADER_2 = struct.Struct("<4sddQd")  # magic, gamma, unit, count, n_segments
+
+
+def dump_pbe1(sketch: PBE1) -> bytes:
+    """Serialize a PBE-1 (flushing its buffer first)."""
+    sketch.flush()
+    xs = np.asarray(sketch._kept_xs, dtype="<f8")
+    ys = np.asarray(sketch._kept_ys, dtype="<f8")
+    out = io.BytesIO()
+    out.write(
+        _HEADER_1.pack(
+            _PBE1_MAGIC,
+            sketch.eta,
+            sketch.buffer_size,
+            sketch.count,
+            float(xs.size),
+        )
+    )
+    out.write(xs.tobytes())
+    out.write(ys.tobytes())
+    return out.getvalue()
+
+
+def load_pbe1(data: bytes) -> PBE1:
+    """Restore a PBE-1 dumped with :func:`dump_pbe1`."""
+    if len(data) < _HEADER_1.size:
+        raise InvalidParameterError("truncated PBE-1 payload")
+    magic, eta, buffer_size, count, n_corners_f = _HEADER_1.unpack_from(data)
+    if magic != _PBE1_MAGIC:
+        raise InvalidParameterError("not a PBE-1 payload")
+    n_corners = int(n_corners_f)
+    offset = _HEADER_1.size
+    expected = offset + 2 * 8 * n_corners
+    if len(data) < expected:
+        raise InvalidParameterError("truncated PBE-1 payload")
+    xs = np.frombuffer(data, dtype="<f8", count=n_corners, offset=offset)
+    offset += 8 * n_corners
+    ys = np.frombuffer(data, dtype="<f8", count=n_corners, offset=offset)
+    sketch = PBE1(eta=eta, buffer_size=buffer_size)
+    sketch._kept_xs = xs.astype(np.float64).tolist()
+    sketch._kept_ys = ys.astype(np.float64).tolist()
+    sketch._count = count
+    return sketch
+
+
+def dump_pbe2(sketch: PBE2) -> bytes:
+    """Serialize a PBE-2 (finalizing live state first)."""
+    sketch.finalize()
+    segments = sketch.segments
+    out = io.BytesIO()
+    out.write(
+        _HEADER_2.pack(
+            _PBE2_MAGIC,
+            sketch.gamma,
+            sketch.unit,
+            sketch.count,
+            float(len(segments)),
+        )
+    )
+    for segment in segments:
+        out.write(
+            struct.pack(
+                "<dddd", segment.a, segment.b, segment.t_start,
+                segment.t_end,
+            )
+        )
+    return out.getvalue()
+
+
+def load_pbe2(data: bytes) -> PBE2:
+    """Restore a PBE-2 dumped with :func:`dump_pbe2`."""
+    if len(data) < _HEADER_2.size:
+        raise InvalidParameterError("truncated PBE-2 payload")
+    magic, gamma, unit, count, n_segments_f = _HEADER_2.unpack_from(data)
+    if magic != _PBE2_MAGIC:
+        raise InvalidParameterError("not a PBE-2 payload")
+    n_segments = int(n_segments_f)
+    expected = _HEADER_2.size + 32 * n_segments
+    if len(data) < expected:
+        raise InvalidParameterError("truncated PBE-2 payload")
+    sketch = PBE2(gamma=gamma, unit=unit)
+    offset = _HEADER_2.size
+    segments = []
+    for _ in range(n_segments):
+        a, b, t_start, t_end = struct.unpack_from("<dddd", data, offset)
+        segments.append(LineSegment(a, b, t_start, t_end))
+        offset += 32
+    sketch._segments = segments
+    sketch._segment_starts = [s.t_start for s in segments]
+    sketch._count = count
+    if segments:
+        last = segments[-1]
+        # Resume ingestion from the stored curve's endpoint.
+        sketch._last_committed_t = last.t_end
+        sketch._last_committed_y = last.value(last.t_end)
+    return sketch
+
+
+def dump_cmpbe(sketch: CMPBE) -> bytes:
+    """Serialize a CM-PBE and all of its cells."""
+    sketch.finalize()
+    out = io.BytesIO()
+    combiner_flag = 0 if sketch.combiner == "median" else 1
+    out.write(
+        struct.pack(
+            "<4sIIIQq",
+            _CMPBE_MAGIC,
+            sketch.width,
+            sketch.depth,
+            combiner_flag,
+            sketch.count,
+            sketch.seed,
+        )
+    )
+    cell_payloads: list[bytes] = []
+    kind = None
+    for row in sketch._cells:
+        for cell in row:
+            if isinstance(cell, PBE1):
+                kind = 1
+                cell_payloads.append(dump_pbe1(cell))
+            elif isinstance(cell, PBE2):
+                kind = 2
+                cell_payloads.append(dump_pbe2(cell))
+            else:
+                raise InvalidParameterError(
+                    "only PBE1/PBE2 cells are serializable"
+                )
+    out.write(struct.pack("<I", kind or 0))
+    for payload in cell_payloads:
+        out.write(struct.pack("<Q", len(payload)))
+        out.write(payload)
+    return out.getvalue()
+
+
+def load_cmpbe(data: bytes) -> CMPBE:
+    """Restore a CM-PBE dumped with :func:`dump_cmpbe` (the hash seed is
+    stored in the payload, so the loaded grid hashes identically)."""
+    header = struct.Struct("<4sIIIQq")
+    if len(data) < header.size:
+        raise InvalidParameterError("truncated CM-PBE payload")
+    magic, width, depth, combiner_flag, count, stored_seed = (
+        header.unpack_from(data)
+    )
+    if magic != _CMPBE_MAGIC:
+        raise InvalidParameterError("not a CM-PBE payload")
+    offset = header.size
+    (kind,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    cells: list = []
+    for _ in range(width * depth):
+        (length,) = struct.unpack_from("<Q", data, offset)
+        offset += 8
+        payload = data[offset : offset + length]
+        offset += length
+        if kind == 1:
+            cells.append(load_pbe1(payload))
+        elif kind == 2:
+            cells.append(load_pbe2(payload))
+        else:
+            raise InvalidParameterError("unknown CM-PBE cell kind")
+    combiner = "median" if combiner_flag == 0 else "min"
+    iterator = iter(cells)
+    sketch = CMPBE(
+        cell_factory=lambda: next(iterator),
+        width=width,
+        depth=depth,
+        combiner=combiner,
+        seed=stored_seed,
+    )
+    sketch._count = count
+    return sketch
+
+
+_DIRECT_MAGIC = b"DMAP"
+_INDEX_MAGIC = b"BIDX"
+
+
+def dump_direct_map(direct) -> bytes:
+    """Serialize a :class:`~repro.core.cmpbe.DirectPBEMap`."""
+    from repro.core.cmpbe import DirectPBEMap
+
+    if not isinstance(direct, DirectPBEMap):
+        raise InvalidParameterError("expected a DirectPBEMap")
+    direct.finalize()
+    out = io.BytesIO()
+    cells = sorted(direct._cells.items())
+    out.write(struct.pack("<4sQQ", _DIRECT_MAGIC, direct.count, len(cells)))
+    for event_id, cell in cells:
+        if isinstance(cell, PBE1):
+            kind = 1
+            payload = dump_pbe1(cell)
+        elif isinstance(cell, PBE2):
+            kind = 2
+            payload = dump_pbe2(cell)
+        else:
+            raise InvalidParameterError(
+                "only PBE1/PBE2 cells are serializable"
+            )
+        out.write(struct.pack("<QIQ", event_id, kind, len(payload)))
+        out.write(payload)
+    return out.getvalue()
+
+
+def load_direct_map(data: bytes):
+    """Restore a DirectPBEMap dumped with :func:`dump_direct_map`."""
+    from repro.core.cmpbe import DirectPBEMap
+
+    header = struct.Struct("<4sQQ")
+    if len(data) < header.size:
+        raise InvalidParameterError("truncated DirectPBEMap payload")
+    magic, count, n_cells = header.unpack_from(data)
+    if magic != _DIRECT_MAGIC:
+        raise InvalidParameterError("not a DirectPBEMap payload")
+    direct = DirectPBEMap(lambda: PBE1(eta=2))  # factory unused on load
+    offset = header.size
+    for _ in range(n_cells):
+        event_id, kind, length = struct.unpack_from("<QIQ", data, offset)
+        offset += 20
+        payload = data[offset : offset + length]
+        offset += length
+        if kind == 1:
+            direct._cells[int(event_id)] = load_pbe1(payload)
+        elif kind == 2:
+            direct._cells[int(event_id)] = load_pbe2(payload)
+        else:
+            raise InvalidParameterError("unknown DirectPBEMap cell kind")
+    direct._count = count
+    return direct
+
+
+def dump_index(index) -> bytes:
+    """Serialize a :class:`~repro.core.dyadic.BurstyEventIndex`.
+
+    The per-level sketches (CM-PBEs at fine levels, direct maps at coarse
+    levels) are stored as tagged payloads; the loaded index answers
+    queries exactly as the original.
+    """
+    from repro.core.cmpbe import CMPBE as _CMPBE
+    from repro.core.dyadic import BurstyEventIndex
+
+    if not isinstance(index, BurstyEventIndex):
+        raise InvalidParameterError("expected a BurstyEventIndex")
+    out = io.BytesIO()
+    n_levels = index.n_levels
+    out.write(
+        struct.pack("<4sQI", _INDEX_MAGIC, index.universe_size, n_levels)
+    )
+    for level in range(n_levels):
+        sketch = index.level_sketch(level)
+        if isinstance(sketch, _CMPBE):
+            kind = 1
+            payload = dump_cmpbe(sketch)
+        else:
+            kind = 2
+            payload = dump_direct_map(sketch)
+        out.write(struct.pack("<IQ", kind, len(payload)))
+        out.write(payload)
+    return out.getvalue()
+
+
+def load_index(data: bytes):
+    """Restore a BurstyEventIndex dumped with :func:`dump_index`."""
+    from repro.core.dyadic import BurstyEventIndex
+
+    header = struct.Struct("<4sQI")
+    if len(data) < header.size:
+        raise InvalidParameterError("truncated index payload")
+    magic, universe_size, n_levels = header.unpack_from(data)
+    if magic != _INDEX_MAGIC:
+        raise InvalidParameterError("not a BurstyEventIndex payload")
+    index = BurstyEventIndex.with_pbe1(
+        int(universe_size), eta=2, width=1, depth=1
+    )
+    if index.n_levels != n_levels:
+        raise InvalidParameterError(
+            "level count mismatch (corrupt payload?)"
+        )
+    offset = header.size
+    levels = []
+    for _ in range(n_levels):
+        kind, length = struct.unpack_from("<IQ", data, offset)
+        offset += 12
+        payload = data[offset : offset + length]
+        offset += length
+        if kind == 1:
+            levels.append(load_cmpbe(payload))
+        elif kind == 2:
+            levels.append(load_direct_map(payload))
+        else:
+            raise InvalidParameterError("unknown index level kind")
+    index._levels = levels
+    return index

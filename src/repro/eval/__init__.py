@@ -1,0 +1,61 @@
+"""Evaluation harness: metrics, experiment runners and table rendering."""
+
+from repro.eval.ascii import bar_chart, horizontal_bar, sparkline
+
+from repro.eval.harness import (
+    bursty_event_detection_study,
+    characteristics_series,
+    cmpbe_space_accuracy,
+    combiner_ablation,
+    cost_comparison,
+    fit_pbe2_to_space,
+    pbe1_parameter_study,
+    pbe2_parameter_study,
+    pruning_ablation,
+    single_stream_n_vs_error,
+    single_stream_space_accuracy,
+    timeline_study,
+)
+from repro.eval.reporting import build_report, collect_results, write_report
+from repro.eval.metrics import (
+    PrecisionRecall,
+    mean_absolute_error,
+    precision_recall,
+    random_point_queries,
+)
+from repro.eval.tables import format_series, format_table
+from repro.eval.validation import (
+    ValidationReport,
+    WorstQuery,
+    validate_sketch,
+)
+
+__all__ = [
+    "bar_chart",
+    "horizontal_bar",
+    "sparkline",
+    "bursty_event_detection_study",
+    "characteristics_series",
+    "cmpbe_space_accuracy",
+    "combiner_ablation",
+    "cost_comparison",
+    "fit_pbe2_to_space",
+    "pbe1_parameter_study",
+    "pbe2_parameter_study",
+    "pruning_ablation",
+    "single_stream_n_vs_error",
+    "single_stream_space_accuracy",
+    "timeline_study",
+    "PrecisionRecall",
+    "mean_absolute_error",
+    "precision_recall",
+    "random_point_queries",
+    "format_series",
+    "build_report",
+    "collect_results",
+    "write_report",
+    "ValidationReport",
+    "WorstQuery",
+    "validate_sketch",
+    "format_table",
+]

@@ -1,0 +1,63 @@
+"""Terminal-friendly micro-charts for examples and benchmark output.
+
+Nothing here affects measurements; it renders series the paper would
+plot (burstiness timelines, error-vs-space curves) as text.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["sparkline", "horizontal_bar", "bar_chart"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series (min-max normalized)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _TICKS[0] * len(values)
+    out = []
+    for value in values:
+        idx = int((value - low) / span * (len(_TICKS) - 1))
+        out.append(_TICKS[idx])
+    return "".join(out)
+
+
+def horizontal_bar(
+    value: float, scale: float, width: int = 30, fill: str = "#"
+) -> str:
+    """A left-aligned bar of ``value`` relative to ``scale``."""
+    if width <= 0:
+        raise InvalidParameterError("width must be > 0")
+    if scale <= 0:
+        return ""
+    filled = int(round(width * min(max(value, 0.0) / scale, 1.0)))
+    return fill * filled
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """A labelled horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise InvalidParameterError("labels and values must align")
+    if not values:
+        return "(no data)"
+    scale = max(max(values), 0.0)
+    label_width = max(len(str(label)) for label in labels)
+    rows = []
+    for label, value in zip(labels, values):
+        bar = horizontal_bar(value, scale, width=width, fill=fill)
+        rows.append(f"{str(label):>{label_width}} |{bar} {value:g}")
+    return "\n".join(rows)

@@ -1,0 +1,653 @@
+"""Experiment runners regenerating every figure of the paper's §VI.
+
+Each function reproduces one figure/table as a list of row dicts (the same
+rows/series the paper plots); ``benchmarks/`` wraps them with
+pytest-benchmark timers and prints them via
+:func:`repro.eval.tables.format_table`.  Scale parameters default to
+laptop-friendly values — the *shapes* (who wins, by what factor, where
+crossovers fall) are what the reproduction checks, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.cmpbe import CMPBE
+from repro.core.dyadic import BurstyEventIndex
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.eval.metrics import mean_absolute_error, precision_recall
+from repro.streams.events import EventStream, SingleEventStream
+from repro.streams.frequency import StaircaseCurve
+from repro.workloads.politics import PoliticsDataset
+from repro.workloads.profiles import DAY
+
+__all__ = [
+    "characteristics_series",
+    "pbe1_parameter_study",
+    "pbe2_parameter_study",
+    "single_stream_space_accuracy",
+    "single_stream_n_vs_error",
+    "fit_pbe2_to_space",
+    "cmpbe_space_accuracy",
+    "bursty_event_detection_study",
+    "timeline_study",
+    "cost_comparison",
+    "combiner_ablation",
+    "pruning_ablation",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — dataset characteristics
+# ----------------------------------------------------------------------
+def characteristics_series(
+    stream: SingleEventStream,
+    tau: float = DAY,
+    t_end: float | None = None,
+) -> list[dict]:
+    """Per-``tau`` incoming rate and burstiness of a single event stream."""
+    curve = StaircaseCurve.from_timestamps(stream.timestamps)
+    end = t_end if t_end is not None else float(stream.timestamps[-1])
+    rows = []
+    t = tau
+    while t <= end + tau / 2:
+        f0 = curve.value(t)
+        f1 = curve.value(t - tau)
+        f2 = curve.value(t - 2 * tau)
+        rows.append(
+            {
+                "day": t / tau,
+                "incoming_rate": f0 - f1,
+                "burstiness": f0 - 2 * f1 + f2,
+            }
+        )
+        t += tau
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Point-query error measurement (shared)
+# ----------------------------------------------------------------------
+def _point_query_error(
+    sketch,
+    curve: StaircaseCurve,
+    tau: float,
+    n_queries: int,
+    rng: np.random.Generator,
+    t_end: float,
+) -> float:
+    t_low = min(2 * tau, t_end / 2)  # short prefixes end before 2*tau
+    times = rng.uniform(t_low, t_end, size=n_queries)
+    estimates = [sketch.burstiness(t, tau) for t in times]
+    truths = [curve.burstiness(t, tau) for t in times]
+    return mean_absolute_error(estimates, truths)
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — PBE-1 parameter study
+# ----------------------------------------------------------------------
+def pbe1_parameter_study(
+    streams: dict[str, Sequence[float]],
+    etas: Sequence[int],
+    buffer_size: int = 1500,
+    tau: float = DAY,
+    n_queries: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Space, construction time and error of PBE-1 as ``eta`` varies."""
+    rows = []
+    for name, timestamps in streams.items():
+        curve = StaircaseCurve.from_timestamps(timestamps)
+        t_end = float(timestamps[-1])
+        for eta in etas:
+            rng = np.random.default_rng(seed)
+            sketch = PBE1(eta=eta, buffer_size=buffer_size)
+            started = time.perf_counter()
+            sketch.extend(timestamps)
+            sketch.flush()
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "event": name,
+                    "eta": eta,
+                    "space_kb": sketch.size_in_bytes() / 1024,
+                    "construct_s": elapsed,
+                    "mean_abs_error": _point_query_error(
+                        sketch, curve, tau, n_queries, rng, t_end
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — PBE-2 parameter study
+# ----------------------------------------------------------------------
+def pbe2_parameter_study(
+    streams: dict[str, Sequence[float]],
+    gammas: Sequence[float],
+    unit: float = 1.0,
+    tau: float = DAY,
+    n_queries: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Space, construction time and error of PBE-2 as ``gamma`` varies."""
+    rows = []
+    for name, timestamps in streams.items():
+        curve = StaircaseCurve.from_timestamps(timestamps)
+        t_end = float(timestamps[-1])
+        for gamma in gammas:
+            rng = np.random.default_rng(seed)
+            sketch = PBE2(gamma=gamma, unit=unit)
+            started = time.perf_counter()
+            sketch.extend(timestamps)
+            sketch.finalize()
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "event": name,
+                    "gamma": gamma,
+                    "space_kb": sketch.size_in_bytes() / 1024,
+                    "construct_s": elapsed,
+                    "mean_abs_error": _point_query_error(
+                        sketch, curve, tau, n_queries, rng, t_end
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 10a — PBE-1 vs PBE-2 at matched space
+# ----------------------------------------------------------------------
+def single_stream_space_accuracy(
+    streams: dict[str, Sequence[float]],
+    etas: Sequence[int],
+    gammas: Sequence[float],
+    buffer_size: int = 1500,
+    unit: float = 1.0,
+    tau: float = DAY,
+    n_queries: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """(space, error) series for both sketches on the same streams."""
+    rows = []
+    pbe1_rows = pbe1_parameter_study(
+        streams, etas, buffer_size, tau, n_queries, seed
+    )
+    for row in pbe1_rows:
+        rows.append(
+            {
+                "sketch": "PBE-1",
+                "event": row["event"],
+                "parameter": row["eta"],
+                "space_kb": row["space_kb"],
+                "mean_abs_error": row["mean_abs_error"],
+            }
+        )
+    pbe2_rows = pbe2_parameter_study(
+        streams, gammas, unit, tau, n_queries, seed
+    )
+    for row in pbe2_rows:
+        rows.append(
+            {
+                "sketch": "PBE-2",
+                "event": row["event"],
+                "parameter": row["gamma"],
+                "space_kb": row["space_kb"],
+                "mean_abs_error": row["mean_abs_error"],
+            }
+        )
+    return rows
+
+
+def fit_pbe2_to_space(
+    timestamps: Sequence[float],
+    target_bytes: int,
+    unit: float = 1.0,
+    gamma_low: float = 0.5,
+    gamma_high: float = 5000.0,
+    iterations: int = 10,
+) -> PBE2:
+    """Bisect ``gamma`` until the sketch footprint is near ``target_bytes``.
+
+    PBE-2's space depends on the data (§III-C), so matching a byte budget
+    — as the paper does for its equal-space comparisons — needs a search.
+    """
+    best: PBE2 | None = None
+    for _ in range(iterations):
+        gamma = (gamma_low * gamma_high) ** 0.5  # geometric midpoint
+        sketch = PBE2(gamma=gamma, unit=unit)
+        sketch.extend(timestamps)
+        sketch.finalize()
+        size = sketch.size_in_bytes()
+        if best is None or abs(size - target_bytes) < abs(
+            best.size_in_bytes() - target_bytes
+        ):
+            best = sketch
+        if size > target_bytes:
+            gamma_low = gamma  # too many segments: loosen
+        else:
+            gamma_high = gamma
+        if gamma_high / gamma_low < 1.05:
+            break
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# Fig. 10b — error vs curve size n at fixed space
+# ----------------------------------------------------------------------
+def single_stream_n_vs_error(
+    streams: dict[str, Sequence[float]],
+    n_values: Sequence[int],
+    target_bytes: int = 10 * 1024,
+    unit: float = 1.0,
+    tau: float = DAY,
+    n_queries: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Error of both sketches on stream *prefixes* of growing corner count,
+    with each sketch held at roughly ``target_bytes``."""
+    rows = []
+    for name, timestamps in streams.items():
+        xs_all, _ = np.unique(np.asarray(timestamps), return_counts=True)
+        for n in n_values:
+            if n > xs_all.size:
+                continue
+            cutoff = xs_all[n - 1]
+            prefix = [t for t in timestamps if t <= cutoff]
+            curve = StaircaseCurve.from_timestamps(prefix)
+            t_end = float(prefix[-1])
+            eta = max(2, target_bytes // 16)
+            pbe1 = PBE1(eta=eta, buffer_size=max(n, 2))
+            pbe1.extend(prefix)
+            pbe1.flush()
+            pbe2 = fit_pbe2_to_space(prefix, target_bytes, unit=unit)
+            rng = np.random.default_rng(seed)
+            err1 = _point_query_error(
+                pbe1, curve, tau, n_queries, rng, t_end
+            )
+            rng = np.random.default_rng(seed)
+            err2 = _point_query_error(
+                pbe2, curve, tau, n_queries, rng, t_end
+            )
+            rows.append(
+                {
+                    "event": name,
+                    "n": n,
+                    "pbe1_error": err1,
+                    "pbe2_error": err2,
+                    "pbe1_kb": pbe1.size_in_bytes() / 1024,
+                    "pbe2_kb": pbe2.size_in_bytes() / 1024,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — CM-PBE accuracy vs space on mixed streams
+# ----------------------------------------------------------------------
+def _cmpbe_error(
+    sketch: CMPBE,
+    exact: ExactBurstStore,
+    event_ids: Sequence[int],
+    tau: float,
+    n_queries: int,
+    t_end: float,
+    rng: np.random.Generator,
+) -> float:
+    """Mean |b~ - b| over random (event, time) queries.
+
+    Half the query times are uniform, half are drawn near the queried
+    event's own burst peak.  Purely uniform times would let a degenerate
+    sketch that predicts "never bursty" score well (most events are not
+    bursty most of the time); mixing in burst moments measures what the
+    sketch is for — tracking bursts through history.
+    """
+    grid = np.linspace(2 * tau, t_end, 64)
+    estimates = []
+    truths = []
+    for index in range(n_queries):
+        event_id = int(event_ids[rng.integers(0, len(event_ids))])
+        if index % 2 == 0:
+            t = float(rng.uniform(2 * tau, t_end))
+        else:
+            values = [
+                abs(exact.burstiness(event_id, g, tau)) for g in grid
+            ]
+            t = float(grid[int(np.argmax(values))])
+        estimates.append(sketch.burstiness(event_id, t, tau))
+        truths.append(exact.burstiness(event_id, t, tau))
+    return mean_absolute_error(estimates, truths)
+
+
+def cmpbe_space_accuracy(
+    stream: EventStream,
+    etas: Sequence[int],
+    gammas: Sequence[float],
+    width: int = 6,
+    depth: int = 3,
+    buffer_size: int = 1500,
+    unit: float = 1.0,
+    tau: float = DAY,
+    n_queries: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Error vs total space for CM-PBE-1 and CM-PBE-2 on a mixed stream."""
+    exact = ExactBurstStore.from_stream(stream)
+    event_ids = exact.event_ids()
+    t_end = float(stream.timestamps[-1])
+    rows = []
+    for eta in etas:
+        sketch = CMPBE.with_pbe1(
+            eta=eta, width=width, depth=depth, buffer_size=buffer_size,
+            seed=seed,
+        )
+        sketch.extend(stream)
+        sketch.finalize()
+        rng = np.random.default_rng(seed)
+        rows.append(
+            {
+                "sketch": "CM-PBE-1",
+                "parameter": eta,
+                "space_mb": sketch.size_in_bytes() / (1024 * 1024),
+                "mean_abs_error": _cmpbe_error(
+                    sketch, exact, event_ids, tau, n_queries, t_end, rng
+                ),
+            }
+        )
+    for gamma in gammas:
+        sketch = CMPBE.with_pbe2(
+            gamma=gamma, width=width, depth=depth, unit=unit, seed=seed
+        )
+        sketch.extend(stream)
+        sketch.finalize()
+        rng = np.random.default_rng(seed)
+        rows.append(
+            {
+                "sketch": "CM-PBE-2",
+                "parameter": gamma,
+                "space_mb": sketch.size_in_bytes() / (1024 * 1024),
+                "mean_abs_error": _cmpbe_error(
+                    sketch, exact, event_ids, tau, n_queries, t_end, rng
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — bursty event detection precision/recall
+# ----------------------------------------------------------------------
+def bursty_event_detection_study(
+    stream: EventStream,
+    universe_size: int,
+    etas: Sequence[int],
+    gammas: Sequence[float],
+    width: int = 6,
+    depth: int = 3,
+    buffer_size: int = 1500,
+    unit: float = 1.0,
+    tau: float = DAY,
+    n_times: int = 10,
+    theta_fractions: Sequence[float] = (0.2, 0.5, 0.8),
+    seed: int = 0,
+) -> list[dict]:
+    """Precision/recall of the dyadic index against the exact answer.
+
+    For each query time, thresholds ``theta`` span the range of possible
+    burstiness values at that time (the paper's methodology): each
+    fraction of the maximum exact burstiness is one threshold.
+    """
+    exact = ExactBurstStore.from_stream(stream)
+    t_end = float(stream.timestamps[-1])
+    rng_times = np.random.default_rng(seed)
+    # Sample candidate times, keep those with the strongest burst signal:
+    # querying instants where nothing is bursty measures only noise.
+    candidates = rng_times.uniform(2 * tau, t_end, size=8 * n_times)
+    candidate_values = [
+        {
+            e: float(exact.burstiness(e, t, tau))
+            for e in exact.event_ids()
+        }
+        for t in candidates
+    ]
+    signal = [
+        max((v for v in values.values()), default=0.0)
+        for values in candidate_values
+    ]
+    keep = np.argsort(signal)[-n_times:]
+    query_times = [float(candidates[i]) for i in keep]
+    exact_values = [candidate_values[i] for i in keep]
+
+    def evaluate(index: BurstyEventIndex, label: str, parameter) -> dict:
+        precisions = []
+        recalls = []
+        for t, values in zip(query_times, exact_values):
+            peak = max((v for v in values.values()), default=0.0)
+            if peak <= 0:
+                continue
+            for fraction in theta_fractions:
+                theta = fraction * peak
+                if theta <= 0:
+                    continue
+                truth = {e for e, v in values.items() if v >= theta}
+                hits = {
+                    hit.event_id
+                    for hit in index.bursty_events(t, theta, tau)
+                }
+                result = precision_recall(hits, truth)
+                precisions.append(result.precision)
+                recalls.append(result.recall)
+        return {
+            "sketch": label,
+            "parameter": parameter,
+            "space_mb": index.size_in_bytes() / (1024 * 1024),
+            "precision": float(np.mean(precisions)) if precisions else 1.0,
+            "recall": float(np.mean(recalls)) if recalls else 1.0,
+        }
+
+    rows = []
+    for eta in etas:
+        index = BurstyEventIndex.with_pbe1(
+            universe_size, eta=eta, width=width, depth=depth,
+            buffer_size=buffer_size, seed=seed,
+        )
+        index.extend(stream)
+        index.finalize()
+        rows.append(evaluate(index, "CM-PBE-1", eta))
+    for gamma in gammas:
+        index = BurstyEventIndex.with_pbe2(
+            universe_size, gamma=gamma, width=width, depth=depth,
+            unit=unit, seed=seed,
+        )
+        index.extend(stream)
+        index.finalize()
+        rows.append(evaluate(index, "CM-PBE-2", gamma))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — bursty-event timeline per category
+# ----------------------------------------------------------------------
+def timeline_study(
+    dataset: PoliticsDataset,
+    index: BurstyEventIndex,
+    tau: float = DAY,
+    step: float | None = None,
+    theta: float | None = None,
+) -> list[dict]:
+    """Aggregate detected burstiness per party over a sliding timeline."""
+    stream = dataset.stream
+    t_start, t_end = stream.span
+    step_size = step if step is not None else tau
+    if theta is None:
+        # A permissive default: anything clearly above noise.
+        theta = max(10.0, 0.001 * len(stream))
+    rows = []
+    t = t_start + 2 * tau
+    while t <= t_end:
+        hits = index.bursty_events(t, theta, tau)
+        by_party = {"democrat": 0.0, "republican": 0.0}
+        top_event = None
+        for hit in hits:
+            party = dataset.party.get(hit.event_id)
+            if party is not None:
+                by_party[party] += hit.burstiness
+            if top_event is None:
+                top_event = hit.event_id
+        rows.append(
+            {
+                "day": (t - t_start) / DAY,
+                "democrat": by_party["democrat"],
+                "republican": by_party["republican"],
+                "n_bursty": len(hits),
+                "top_event": -1 if top_event is None else top_event,
+            }
+        )
+        t += step_size
+    return rows
+
+
+# ----------------------------------------------------------------------
+# §II-B / §III-C — cost comparison table
+# ----------------------------------------------------------------------
+def cost_comparison(
+    timestamps: Sequence[float],
+    eta: int = 100,
+    buffer_size: int = 1500,
+    gamma: float = 20.0,
+    tau: float = DAY,
+    n_queries: int = 200,
+    seed: int = 0,
+) -> list[dict]:
+    """Space and point-query latency: exact baseline vs PBE-1 vs PBE-2."""
+    curve = StaircaseCurve.from_timestamps(timestamps)
+    t_end = float(timestamps[-1])
+    exact = ExactBurstStore()
+    for t in timestamps:
+        exact.update(0, t)
+    pbe1 = PBE1(eta=eta, buffer_size=buffer_size)
+    pbe1.extend(timestamps)
+    pbe1.flush()
+    pbe2 = PBE2(gamma=gamma)
+    pbe2.extend(timestamps)
+    pbe2.finalize()
+
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(2 * tau, t_end, size=n_queries)
+
+    def timed(fn) -> tuple[float, float]:
+        started = time.perf_counter()
+        values = [fn(t) for t in times]
+        elapsed = (time.perf_counter() - started) / len(times)
+        truth = [curve.burstiness(t, tau) for t in times]
+        return elapsed * 1e6, mean_absolute_error(values, truth)
+
+    rows = []
+    for name, size, fn in (
+        ("exact", exact.size_in_bytes(), lambda t: exact.burstiness(0, t, tau)),
+        ("PBE-1", pbe1.size_in_bytes(), lambda t: pbe1.burstiness(t, tau)),
+        ("PBE-2", pbe2.size_in_bytes(), lambda t: pbe2.burstiness(t, tau)),
+    ):
+        latency_us, error = timed(fn)
+        rows.append(
+            {
+                "method": name,
+                "space_kb": size / 1024,
+                "query_us": latency_us,
+                "mean_abs_error": error,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def combiner_ablation(
+    stream: EventStream,
+    eta: int = 100,
+    width: int = 6,
+    depth: int = 3,
+    buffer_size: int = 1500,
+    tau: float = DAY,
+    n_queries: int = 100,
+    seed: int = 0,
+) -> list[dict]:
+    """Median (paper) vs min (classic CM) row combiner in CM-PBE-1."""
+    exact = ExactBurstStore.from_stream(stream)
+    event_ids = exact.event_ids()
+    t_end = float(stream.timestamps[-1])
+    rows = []
+    for combiner in ("median", "min"):
+        sketch = CMPBE.with_pbe1(
+            eta=eta, width=width, depth=depth, buffer_size=buffer_size,
+            combiner=combiner, seed=seed,
+        )
+        sketch.extend(stream)
+        sketch.finalize()
+        rng = np.random.default_rng(seed)
+        rows.append(
+            {
+                "combiner": combiner,
+                "mean_abs_error": _cmpbe_error(
+                    sketch, exact, event_ids, tau, n_queries, t_end, rng
+                ),
+            }
+        )
+    return rows
+
+
+def pruning_ablation(
+    stream: EventStream,
+    universe_size: int,
+    eta: int = 100,
+    width: int = 6,
+    depth: int = 3,
+    buffer_size: int = 1500,
+    tau: float = DAY,
+    n_times: int = 5,
+    theta_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[dict]:
+    """Point queries issued by the pruned descent vs the naive scan."""
+    exact = ExactBurstStore.from_stream(stream)
+    t_end = float(stream.timestamps[-1])
+    index = BurstyEventIndex.with_pbe1(
+        universe_size, eta=eta, width=width, depth=depth,
+        buffer_size=buffer_size, seed=seed,
+    )
+    index.extend(stream)
+    index.finalize()
+    rng = np.random.default_rng(seed)
+    rows = []
+    for t in rng.uniform(2 * tau, t_end, size=n_times):
+        values = [
+            v
+            for e in exact.event_ids()
+            if (v := exact.burstiness(e, t, tau)) > 0
+        ]
+        if not values:
+            continue
+        theta = theta_fraction * float(max(values))
+        if theta <= 0:
+            continue
+        index.reset_query_counter()
+        hits = index.bursty_events(t, theta, tau)
+        rows.append(
+            {
+                "t_day": t / DAY,
+                "theta": theta,
+                "queries_pruned": index.point_queries_issued,
+                "queries_naive": universe_size,
+                "n_hits": len(hits),
+            }
+        )
+    return rows

@@ -1,0 +1,97 @@
+"""Accuracy metrics used by the evaluation (paper §VI).
+
+* point queries — the additive error ``|b~_e(t) - b_e(t)|``, averaged over
+  random queries (the paper reports means over 100 random queries),
+* bursty event queries — precision and recall of the returned id set
+  against the exact answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "PrecisionRecall",
+    "mean_absolute_error",
+    "precision_recall",
+    "random_point_queries",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionRecall:
+    """Precision/recall of a retrieved id set against the truth."""
+
+    precision: float
+    recall: float
+    n_retrieved: int
+    n_relevant: int
+
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall
+            / (self.precision + self.recall)
+        )
+
+
+def mean_absolute_error(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """Mean additive error between parallel estimate/truth sequences."""
+    estimates_arr = np.asarray(estimates, dtype=np.float64)
+    truths_arr = np.asarray(truths, dtype=np.float64)
+    if estimates_arr.shape != truths_arr.shape:
+        raise InvalidParameterError("sequences must have equal length")
+    if estimates_arr.size == 0:
+        raise InvalidParameterError("need at least one query")
+    return float(np.mean(np.abs(estimates_arr - truths_arr)))
+
+
+def precision_recall(
+    retrieved: Iterable[int], relevant: Iterable[int]
+) -> PrecisionRecall:
+    """Set precision/recall.  Empty-retrieved precision is defined as 1
+    when nothing was relevant, else 0 (and symmetrically for recall)."""
+    retrieved_set = set(retrieved)
+    relevant_set = set(relevant)
+    hits = len(retrieved_set & relevant_set)
+    if retrieved_set:
+        precision = hits / len(retrieved_set)
+    else:
+        precision = 1.0 if not relevant_set else 0.0
+    if relevant_set:
+        recall = hits / len(relevant_set)
+    else:
+        recall = 1.0
+    return PrecisionRecall(
+        precision=precision,
+        recall=recall,
+        n_retrieved=len(retrieved_set),
+        n_relevant=len(relevant_set),
+    )
+
+
+def random_point_queries(
+    estimate: Callable[[float], float],
+    truth: Callable[[float], float],
+    t_start: float,
+    t_end: float,
+    n_queries: int,
+    rng: np.random.Generator,
+) -> float:
+    """Mean ``|estimate(t) - truth(t)|`` over uniform random query times."""
+    if n_queries <= 0:
+        raise InvalidParameterError("n_queries must be > 0")
+    if t_end <= t_start:
+        raise InvalidParameterError("t_end must exceed t_start")
+    times = rng.uniform(t_start, t_end, size=n_queries)
+    errors = [abs(estimate(t) - truth(t)) for t in times]
+    return float(np.mean(errors))

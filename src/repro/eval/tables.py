@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment runner returns a list of row dicts; :func:`format_table`
+turns them into an aligned ASCII table so benchmark runs print the same
+rows/series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render row dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """Render one figure series as ``name: (x, y) (x, y) ...``."""
+    pairs = " ".join(
+        f"({_render(x)}, {_render(y)})" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

@@ -1,0 +1,19 @@
+"""Sketching substrates: hashing, Count-Min, geometry, dyadic ranges."""
+
+from repro.sketch.countmin import CountMinSketch, dimensions_for
+from repro.sketch.dyadic_ranges import DyadicDecomposition
+from repro.sketch.geometry import ConvexPolygon, HalfPlane, strip_parallelogram
+from repro.sketch.hashing import HashFamily, UniversalHash
+from repro.sketch.persistent_countmin import PersistentCountMin
+
+__all__ = [
+    "CountMinSketch",
+    "dimensions_for",
+    "DyadicDecomposition",
+    "ConvexPolygon",
+    "HalfPlane",
+    "strip_parallelogram",
+    "HashFamily",
+    "UniversalHash",
+    "PersistentCountMin",
+]

@@ -1,0 +1,106 @@
+"""Classic Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+Used by the paper (§II-C) as the frequency-estimation substrate that
+CM-PBE generalizes.  Guarantees, for a stream of total count ``N``::
+
+    Pr[ f~(x) - f(x) > eps * N ] <= delta
+
+with ``width = ceil(e / eps)`` and ``depth = ceil(ln(1 / delta))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.sketch.hashing import HashFamily
+
+__all__ = ["CountMinSketch", "dimensions_for"]
+
+
+def dimensions_for(epsilon: float, delta: float) -> tuple[int, int]:
+    """Return ``(width, depth)`` achieving the ``(epsilon, delta)`` bound."""
+    if not 0 < epsilon < 1:
+        raise InvalidParameterError(f"epsilon must be in (0, 1): {epsilon}")
+    if not 0 < delta < 1:
+        raise InvalidParameterError(f"delta must be in (0, 1): {delta}")
+    width = math.ceil(math.e / epsilon)
+    depth = max(1, math.ceil(math.log(1.0 / delta)))
+    return width, depth
+
+
+class CountMinSketch:
+    """A ``depth x width`` grid of counters with conservative point queries.
+
+    Parameters
+    ----------
+    width, depth:
+        Grid dimensions.  Use :func:`dimensions_for` to derive them from an
+        ``(epsilon, delta)`` guarantee.
+    seed:
+        Seed for the hash family, for reproducibility.
+    """
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        if width <= 0 or depth <= 0:
+            raise InvalidParameterError("width and depth must be > 0")
+        self.width = width
+        self.depth = depth
+        self._hashes = HashFamily(depth=depth, width=width, seed=seed)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._total = 0
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: int = 0
+    ) -> "CountMinSketch":
+        """Construct with dimensions derived from ``(epsilon, delta)``."""
+        width, depth = dimensions_for(epsilon, delta)
+        return cls(width=width, depth=depth, seed=seed)
+
+    # ------------------------------------------------------------------
+    def update(self, item: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item``."""
+        if count < 0:
+            raise InvalidParameterError("negative updates are not supported")
+        for row, column in enumerate(self._hashes.hash_all(item)):
+            self._table[row, column] += count
+        self._total += count
+
+    def estimate(self, item: int) -> int:
+        """Point query: min over rows — never underestimates."""
+        return int(
+            min(
+                self._table[row, column]
+                for row, column in enumerate(self._hashes.hash_all(item))
+            )
+        )
+
+    def inner_product(self, other: "CountMinSketch") -> int:
+        """Estimate of the inner product of the two summarized streams."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise InvalidParameterError("sketch dimensions differ")
+        return int(
+            min(
+                int(np.dot(self._table[row], other._table[row]))
+                for row in range(self.depth)
+            )
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add another sketch built with the same dimensions and seed."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise InvalidParameterError("sketch dimensions differ")
+        self._table += other._table
+        self._total += other._total
+
+    @property
+    def total(self) -> int:
+        """Total count ``N`` ingested so far."""
+        return self._total
+
+    def size_in_bytes(self) -> int:
+        """Counter storage footprint (8 bytes per cell)."""
+        return int(self._table.size) * 8

@@ -1,0 +1,73 @@
+"""Dyadic decomposition of the event-id space.
+
+The bursty-event index (paper §V, Fig. 6) builds a binary tree over the
+universe ``[0, K)``: level 0 holds the ids themselves, level ``l`` groups
+``2^l`` consecutive ids into one range, and the root (level ``L``) covers
+everything.  This module provides the pure arithmetic of that
+decomposition — mapping ids to range ids per level and range ids back to
+their id intervals — so the index itself stays free of bit fiddling.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["DyadicDecomposition"]
+
+
+class DyadicDecomposition:
+    """Dyadic ranges over a universe padded to the next power of two."""
+
+    def __init__(self, universe_size: int) -> None:
+        if universe_size <= 0:
+            raise InvalidParameterError(
+                f"universe size must be > 0, got {universe_size}"
+            )
+        self.universe_size = universe_size
+        self.padded_size = 1
+        while self.padded_size < universe_size:
+            self.padded_size *= 2
+        # Number of levels above the leaves; level indices are 0..n_levels.
+        self.n_levels = self.padded_size.bit_length() - 1
+
+    def range_id(self, event_id: int, level: int) -> int:
+        """The id of the level-``level`` range containing ``event_id``."""
+        self._check(event_id, level)
+        return event_id >> level
+
+    def range_bounds(self, range_id: int, level: int) -> tuple[int, int]:
+        """Inclusive ``(low, high)`` id interval covered by a range."""
+        if not 0 <= level <= self.n_levels:
+            raise InvalidParameterError(f"level {level} out of bounds")
+        low = range_id << level
+        high = low + (1 << level) - 1
+        if low >= self.padded_size:
+            raise InvalidParameterError(f"range {range_id} out of universe")
+        return low, min(high, self.universe_size - 1)
+
+    def n_ranges(self, level: int) -> int:
+        """How many ranges exist at ``level``."""
+        if not 0 <= level <= self.n_levels:
+            raise InvalidParameterError(f"level {level} out of bounds")
+        return self.padded_size >> level
+
+    def children(self, range_id: int, level: int) -> tuple[int, int]:
+        """The two level-``level - 1`` children of a range."""
+        if level <= 0:
+            raise InvalidParameterError("leaves have no children")
+        return (range_id * 2, range_id * 2 + 1)
+
+    def parent(self, range_id: int, level: int) -> int:
+        """The level-``level + 1`` parent of a range."""
+        if level >= self.n_levels:
+            raise InvalidParameterError("the root has no parent")
+        return range_id // 2
+
+    def _check(self, event_id: int, level: int) -> None:
+        if not 0 <= event_id < self.universe_size:
+            raise InvalidParameterError(
+                f"event id {event_id} outside universe "
+                f"[0, {self.universe_size})"
+            )
+        if not 0 <= level <= self.n_levels:
+            raise InvalidParameterError(f"level {level} out of bounds")

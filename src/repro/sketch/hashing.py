@@ -1,0 +1,83 @@
+"""Pairwise-independent hash families.
+
+The Count-Min sketch and CM-PBE need ``d`` independent hash functions
+``h_i : event_id -> [0, w)``.  We use the classic Carter–Wegman universal
+family ``h(x) = ((a * x + b) mod p) mod w`` over the Mersenne prime
+``p = 2^61 - 1``, which is pairwise independent and cheap to evaluate —
+the standard choice for sketching (Cormode & Muthukrishnan 2005).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["UniversalHash", "HashFamily"]
+
+_MERSENNE_61 = (1 << 61) - 1
+
+
+class UniversalHash:
+    """One member ``h(x) = ((a x + b) mod p) mod w`` of the universal family."""
+
+    __slots__ = ("a", "b", "width")
+
+    def __init__(self, a: int, b: int, width: int) -> None:
+        if width <= 0:
+            raise InvalidParameterError(f"width must be > 0, got {width}")
+        if not 1 <= a < _MERSENNE_61:
+            raise InvalidParameterError("a must be in [1, p)")
+        if not 0 <= b < _MERSENNE_61:
+            raise InvalidParameterError("b must be in [0, p)")
+        self.a = a
+        self.b = b
+        self.width = width
+
+    def __call__(self, x: int) -> int:
+        return ((self.a * x + self.b) % _MERSENNE_61) % self.width
+
+    def hash_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over an integer array."""
+        xs = np.asarray(xs, dtype=np.object_)  # exact big-int arithmetic
+        return np.array(
+            [((self.a * int(x) + self.b) % _MERSENNE_61) % self.width
+             for x in xs],
+            dtype=np.int64,
+        )
+
+
+class HashFamily:
+    """A reproducible collection of ``depth`` universal hash functions."""
+
+    def __init__(self, depth: int, width: int, seed: int = 0) -> None:
+        if depth <= 0:
+            raise InvalidParameterError(f"depth must be > 0, got {depth}")
+        rng = np.random.default_rng(seed)
+        self.depth = depth
+        self.width = width
+        self._functions = [
+            UniversalHash(
+                a=int(rng.integers(1, _MERSENNE_61)),
+                b=int(rng.integers(0, _MERSENNE_61)),
+                width=width,
+            )
+            for _ in range(depth)
+        ]
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __getitem__(self, row: int) -> UniversalHash:
+        return self._functions[row]
+
+    @property
+    def functions(self) -> Sequence[UniversalHash]:
+        """The individual hash functions, one per sketch row."""
+        return self._functions
+
+    def hash_all(self, x: int) -> list[int]:
+        """Return ``[h_0(x), ..., h_{d-1}(x)]``."""
+        return [h(x) for h in self._functions]

@@ -1,0 +1,100 @@
+"""Persistent Count-Min sketch (PCM).
+
+The paper introduces PBE-2 as "an improvement of Persistent Count-Min
+sketch" (§III).  PCM is the natural prior-art comparator: a Count-Min grid
+whose cells, instead of a single counter, record their *entire counter
+history* — one ``(timestamp, count)`` corner per distinct timestamp that
+touched the cell.  Historical point queries then answer
+``F~_e(t) = min_rows history(cell, t)``.
+
+PCM is exact per cell (no curve approximation), so it isolates the cost of
+*persistence itself*: comparing its space against CM-PBE at equal error
+shows how much the PBE curve compression buys (ablation A4 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.sketch.hashing import HashFamily
+
+__all__ = ["PersistentCountMin"]
+
+
+class _PersistentCell:
+    """Full counter history of one cell: parallel (timestamp, count) lists."""
+
+    __slots__ = ("times", "counts")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.counts: list[int] = []
+
+    def update(self, timestamp: float) -> None:
+        if self.times and timestamp < self.times[-1]:
+            raise StreamOrderError(
+                f"timestamp {timestamp} arrived after {self.times[-1]}"
+            )
+        if self.times and self.times[-1] == timestamp:
+            self.counts[-1] += 1
+        else:
+            previous = self.counts[-1] if self.counts else 0
+            self.times.append(timestamp)
+            self.counts.append(previous + 1)
+
+    def value(self, t: float) -> int:
+        idx = bisect.bisect_right(self.times, t) - 1
+        return self.counts[idx] if idx >= 0 else 0
+
+    @property
+    def n_corners(self) -> int:
+        return len(self.times)
+
+
+class PersistentCountMin:
+    """A Count-Min grid whose cells record exact counter histories."""
+
+    def __init__(self, width: int, depth: int, seed: int = 0) -> None:
+        if width <= 0 or depth <= 0:
+            raise InvalidParameterError("width and depth must be > 0")
+        self.width = width
+        self.depth = depth
+        self._hashes = HashFamily(depth=depth, width=width, seed=seed)
+        self._cells = [
+            [_PersistentCell() for _ in range(width)] for _ in range(depth)
+        ]
+        self._total = 0
+
+    def update(self, event_id: int, timestamp: float) -> None:
+        """Record one occurrence of ``event_id`` at ``timestamp``."""
+        for row, column in enumerate(self._hashes.hash_all(event_id)):
+            self._cells[row][column].update(timestamp)
+        self._total += 1
+
+    def cumulative_frequency(self, event_id: int, t: float) -> int:
+        """Estimate ``F_e(t)``: min over rows (never underestimates)."""
+        return min(
+            self._cells[row][column].value(t)
+            for row, column in enumerate(self._hashes.hash_all(event_id))
+        )
+
+    def burstiness(self, event_id: int, t: float, tau: float) -> float:
+        """Estimate ``b_e(t)`` from the persistent counters."""
+        if tau <= 0:
+            raise InvalidParameterError(f"tau must be > 0, got {tau}")
+        f0 = self.cumulative_frequency(event_id, t)
+        f1 = self.cumulative_frequency(event_id, t - tau)
+        f2 = self.cumulative_frequency(event_id, t - 2 * tau)
+        return float(f0 - 2 * f1 + f2)
+
+    @property
+    def total(self) -> int:
+        """Total number of ingested elements."""
+        return self._total
+
+    def size_in_bytes(self) -> int:
+        """Two 8-byte words per stored (timestamp, count) corner."""
+        return sum(
+            16 * cell.n_corners for row in self._cells for cell in row
+        )

@@ -1,0 +1,44 @@
+"""Event-stream substrate: containers, frequency curves and IO."""
+
+from repro.streams.archive import SegmentInfo, StreamArchive
+from repro.streams.events import (
+    EventRecord,
+    EventStream,
+    SingleEventStream,
+    merge_streams,
+)
+from repro.streams.frequency import (
+    CumulativeCurve,
+    StaircaseCurve,
+    burstiness_from_curve,
+    corners_from_timestamps,
+    staircase_area_between,
+)
+from repro.streams.registry import EventRegistry
+from repro.streams.io import (
+    iter_csv,
+    read_binary,
+    read_csv,
+    write_binary,
+    write_csv,
+)
+
+__all__ = [
+    "SegmentInfo",
+    "StreamArchive",
+    "EventRegistry",
+    "EventRecord",
+    "EventStream",
+    "SingleEventStream",
+    "merge_streams",
+    "CumulativeCurve",
+    "StaircaseCurve",
+    "burstiness_from_curve",
+    "corners_from_timestamps",
+    "staircase_area_between",
+    "iter_csv",
+    "read_binary",
+    "read_csv",
+    "write_binary",
+    "write_csv",
+]

@@ -1,0 +1,192 @@
+"""Chunked on-disk stream archive.
+
+The paper's offline use of PBE-1 ("find the optimal approximation for a
+massive archived dataset", §III-A) and the exact baseline both need an
+archive substrate: an append-only store of stream segments that can be
+scanned in time order, or partially by time range, without loading
+everything.
+
+Layout: a directory holding one binary segment file per flushed chunk
+(``segment-000001.bin`` ... in the format of :mod:`repro.streams.io`)
+plus a ``manifest.csv`` recording each segment's time span and element
+count.  Appends go to an in-memory tail that is flushed whenever it
+reaches ``segment_size`` elements.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.streams.events import EventStream
+from repro.streams.io import read_binary, write_binary
+
+__all__ = ["StreamArchive", "SegmentInfo"]
+
+_MANIFEST = "manifest.csv"
+_FIELDS = ["name", "t_start", "t_end", "count"]
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentInfo:
+    """Manifest entry for one on-disk segment."""
+
+    name: str
+    t_start: float
+    t_end: float
+    count: int
+
+
+class StreamArchive:
+    """Append-only, time-ordered archive of an event stream.
+
+    Parameters
+    ----------
+    directory:
+        Archive directory (created if missing).  An existing archive is
+        opened and appending resumes after its last timestamp.
+    segment_size:
+        Elements buffered before a segment file is written.
+    """
+
+    def __init__(
+        self, directory: str | Path, segment_size: int = 100_000
+    ) -> None:
+        if segment_size <= 0:
+            raise InvalidParameterError("segment_size must be > 0")
+        self.directory = Path(directory)
+        self.segment_size = segment_size
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._segments: list[SegmentInfo] = []
+        self._tail = EventStream()
+        self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest handling
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not path.exists():
+            return
+        with open(path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            if reader.fieldnames != _FIELDS:
+                raise InvalidParameterError(
+                    f"unrecognized manifest header in {path}"
+                )
+            for row in reader:
+                self._segments.append(
+                    SegmentInfo(
+                        name=row["name"],
+                        t_start=float(row["t_start"]),
+                        t_end=float(row["t_end"]),
+                        count=int(row["count"]),
+                    )
+                )
+
+    def _write_manifest(self) -> None:
+        with open(self._manifest_path(), "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+            writer.writeheader()
+            for segment in self._segments:
+                writer.writerow(
+                    {
+                        "name": segment.name,
+                        "t_start": repr(segment.t_start),
+                        "t_end": repr(segment.t_end),
+                        "count": segment.count,
+                    }
+                )
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, event_id: int, timestamp: float) -> None:
+        """Append one element; timestamps must be non-decreasing across
+        the whole archive."""
+        last = self.last_timestamp()
+        if last is not None and timestamp < last:
+            raise StreamOrderError(
+                f"timestamp {timestamp} arrived after {last}"
+            )
+        self._tail.append(event_id, timestamp)
+        if len(self._tail) >= self.segment_size:
+            self.flush()
+
+    def extend(self, records: Iterable[tuple[int, float]]) -> None:
+        """Append many ``(event_id, timestamp)`` pairs."""
+        for event_id, timestamp in records:
+            self.append(event_id, timestamp)
+
+    def flush(self) -> None:
+        """Write the in-memory tail as a new segment (no-op if empty)."""
+        if not len(self._tail):
+            return
+        index = len(self._segments) + 1
+        name = f"segment-{index:06d}.bin"
+        write_binary(self._tail, self.directory / name)
+        t_start, t_end = self._tail.span
+        self._segments.append(
+            SegmentInfo(
+                name=name,
+                t_start=t_start,
+                t_end=t_end,
+                count=len(self._tail),
+            )
+        )
+        self._write_manifest()
+        self._tail = EventStream()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> list[SegmentInfo]:
+        """Manifest entries of the flushed segments, in time order."""
+        return list(self._segments)
+
+    def last_timestamp(self) -> float | None:
+        """The archive's most recent timestamp (tail included)."""
+        if len(self._tail):
+            return self._tail.span[1]
+        if self._segments:
+            return self._segments[-1].t_end
+        return None
+
+    def __len__(self) -> int:
+        return sum(s.count for s in self._segments) + len(self._tail)
+
+    def scan(self) -> Iterator[tuple[int, float]]:
+        """Iterate the whole archive in time order, one segment at a
+        time (memory stays bounded by the largest segment)."""
+        for segment in self._segments:
+            stream = read_binary(self.directory / segment.name)
+            yield from stream
+        yield from self._tail
+
+    def scan_range(
+        self, t_start: float, t_end: float
+    ) -> Iterator[tuple[int, float]]:
+        """Iterate only elements with ``t_start <= t <= t_end``, skipping
+        segments whose span lies entirely outside the range."""
+        if t_end < t_start:
+            raise InvalidParameterError(f"empty range [{t_start}, {t_end}]")
+        for segment in self._segments:
+            if segment.t_end < t_start or segment.t_start > t_end:
+                continue
+            stream = read_binary(self.directory / segment.name)
+            yield from stream.substream(t_start, t_end)
+        if len(self._tail):
+            tail_start, tail_end = self._tail.span
+            if not (tail_end < t_start or tail_start > t_end):
+                yield from self._tail.substream(t_start, t_end)
+
+    def load_range(self, t_start: float, t_end: float) -> EventStream:
+        """Materialize ``scan_range`` as an :class:`EventStream`."""
+        return EventStream(self.scan_range(t_start, t_end))

@@ -1,0 +1,264 @@
+"""Event-stream substrate.
+
+The paper models an *event identifier stream*
+
+    ``S = [(a_1, t_1), (a_2, t_2), ...]``
+
+where ``a_i`` is an event id and the timestamps ``t_i`` are non-decreasing.
+This module provides the stream containers used throughout the library:
+
+* :class:`EventRecord` — a single ``(event_id, timestamp)`` pair,
+* :class:`EventStream` — an in-memory, timestamp-ordered stream with
+  temporal-substream slicing (``S[t1, t2]`` in the paper's notation),
+* :class:`SingleEventStream` — the special case ``S_e`` holding only
+  timestamps of one event,
+* :func:`merge_streams` — a k-way timestamp-ordered merge.
+
+All sketches accept plain iterables of ``(event_id, timestamp)`` pairs as
+well, so these containers are a convenience, not a requirement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import InvalidParameterError, StreamOrderError
+
+__all__ = [
+    "EventRecord",
+    "EventStream",
+    "SingleEventStream",
+    "merge_streams",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One element of an event stream: an event id at a timestamp."""
+
+    event_id: int
+    timestamp: float
+
+    def as_tuple(self) -> tuple[int, float]:
+        """Return the record as a plain ``(event_id, timestamp)`` tuple."""
+        return (self.event_id, self.timestamp)
+
+
+class EventStream:
+    """A timestamp-ordered, in-memory event stream.
+
+    Elements may share timestamps (multiple mentions of one or several
+    events at the same instant are allowed); only *decreasing* timestamps
+    are rejected.
+
+    Parameters
+    ----------
+    records:
+        Optional initial ``(event_id, timestamp)`` pairs, already sorted
+        by timestamp.
+    """
+
+    def __init__(
+        self, records: Iterable[tuple[int, float]] | None = None
+    ) -> None:
+        self._event_ids: list[int] = []
+        self._timestamps: list[float] = []
+        if records is not None:
+            self.extend(records)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, event_id: int, timestamp: float) -> None:
+        """Append one element; ``timestamp`` must be non-decreasing."""
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise StreamOrderError(
+                f"timestamp {timestamp} arrived after {self._timestamps[-1]}"
+            )
+        self._event_ids.append(int(event_id))
+        self._timestamps.append(timestamp)
+
+    def extend(self, records: Iterable[tuple[int, float]]) -> None:
+        """Append many ``(event_id, timestamp)`` pairs in stream order."""
+        for event_id, timestamp in records:
+            self.append(event_id, timestamp)
+
+    @classmethod
+    def from_columns(
+        cls, event_ids: Sequence[int], timestamps: Sequence[float]
+    ) -> "EventStream":
+        """Build a stream from parallel id/timestamp columns."""
+        if len(event_ids) != len(timestamps):
+            raise InvalidParameterError(
+                "event_ids and timestamps must have equal length"
+            )
+        stream = cls()
+        stream.extend(zip(event_ids, timestamps))
+        return stream
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return zip(self._event_ids, self._timestamps)
+
+    def __getitem__(self, index: int) -> EventRecord:
+        return EventRecord(self._event_ids[index], self._timestamps[index])
+
+    @property
+    def event_ids(self) -> Sequence[int]:
+        """The event-id column (read-only view by convention)."""
+        return self._event_ids
+
+    @property
+    def timestamps(self) -> Sequence[float]:
+        """The timestamp column (read-only view by convention)."""
+        return self._timestamps
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """``(first, last)`` timestamps of the stream."""
+        if not self._timestamps:
+            raise InvalidParameterError("span of an empty stream is undefined")
+        return (self._timestamps[0], self._timestamps[-1])
+
+    def distinct_event_ids(self) -> set[int]:
+        """The set of event ids that appear in the stream."""
+        return set(self._event_ids)
+
+    # ------------------------------------------------------------------
+    # Temporal and per-event substreams
+    # ------------------------------------------------------------------
+    def substream(self, t1: float, t2: float) -> "EventStream":
+        """Return ``S[t1, t2]``: elements with ``t1 <= t <= t2``."""
+        if t2 < t1:
+            raise InvalidParameterError(f"empty range: [{t1}, {t2}]")
+        lo = bisect.bisect_left(self._timestamps, t1)
+        hi = bisect.bisect_right(self._timestamps, t2)
+        out = EventStream()
+        out._event_ids = self._event_ids[lo:hi]
+        out._timestamps = self._timestamps[lo:hi]
+        return out
+
+    def for_event(self, event_id: int) -> "SingleEventStream":
+        """Return ``S_e``: the timestamps at which ``event_id`` occurs."""
+        times = [
+            t
+            for eid, t in zip(self._event_ids, self._timestamps)
+            if eid == event_id
+        ]
+        return SingleEventStream(times, event_id=event_id)
+
+    def count(self, event_id: int, t1: float, t2: float) -> int:
+        """Exact frequency ``f_e(t1, t2)`` of ``event_id`` in ``[t1, t2]``."""
+        lo = bisect.bisect_left(self._timestamps, t1)
+        hi = bisect.bisect_right(self._timestamps, t2)
+        return sum(
+            1 for eid in self._event_ids[lo:hi] if eid == event_id
+        )
+
+
+class SingleEventStream:
+    """The single-event stream ``S_e``: an ordered sequence of timestamps.
+
+    Duplicated timestamps are allowed (an event mentioned by several
+    messages at the same instant).
+    """
+
+    def __init__(
+        self, timestamps: Iterable[float] = (), event_id: int | None = None
+    ) -> None:
+        self.event_id = event_id
+        self._timestamps: list[float] = []
+        for t in timestamps:
+            self.append(t)
+
+    def append(self, timestamp: float) -> None:
+        """Append one occurrence; timestamps must be non-decreasing."""
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise StreamOrderError(
+                f"timestamp {timestamp} arrived after {self._timestamps[-1]}"
+            )
+        self._timestamps.append(timestamp)
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._timestamps)
+
+    def __getitem__(self, index: int) -> float:
+        return self._timestamps[index]
+
+    @property
+    def timestamps(self) -> Sequence[float]:
+        """The ordered occurrence timestamps."""
+        return self._timestamps
+
+    def cumulative_frequency(self, t: float) -> int:
+        """Exact ``F_e(t)``: occurrences with timestamp ``<= t``."""
+        return bisect.bisect_right(self._timestamps, t)
+
+    def frequency(self, t1: float, t2: float) -> int:
+        """Exact ``f_e(t1, t2)``: occurrences with ``t1 <= t <= t2``."""
+        if t2 < t1:
+            return 0
+        lo = bisect.bisect_left(self._timestamps, t1)
+        hi = bisect.bisect_right(self._timestamps, t2)
+        return hi - lo
+
+    def burst_frequency(self, t: float, tau: float) -> int:
+        """Exact incoming rate ``bf_e(t) = F_e(t) - F_e(t - tau)``."""
+        _validate_tau(tau)
+        return self.cumulative_frequency(t) - self.cumulative_frequency(
+            t - tau
+        )
+
+    def burstiness(self, t: float, tau: float) -> int:
+        """Exact burstiness ``b_e(t) = F(t) - 2 F(t-tau) + F(t-2tau)``."""
+        _validate_tau(tau)
+        return (
+            self.cumulative_frequency(t)
+            - 2 * self.cumulative_frequency(t - tau)
+            + self.cumulative_frequency(t - 2 * tau)
+        )
+
+    def as_event_stream(self, event_id: int | None = None) -> EventStream:
+        """Lift back to an :class:`EventStream` with a single id."""
+        eid = event_id if event_id is not None else self.event_id
+        if eid is None:
+            raise InvalidParameterError(
+                "an event id is required to build an EventStream"
+            )
+        return EventStream((eid, t) for t in self._timestamps)
+
+
+def merge_streams(streams: Sequence[EventStream]) -> EventStream:
+    """Merge several timestamp-ordered streams into one ordered stream."""
+    merged = EventStream()
+    heap: list[tuple[float, int, int]] = []
+    positions = [0] * len(streams)
+    for idx, stream in enumerate(streams):
+        if len(stream):
+            heap.append((stream.timestamps[0], idx, 0))
+    heapq.heapify(heap)
+    while heap:
+        timestamp, idx, pos = heapq.heappop(heap)
+        merged.append(streams[idx].event_ids[pos], timestamp)
+        positions[idx] = pos + 1
+        if pos + 1 < len(streams[idx]):
+            heapq.heappush(
+                heap, (streams[idx].timestamps[pos + 1], idx, pos + 1)
+            )
+    return merged
+
+
+def _validate_tau(tau: float) -> None:
+    if tau <= 0:
+        raise InvalidParameterError(f"burst span tau must be > 0, got {tau}")

@@ -1,0 +1,91 @@
+"""Stream (de)serialization.
+
+Event streams are exchanged as either:
+
+* **CSV** — two columns ``event_id,timestamp``, human-inspectable,
+* **binary** — a packed little-endian ``(uint32 id, float64 timestamp)``
+  record array with a small magic header, for fast round-trips of large
+  streams.
+
+Both formats preserve order and duplicates exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.events import EventStream
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "write_binary",
+    "read_binary",
+    "iter_csv",
+]
+
+_MAGIC = b"REPROEV1"
+_HEADER = struct.Struct("<8sQ")
+
+
+def write_csv(stream: EventStream, path: str | Path) -> None:
+    """Write a stream as ``event_id,timestamp`` CSV with a header row."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["event_id", "timestamp"])
+        for event_id, timestamp in stream:
+            writer.writerow([event_id, repr(timestamp)])
+
+
+def iter_csv(path: str | Path) -> Iterator[tuple[int, float]]:
+    """Lazily yield ``(event_id, timestamp)`` pairs from a CSV file."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["event_id", "timestamp"]:
+            raise InvalidParameterError(
+                f"not a repro event CSV (header was {header!r})"
+            )
+        for row in reader:
+            yield int(row[0]), float(row[1])
+
+
+def read_csv(path: str | Path) -> EventStream:
+    """Read a stream previously written by :func:`write_csv`."""
+    return EventStream(iter_csv(path))
+
+
+def write_binary(stream: EventStream, path: str | Path) -> None:
+    """Write a stream in the packed binary format."""
+    ids = np.asarray(stream.event_ids, dtype="<u4")
+    ts = np.asarray(stream.timestamps, dtype="<f8")
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(_MAGIC, len(ids)))
+        fh.write(ids.tobytes())
+        fh.write(ts.tobytes())
+
+
+def read_binary(path: str | Path) -> EventStream:
+    """Read a stream previously written by :func:`write_binary`."""
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise InvalidParameterError("truncated binary stream file")
+        magic, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise InvalidParameterError("not a repro binary stream file")
+        id_bytes = fh.read(4 * count)
+        ts_bytes = fh.read(8 * count)
+    if len(id_bytes) != 4 * count or len(ts_bytes) != 8 * count:
+        raise InvalidParameterError("truncated binary stream file")
+    ids = np.frombuffer(id_bytes, dtype="<u4")
+    ts = np.frombuffer(ts_bytes, dtype="<f8")
+    return EventStream.from_columns(
+        ids.astype(np.int64).tolist(), ts.astype(np.float64).tolist()
+    )

@@ -1,0 +1,105 @@
+"""Event registry: stable name <-> id mapping.
+
+The sketches work on integer ids (the output of the paper's ``h``), but
+operators think in event names ("anthem-protest", "#olympics2016").  The
+registry assigns dense ids on first sight, resolves both directions, and
+persists as CSV so ids stay stable across processes — which matters
+because a serialized CM-PBE is only meaningful under the id assignment it
+was built with.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["EventRegistry"]
+
+
+class EventRegistry:
+    """Dense, persistent name -> id assignment.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of events (the sketches' universe size ``K``).
+    """
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError("capacity must be > 0")
+        self.capacity = capacity
+        self._ids: dict[str, int] = {}
+        self._names: list[str] = []
+
+    def register(self, name: str) -> int:
+        """Return the id of ``name``, assigning the next id if new."""
+        name = name.strip().lower()
+        if not name:
+            raise InvalidParameterError("event name must be non-empty")
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        if len(self._names) >= self.capacity:
+            raise InvalidParameterError(
+                f"registry full (capacity {self.capacity})"
+            )
+        event_id = len(self._names)
+        self._ids[name] = event_id
+        self._names.append(name)
+        return event_id
+
+    def id_of(self, name: str) -> int | None:
+        """The id of ``name``, or None if unregistered."""
+        return self._ids.get(name.strip().lower())
+
+    def name_of(self, event_id: int) -> str:
+        """The name registered under ``event_id``."""
+        if not 0 <= event_id < len(self._names):
+            raise InvalidParameterError(f"unknown event id {event_id}")
+        return self._names[event_id]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._ids
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(self._ids.items())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the registry as ``name,id`` CSV (ids are implicit order
+        but stored explicitly for human inspection)."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["name", "event_id"])
+            for event_id, name in enumerate(self._names):
+                writer.writerow([name, event_id])
+
+    @classmethod
+    def load(cls, path: str | Path, capacity: int = 1 << 20) -> "EventRegistry":
+        """Read a registry written by :meth:`save`."""
+        registry = cls(capacity=capacity)
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != ["name", "event_id"]:
+                raise InvalidParameterError(
+                    f"not a registry CSV (header was {header!r})"
+                )
+            for row in reader:
+                name, event_id = row[0], int(row[1])
+                assigned = registry.register(name)
+                if assigned != event_id:
+                    raise InvalidParameterError(
+                        f"non-dense registry file: {name!r} has id "
+                        f"{event_id}, expected {assigned}"
+                    )
+        return registry

@@ -1,0 +1,13 @@
+"""Message substrate and the message -> event-id mapping ``h``."""
+
+from repro.text.mapper import HashtagEventMapper, KeywordEventMapper, map_messages
+from repro.text.messages import Message, SyntheticTweetSource, extract_hashtags
+
+__all__ = [
+    "HashtagEventMapper",
+    "KeywordEventMapper",
+    "map_messages",
+    "Message",
+    "SyntheticTweetSource",
+    "extract_hashtags",
+]

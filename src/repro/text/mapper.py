@@ -1,0 +1,118 @@
+"""Message → event-id mapping ``h`` (paper §II-A).
+
+The paper treats the mapping as a black box ("can be as simple as using
+the hashtag of a message ... or a sophisticated topic modeling method").
+Two simple, deterministic implementations are provided:
+
+* :class:`HashtagEventMapper` — each distinct hashtag is an event; ids are
+  assigned on first sight (or from a fixed vocabulary),
+* :class:`KeywordEventMapper` — events defined by keyword lists; a message
+  maps to every event whose keywords it contains (the multi-event case).
+
+Both return a *list* of event ids, matching the paper's rule that a
+multi-event message adds one stream element per identified event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.events import EventStream
+from repro.text.messages import Message, extract_hashtags
+
+__all__ = ["HashtagEventMapper", "KeywordEventMapper", "map_messages"]
+
+
+class HashtagEventMapper:
+    """``h``: hashtags to event ids, assigned on first sight.
+
+    Parameters
+    ----------
+    vocabulary:
+        Optional fixed ``hashtag -> id`` mapping.  Without it, new
+        hashtags get consecutive ids as they appear (capped by
+        ``max_events``, after which unseen hashtags are dropped).
+    max_events:
+        Upper bound ``K`` on the id space.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Mapping[str, int] | None = None,
+        max_events: int = 1 << 20,
+    ) -> None:
+        if max_events <= 0:
+            raise InvalidParameterError("max_events must be > 0")
+        self.max_events = max_events
+        self._ids: dict[str, int] = dict(vocabulary or {})
+        self._frozen = vocabulary is not None
+        for event_id in self._ids.values():
+            if not 0 <= event_id < max_events:
+                raise InvalidParameterError(
+                    f"vocabulary id {event_id} outside [0, {max_events})"
+                )
+
+    def map(self, message: Message) -> list[int]:
+        """Event ids mentioned by the message (deduplicated, in order)."""
+        ids: list[int] = []
+        for tag in extract_hashtags(message.text):
+            event_id = self._ids.get(tag)
+            if event_id is None and not self._frozen:
+                if len(self._ids) < self.max_events:
+                    event_id = len(self._ids)
+                    self._ids[tag] = event_id
+            if event_id is not None and event_id not in ids:
+                ids.append(event_id)
+        return ids
+
+    @property
+    def n_events(self) -> int:
+        """Distinct events identified so far."""
+        return len(self._ids)
+
+    def id_of(self, hashtag: str) -> int | None:
+        """The id assigned to ``hashtag`` (None if unseen)."""
+        return self._ids.get(hashtag.lower())
+
+
+class KeywordEventMapper:
+    """``h``: keyword lists to event ids (multi-event mapping).
+
+    Parameters
+    ----------
+    keywords:
+        ``event_id -> iterable of keywords``; a message maps to every
+        event at least one of whose keywords appears in its lower-cased
+        text.
+    """
+
+    def __init__(self, keywords: Mapping[int, Iterable[str]]) -> None:
+        if not keywords:
+            raise InvalidParameterError("need at least one event")
+        self._keywords = {
+            event_id: [word.lower() for word in words]
+            for event_id, words in keywords.items()
+        }
+
+    def map(self, message: Message) -> list[int]:
+        """Event ids whose keywords appear in the message."""
+        text = message.text.lower()
+        return [
+            event_id
+            for event_id, words in self._keywords.items()
+            if any(word in text for word in words)
+        ]
+
+
+def map_messages(messages: Iterable[Message], mapper) -> EventStream:
+    """Apply ``h`` to an ordered message stream, yielding the event stream.
+
+    A message mapped to ``k`` events contributes ``k`` stream elements at
+    its timestamp; unmapped messages are dropped.
+    """
+    stream = EventStream()
+    for message in messages:
+        for event_id in mapper.map(message):
+            stream.append(event_id, message.timestamp)
+    return stream

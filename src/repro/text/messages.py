@@ -1,0 +1,88 @@
+"""Message substrate: the raw information stream ``M``.
+
+The paper's pipeline starts from timestamped *text* messages and maps each
+to one or more event ids via a black-box function ``h`` (§II-A).  This
+module provides the message container plus a small synthetic tweet
+generator so the full ``M -> S`` pipeline can be exercised end to end
+(see ``examples/streaming_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["Message", "extract_hashtags", "SyntheticTweetSource"]
+
+_HASHTAG_PATTERN = re.compile(r"#(\w+)")
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One timestamped text element of the information stream ``M``."""
+
+    text: str
+    timestamp: float
+
+    def hashtags(self) -> list[str]:
+        """Lower-cased hashtags appearing in the text."""
+        return extract_hashtags(self.text)
+
+
+def extract_hashtags(text: str) -> list[str]:
+    """All ``#hashtag`` tokens of a text, lower-cased, in order."""
+    return [tag.lower() for tag in _HASHTAG_PATTERN.findall(text)]
+
+
+_FILLER = [
+    "so excited about",
+    "can't believe",
+    "watching",
+    "huge news on",
+    "everyone talking about",
+    "live updates:",
+    "what a moment for",
+]
+
+
+@dataclass
+class SyntheticTweetSource:
+    """Generates tweet-like messages mentioning tagged topics.
+
+    Each topic is a hashtag; a message mentions one topic (occasionally
+    two, exercising the multi-event mapping path of §II-A).
+    """
+
+    topics: list[str]
+    seed: int = 0
+    multi_topic_probability: float = 0.1
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.topics:
+            raise InvalidParameterError("need at least one topic")
+        if not 0 <= self.multi_topic_probability <= 1:
+            raise InvalidParameterError(
+                "multi_topic_probability must be in [0, 1]"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    def message(self, topic_index: int, timestamp: float) -> Message:
+        """One message about ``topics[topic_index]`` at ``timestamp``."""
+        topic = self.topics[topic_index]
+        filler = _FILLER[int(self._rng.integers(0, len(_FILLER)))]
+        tags = [f"#{topic}"]
+        if (
+            len(self.topics) > 1
+            and self._rng.uniform() < self.multi_topic_probability
+        ):
+            other = int(self._rng.integers(0, len(self.topics)))
+            if self.topics[other] != topic:
+                tags.append(f"#{self.topics[other]}")
+        return Message(
+            text=f"{filler} {topic} {' '.join(tags)}", timestamp=timestamp
+        )

@@ -1,0 +1,59 @@
+"""Synthetic workload generators standing in for the paper's Twitter data."""
+
+from repro.workloads.generator import build_event_stream, sample_timestamps
+from repro.workloads.olympics import (
+    OLYMPICS_HORIZON,
+    make_olympicrio,
+    make_soccer_stream,
+    make_swimming_stream,
+)
+from repro.workloads.politics import (
+    POLITICS_HORIZON,
+    PoliticsDataset,
+    make_uspolitics,
+)
+from repro.workloads.profiles import (
+    DAY,
+    outbreak_profile,
+    soccer_profile,
+    stable_profile,
+    swimming_profile,
+)
+from repro.workloads.stats import WorkloadStats, describe_stream
+from repro.workloads.rates import (
+    ConstantRate,
+    GaussianBurst,
+    LinearRampRate,
+    PiecewiseConstantRate,
+    RateFunction,
+    ScaledRate,
+    SpikeRate,
+    SumRate,
+)
+
+__all__ = [
+    "WorkloadStats",
+    "describe_stream",
+    "build_event_stream",
+    "sample_timestamps",
+    "OLYMPICS_HORIZON",
+    "make_olympicrio",
+    "make_soccer_stream",
+    "make_swimming_stream",
+    "POLITICS_HORIZON",
+    "PoliticsDataset",
+    "make_uspolitics",
+    "DAY",
+    "outbreak_profile",
+    "soccer_profile",
+    "stable_profile",
+    "swimming_profile",
+    "ConstantRate",
+    "GaussianBurst",
+    "LinearRampRate",
+    "PiecewiseConstantRate",
+    "RateFunction",
+    "ScaledRate",
+    "SpikeRate",
+    "SumRate",
+]

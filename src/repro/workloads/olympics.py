@@ -1,0 +1,140 @@
+"""`olympicrio`-like synthetic dataset (paper §VI).
+
+The original dataset samples Twitter during the Rio 2016 games:
+``N = 5,032,975`` tweets, ``K = 864`` events, 1-second granularity over
+``T = 2,678,400`` seconds (31 days).  Two single-event sub-streams drive
+the parameter studies: *soccer* (bursts all month, biggest before the
+final) and *swimming* (bursts only in the first half), both normalized to
+the same volume.
+
+This module regenerates those *shapes* synthetically (see DESIGN.md §3 for
+the substitution rationale).  Volumes default to laptop-friendly values and
+scale linearly via ``total_mentions``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.events import EventStream, SingleEventStream
+from repro.workloads.generator import build_event_stream, sample_timestamps
+from repro.workloads.profiles import (
+    DAY,
+    outbreak_profile,
+    soccer_profile,
+    stable_profile,
+    swimming_profile,
+)
+from repro.workloads.rates import GaussianBurst, RateFunction, SumRate
+
+__all__ = [
+    "OLYMPICS_HORIZON",
+    "make_soccer_stream",
+    "make_swimming_stream",
+    "make_olympicrio",
+]
+
+#: 31 days at 1-second granularity — the paper's ``T = 2,678,400``.
+OLYMPICS_HORIZON = 31 * DAY
+
+
+def make_soccer_stream(
+    total_mentions: int = 100_000,
+    horizon: float = OLYMPICS_HORIZON,
+    seed: int = 7,
+) -> SingleEventStream:
+    """The soccer single-event stream (bursts all month, final biggest)."""
+    rng = np.random.default_rng(seed)
+    samples = sample_timestamps(
+        soccer_profile(int(horizon / DAY)),
+        t_end=horizon,
+        rng=rng,
+        expected_total=float(total_mentions),
+    )
+    return SingleEventStream(samples.tolist(), event_id=0)
+
+
+def make_swimming_stream(
+    total_mentions: int = 100_000,
+    horizon: float = OLYMPICS_HORIZON,
+    seed: int = 11,
+) -> SingleEventStream:
+    """The swimming single-event stream (early bursts, then silence)."""
+    rng = np.random.default_rng(seed)
+    samples = sample_timestamps(
+        swimming_profile(int(horizon / DAY)),
+        t_end=horizon,
+        rng=rng,
+        expected_total=float(total_mentions),
+    )
+    return SingleEventStream(samples.tolist(), event_id=1)
+
+
+def _sport_profile(
+    event_id: int, horizon_days: int, rng: np.random.Generator
+) -> RateFunction:
+    """A random per-sport profile: a few match-day bursts on a background."""
+    n_bursts = int(rng.integers(1, 6))
+    components: list[RateFunction] = [stable_profile(float(rng.uniform(0.0005, 0.004)))]
+    for _ in range(n_bursts):
+        components.append(
+            GaussianBurst(
+                peak_time=float(rng.uniform(0.5, horizon_days - 0.5)) * DAY,
+                height=float(rng.uniform(0.01, 0.2)),
+                width=float(rng.uniform(0.1, 0.4)) * DAY,
+            )
+        )
+    return SumRate(components)
+
+
+#: Volume share of the flagship events (ids 0-3).  Real hashtag volumes
+#: are extremely skewed — the headline events dwarf the long tail — and
+#: that skew is what lets their bursts tower over sketch-cell noise.
+_FLAGSHIP_SHARES = {0: 0.18, 1: 0.12, 2: 0.08, 3: 0.06}
+
+
+def make_olympicrio(
+    n_events: int = 864,
+    total_mentions: int = 250_000,
+    horizon: float = OLYMPICS_HORIZON,
+    seed: int = 2016,
+    zipf_exponent: float = 1.0,
+) -> EventStream:
+    """A mixed stream shaped like `olympicrio`.
+
+    Event 0 is the soccer profile, event 1 the swimming profile, event 2 a
+    stable high-frequency event, event 3 an outbreak; the remaining ids
+    carry randomized sport profiles.  Volume is skewed like real hashtag
+    data: the flagship events take fixed large shares
+    (``_FLAGSHIP_SHARES``) and the tail splits the rest by a Zipf law.
+    """
+    rng = np.random.default_rng(seed)
+    horizon_days = int(horizon / DAY)
+    profiles: dict[int, RateFunction] = {
+        0: soccer_profile(horizon_days),
+        1: swimming_profile(horizon_days),
+        2: stable_profile(0.02),
+        3: outbreak_profile(onset_day=min(12.0, horizon_days * 0.4)),
+    }
+    for event_id in range(4, n_events):
+        profiles[event_id] = _sport_profile(event_id, horizon_days, rng)
+    shares = dict(_FLAGSHIP_SHARES)
+    tail_ids = [e for e in range(n_events) if e not in shares]
+    tail_total = 1.0 - sum(shares[e] for e in shares if e < n_events)
+    if tail_ids:
+        ranks = np.arange(1, len(tail_ids) + 1, dtype=np.float64)
+        tail_shares = ranks**-zipf_exponent
+        tail_shares *= tail_total / tail_shares.sum()
+        rng.shuffle(tail_shares)
+        for event_id, share in zip(tail_ids, tail_shares):
+            shares[event_id] = float(share)
+    expected_totals = {
+        event_id: total_mentions * shares[event_id]
+        for event_id in range(n_events)
+    }
+    return build_event_stream(
+        profiles,
+        t_end=horizon,
+        rng=rng,
+        expected_totals=expected_totals,
+    )

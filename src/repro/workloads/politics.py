@@ -1,0 +1,118 @@
+"""`uspolitics`-like synthetic dataset (paper §VI).
+
+The original dataset samples US-politics tweets from June–November 2016:
+``K = 1,689`` events with *heavily skewed* popularity (a few huge events,
+a long tail of tiny ones) and many short intermittent burst spikes
+(Fig. 13).  The skew is what makes uspolitics need more sketch space than
+olympicrio for the same error (paper §VI-C), so the generator reproduces
+it explicitly: per-event volume follows a Zipf law, and every event plants
+a random number of short spikes on a weak background.
+
+Events carry a party label (``"democrat"`` / ``"republican"``) so the
+Fig. 13 timeline experiment can aggregate burstiness per category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.events import EventStream
+from repro.workloads.generator import build_event_stream
+from repro.workloads.profiles import DAY
+from repro.workloads.rates import (
+    ConstantRate,
+    RateFunction,
+    SpikeRate,
+    SumRate,
+)
+
+__all__ = [
+    "POLITICS_HORIZON",
+    "PoliticsDataset",
+    "make_uspolitics",
+]
+
+#: ~five months (June–November 2016) at 1-second granularity.
+POLITICS_HORIZON = 153 * DAY
+
+
+@dataclass(frozen=True, slots=True)
+class PoliticsDataset:
+    """A politics stream plus its ground-truth metadata."""
+
+    stream: EventStream
+    party: dict[int, str]  # event id -> "democrat" | "republican"
+    spike_times: dict[int, list[float]]  # planted burst onsets per event
+
+
+def _event_profile(
+    horizon: float, volume_share: float, rng: np.random.Generator
+) -> tuple[RateFunction, list[float]]:
+    """A weak background plus 0-6 short decaying spikes."""
+    n_spikes = int(rng.integers(0, 7))
+    onsets = sorted(
+        float(rng.uniform(0.02, 0.98)) * horizon for _ in range(n_spikes)
+    )
+    components: list[RateFunction] = [ConstantRate(0.2 * volume_share)]
+    for onset in onsets:
+        components.append(
+            SpikeRate(
+                onset=onset,
+                height=float(rng.uniform(2.0, 10.0)) * volume_share,
+                decay=float(rng.uniform(0.1, 0.6)) * DAY,
+            )
+        )
+    return SumRate(components), onsets
+
+
+def make_uspolitics(
+    n_events: int = 1_689,
+    total_mentions: int = 250_000,
+    horizon: float = POLITICS_HORIZON,
+    zipf_exponent: float = 1.1,
+    seed: int = 2016,
+) -> PoliticsDataset:
+    """Generate a skewed, spiky politics-like mixed stream.
+
+    Per-event popularity is ``share_i ∝ 1 / rank_i^zipf_exponent`` — the
+    defining difference from `olympicrio` per the paper's analysis.
+    """
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_events + 1, dtype=np.float64)
+    shares = ranks**-zipf_exponent
+    shares /= shares.sum()
+    # Shuffle so popular events are spread over the id space (as hashing
+    # a real dataset would).
+    rng.shuffle(shares)
+
+    profiles: dict[int, RateFunction] = {}
+    spike_times: dict[int, list[float]] = {}
+    party: dict[int, str] = {}
+    for event_id in range(n_events):
+        profile, onsets = _event_profile(
+            horizon, float(shares[event_id]), rng
+        )
+        profiles[event_id] = profile
+        spike_times[event_id] = onsets
+        party[event_id] = (
+            "democrat" if rng.uniform() < 0.5 else "republican"
+        )
+    grid = np.linspace(0.0, horizon, 2048)
+    masses = {
+        event_id: float(np.trapezoid(profile.rate(grid), grid))
+        for event_id, profile in profiles.items()
+    }
+    total_mass = sum(masses.values())
+    expected_totals = {
+        event_id: total_mentions * mass / total_mass
+        for event_id, mass in masses.items()
+    }
+    stream = build_event_stream(
+        profiles,
+        t_end=horizon,
+        rng=rng,
+        expected_totals=expected_totals,
+    )
+    return PoliticsDataset(stream=stream, party=party, spike_times=spike_times)

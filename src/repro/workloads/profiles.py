@@ -1,0 +1,89 @@
+"""Named rate profiles reproducing the shapes discussed in the paper.
+
+* :func:`soccer_profile` — matches held throughout the month with the
+  largest burst right before the final (Fig. 7: several bursts, biggest
+  near the end),
+* :func:`swimming_profile` — matches concentrated in the first half of
+  the games, then rate and burstiness collapse to almost zero (Fig. 7),
+* :func:`stable_profile` — the "weather report": frequent but never
+  bursty,
+* :func:`outbreak_profile` — the "earthquake": rare, then an abrupt
+  surge.
+
+Times are in seconds; a day is 86 400 s, matching the paper's
+``tau = 86 400`` characteristic plots.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.rates import (
+    ConstantRate,
+    GaussianBurst,
+    RateFunction,
+    SpikeRate,
+    SumRate,
+)
+
+__all__ = [
+    "DAY",
+    "soccer_profile",
+    "swimming_profile",
+    "stable_profile",
+    "outbreak_profile",
+]
+
+DAY = 86_400.0
+
+
+def soccer_profile(horizon_days: int = 31) -> RateFunction:
+    """Bursts on a match every ~4 days, largest right before the final."""
+    components: list[RateFunction] = [ConstantRate(0.002)]
+    match_days = [3, 7, 10, 13, 17, 20, 24]
+    for day in match_days:
+        if day < horizon_days:
+            components.append(
+                GaussianBurst(
+                    peak_time=day * DAY, height=0.08, width=0.25 * DAY
+                )
+            )
+    final_day = min(horizon_days - 2, 29)
+    components.append(
+        GaussianBurst(
+            peak_time=final_day * DAY, height=0.35, width=0.3 * DAY
+        )
+    )
+    return SumRate(components)
+
+
+def swimming_profile(horizon_days: int = 31) -> RateFunction:
+    """Daily bursts in the first half of the games, silence afterwards."""
+    components: list[RateFunction] = [ConstantRate(0.0005)]
+    for day in range(1, min(10, horizon_days)):
+        height = 0.12 + 0.03 * (day % 3)
+        components.append(
+            GaussianBurst(
+                peak_time=day * DAY, height=height, width=0.15 * DAY
+            )
+        )
+    return SumRate(components)
+
+
+def stable_profile(level: float = 0.05) -> RateFunction:
+    """High but steady attention: large frequency, near-zero burstiness."""
+    return ConstantRate(level)
+
+
+def outbreak_profile(
+    onset_day: float = 12.0, height: float = 0.5, decay_days: float = 0.5
+) -> RateFunction:
+    """Near-silent, then a sudden surge with exponential decay."""
+    return SumRate(
+        [
+            ConstantRate(0.0002),
+            SpikeRate(
+                onset=onset_day * DAY,
+                height=height,
+                decay=decay_days * DAY,
+            ),
+        ]
+    )

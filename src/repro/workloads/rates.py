@@ -1,0 +1,184 @@
+"""Composable rate functions for synthetic event streams.
+
+A *rate function* maps time to an instantaneous expected mention rate
+(mentions per time unit).  Event profiles are built by composing the
+primitives here — a stable event is a :class:`ConstantRate`, an
+earthquake-style outbreak is a :class:`SpikeRate` on a tiny background,
+a sports final is a :class:`GaussianBurst` stacked on a weekly schedule —
+and the generator samples an inhomogeneous Poisson process from the sum.
+
+All rate functions are deterministic and vectorized over numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "RateFunction",
+    "ConstantRate",
+    "LinearRampRate",
+    "GaussianBurst",
+    "SpikeRate",
+    "PiecewiseConstantRate",
+    "SumRate",
+    "ScaledRate",
+]
+
+
+@runtime_checkable
+class RateFunction(Protocol):
+    """Instantaneous expected mention rate over time."""
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate the rate at each entry of ``times`` (>= 0 everywhere)."""
+        ...
+
+
+class ConstantRate:
+    """A flat rate — the paper's "frequent but not bursty" weather report."""
+
+    def __init__(self, level: float) -> None:
+        if level < 0:
+            raise InvalidParameterError("rate level must be >= 0")
+        self.level = float(level)
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(times, dtype=np.float64), self.level)
+
+
+class LinearRampRate:
+    """Rate rising (or falling) linearly between two anchors, flat outside."""
+
+    def __init__(
+        self, t_start: float, t_end: float, r_start: float, r_end: float
+    ) -> None:
+        if t_end <= t_start:
+            raise InvalidParameterError("t_end must exceed t_start")
+        if r_start < 0 or r_end < 0:
+            raise InvalidParameterError("rates must be >= 0")
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+        self.r_start = float(r_start)
+        self.r_end = float(r_end)
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        fraction = np.clip(
+            (times - self.t_start) / (self.t_end - self.t_start), 0.0, 1.0
+        )
+        return self.r_start + fraction * (self.r_end - self.r_start)
+
+
+class GaussianBurst:
+    """A smooth bell-shaped surge of attention around a peak time.
+
+    The canonical "developing event": mentions accelerate on the rising
+    flank (positive burstiness), peak, then decelerate (negative
+    burstiness) — the shape of the paper's soccer-final burst.
+    """
+
+    def __init__(self, peak_time: float, height: float, width: float) -> None:
+        if height < 0:
+            raise InvalidParameterError("height must be >= 0")
+        if width <= 0:
+            raise InvalidParameterError("width must be > 0")
+        self.peak_time = float(peak_time)
+        self.height = float(height)
+        self.width = float(width)
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        z = (times - self.peak_time) / self.width
+        return self.height * np.exp(-0.5 * z * z)
+
+
+class SpikeRate:
+    """A sudden jump followed by exponential decay — an outbreak.
+
+    Models the earthquake example of the paper's introduction: near-zero
+    rate, an instantaneous surge at ``onset``, then a decay with time
+    constant ``decay``.
+    """
+
+    def __init__(self, onset: float, height: float, decay: float) -> None:
+        if height < 0:
+            raise InvalidParameterError("height must be >= 0")
+        if decay <= 0:
+            raise InvalidParameterError("decay must be > 0")
+        self.onset = float(onset)
+        self.height = float(height)
+        self.decay = float(decay)
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        out = np.zeros_like(times)
+        active = times >= self.onset
+        out[active] = self.height * np.exp(
+            -(times[active] - self.onset) / self.decay
+        )
+        return out
+
+
+class PiecewiseConstantRate:
+    """A step schedule: rate ``levels[i]`` on ``[edges[i], edges[i+1])``.
+
+    Useful for weekly match schedules and on/off attention patterns.
+    """
+
+    def __init__(
+        self, edges: Sequence[float], levels: Sequence[float]
+    ) -> None:
+        if len(edges) != len(levels) + 1:
+            raise InvalidParameterError(
+                "need exactly one more edge than levels"
+            )
+        edges_arr = np.asarray(edges, dtype=np.float64)
+        if np.any(np.diff(edges_arr) <= 0):
+            raise InvalidParameterError("edges must strictly increase")
+        levels_arr = np.asarray(levels, dtype=np.float64)
+        if np.any(levels_arr < 0):
+            raise InvalidParameterError("levels must be >= 0")
+        self.edges = edges_arr
+        self.levels = levels_arr
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        idx = np.searchsorted(self.edges, times, side="right") - 1
+        inside = (idx >= 0) & (idx < self.levels.size)
+        out = np.zeros_like(times)
+        out[inside] = self.levels[idx[inside]]
+        return out
+
+
+class SumRate:
+    """Superposition of several rate functions."""
+
+    def __init__(self, components: Sequence[RateFunction]) -> None:
+        if not components:
+            raise InvalidParameterError("need at least one component")
+        self.components = list(components)
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        total = np.zeros_like(times)
+        for component in self.components:
+            total += component.rate(times)
+        return total
+
+
+class ScaledRate:
+    """A rate function multiplied by a non-negative factor."""
+
+    def __init__(self, base: RateFunction, factor: float) -> None:
+        if factor < 0:
+            raise InvalidParameterError("factor must be >= 0")
+        self.base = base
+        self.factor = float(factor)
+
+    def rate(self, times: np.ndarray) -> np.ndarray:
+        return self.factor * self.base.rate(times)

@@ -1,0 +1,112 @@
+"""Workload statistics.
+
+Quantifies the stream properties the reproduction's fidelity hinges on
+(see DESIGN.md §3 and EXPERIMENTS.md): volume, distinct events, volume
+skew (Gini coefficient and top-share), clock duplication, curve
+complexity, and the burstiness scale at a reference ``tau``.  Printed by
+``python -m repro inspect`` and used in tests to assert the generators
+actually exhibit the skew/intermittency the paper's datasets have.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.errors import InvalidParameterError
+from repro.streams.events import EventStream
+
+__all__ = ["WorkloadStats", "describe_stream"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Summary statistics of a mixed event stream."""
+
+    n_mentions: int
+    n_events: int
+    t_start: float
+    t_end: float
+    gini: float  # volume skew: 0 = uniform, -> 1 = one event owns all
+    top_event_share: float
+    duplication: float  # mentions per distinct timestamp
+    mean_corners_per_event: float
+    burstiness_p99: float  # 99th pct of |b_e(t)| on a (event, t) grid
+    burstiness_max: float
+
+    def summary(self) -> str:
+        """Human-readable one-block summary."""
+        days = (self.t_end - self.t_start) / 86_400.0
+        return "\n".join(
+            [
+                f"mentions:        {self.n_mentions}",
+                f"events:          {self.n_events}",
+                f"span:            {days:.1f} days",
+                f"volume gini:     {self.gini:.3f} "
+                f"(top event {self.top_event_share:.1%})",
+                f"duplication:     {self.duplication:.2f} "
+                "mentions/distinct-timestamp",
+                f"corners/event:   {self.mean_corners_per_event:.1f}",
+                f"|burstiness|:    p99 {self.burstiness_p99:.1f}, "
+                f"max {self.burstiness_max:.1f}",
+            ]
+        )
+
+
+def _gini(volumes: np.ndarray) -> float:
+    """Gini coefficient of a non-negative volume vector."""
+    if volumes.size == 0:
+        return 0.0
+    ordered = np.sort(volumes.astype(np.float64))
+    total = ordered.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, ordered.size + 1)
+    return float(
+        (2.0 * np.sum(ranks * ordered)) / (ordered.size * total)
+        - (ordered.size + 1.0) / ordered.size
+    )
+
+
+def describe_stream(
+    stream: EventStream,
+    tau: float = 86_400.0,
+    grid_size: int = 32,
+) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a stream."""
+    if len(stream) == 0:
+        raise InvalidParameterError("cannot describe an empty stream")
+    if tau <= 0:
+        raise InvalidParameterError(f"tau must be > 0, got {tau}")
+    t_start, t_end = stream.span
+    volumes = Counter(stream.event_ids)
+    volume_array = np.asarray(sorted(volumes.values()), dtype=np.float64)
+    n = len(stream)
+    distinct_ts = len(set(stream.timestamps))
+    exact = ExactBurstStore.from_stream(stream)
+    per_event_corners = [
+        len(set(exact.timestamps_of(event_id))) for event_id in volumes
+    ]
+    grid = np.linspace(t_start + 2 * tau, max(t_end, t_start + 2 * tau + 1),
+                       grid_size)
+    magnitudes = [
+        abs(exact.burstiness(event_id, float(t), tau))
+        for event_id in volumes
+        for t in grid
+    ]
+    magnitude_array = np.asarray(magnitudes, dtype=np.float64)
+    return WorkloadStats(
+        n_mentions=n,
+        n_events=len(volumes),
+        t_start=t_start,
+        t_end=t_end,
+        gini=_gini(volume_array),
+        top_event_share=float(volume_array[-1]) / n,
+        duplication=n / max(1, distinct_ts),
+        mean_corners_per_event=float(np.mean(per_event_corners)),
+        burstiness_p99=float(np.quantile(magnitude_array, 0.99)),
+        burstiness_max=float(magnitude_array.max()),
+    )

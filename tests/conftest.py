@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic streams used across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.events import EventStream
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_timestamps() -> list[float]:
+    """~500 sorted timestamps with duplicates, integer granularity."""
+    generator = np.random.default_rng(7)
+    ts = np.sort(generator.uniform(0, 2_000, size=500)).round(0)
+    return ts.tolist()
+
+
+@pytest.fixture(scope="session")
+def bursty_timestamps() -> list[float]:
+    """A stream with a quiet phase, a sharp burst, and a decay."""
+    generator = np.random.default_rng(13)
+    quiet = generator.uniform(0, 5_000, size=150)
+    burst = generator.uniform(5_000, 5_400, size=600)
+    tail = generator.uniform(5_400, 9_000, size=120)
+    ts = np.sort(np.concatenate([quiet, burst, tail])).round(0)
+    return ts.tolist()
+
+
+@pytest.fixture(scope="session")
+def mixed_stream() -> EventStream:
+    """A 16-event mixed stream where event 5 bursts around t=500."""
+    generator = np.random.default_rng(99)
+    records = []
+    for t in range(1_000):
+        for _ in range(generator.poisson(1.5)):
+            records.append((int(generator.integers(0, 16)), float(t)))
+        if 480 <= t < 520:
+            for _ in range(generator.poisson(15)):
+                records.append((5, float(t)))
+    records.sort(key=lambda r: r[1])
+    return EventStream(records)
+
+
+@pytest.fixture(scope="session")
+def staircase_corners() -> tuple[np.ndarray, np.ndarray]:
+    """A modest random staircase (strictly increasing xs and ys)."""
+    generator = np.random.default_rng(3)
+    xs = np.cumsum(generator.integers(1, 9, size=80)).astype(float)
+    ys = np.cumsum(generator.integers(1, 6, size=80)).astype(float)
+    return xs, ys

@@ -1,0 +1,87 @@
+"""Public API surface tests: everything advertised is importable and the
+documented entry points behave as the README shows."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_core_exports_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines
+        import repro.eval
+        import repro.sketch
+        import repro.streams
+        import repro.text
+        import repro.workloads
+
+        for module in (
+            repro.baselines,
+            repro.eval,
+            repro.sketch,
+            repro.streams,
+            repro.text,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestReadmeQuickstart:
+    def test_readme_snippet_runs(self):
+        from repro import HistoricalBurstAnalyzer
+        from repro.workloads import DAY, make_olympicrio
+
+        stream = make_olympicrio(n_events=16, total_mentions=3_000)
+        analyzer = HistoricalBurstAnalyzer(
+            "cm-pbe-1", universe_size=16, eta=50, width=4, depth=3
+        )
+        analyzer.ingest(stream)
+        analyzer.finalize()
+        value = analyzer.point_query(0, t=29 * DAY, tau=DAY)
+        assert isinstance(value, float)
+        intervals = analyzer.bursty_times(0, theta=1e9, tau=DAY)
+        assert intervals == []
+        hits = analyzer.bursty_events(t=29 * DAY, theta=1e9, tau=DAY)
+        assert hits == []
+
+    def test_error_hierarchy(self):
+        from repro import (
+            EmptySketchError,
+            InvalidParameterError,
+            ReproError,
+            StreamOrderError,
+        )
+
+        assert issubclass(EmptySketchError, ReproError)
+        assert issubclass(StreamOrderError, ReproError)
+        assert issubclass(InvalidParameterError, ReproError)
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_docstrings_everywhere(self):
+        """Every public callable in the top-level API is documented."""
+        import repro
+
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,164 @@
+"""Tests for the on-disk stream archive and the event registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.streams.archive import StreamArchive
+from repro.streams.registry import EventRegistry
+
+
+@pytest.fixture
+def records() -> list[tuple[int, float]]:
+    rng = np.random.default_rng(3)
+    ts = np.sort(rng.uniform(0, 10_000, size=900)).round(0)
+    ids = rng.integers(0, 8, size=900)
+    return list(zip(ids.tolist(), ts.tolist()))
+
+
+class TestStreamArchive:
+    def test_append_flush_scan_round_trip(self, tmp_path, records):
+        archive = StreamArchive(tmp_path / "arch", segment_size=200)
+        archive.extend(records)
+        archive.flush()
+        assert len(archive) == len(records)
+        assert list(archive.scan()) == records
+        assert len(archive.segments) == len(records) // 200 + (
+            1 if len(records) % 200 else 0
+        )
+
+    def test_tail_visible_before_flush(self, tmp_path, records):
+        archive = StreamArchive(tmp_path / "arch", segment_size=10_000)
+        archive.extend(records)
+        assert len(archive.segments) == 0
+        assert list(archive.scan()) == records
+
+    def test_reopen_resumes(self, tmp_path, records):
+        directory = tmp_path / "arch"
+        first = StreamArchive(directory, segment_size=200)
+        first.extend(records[:500])
+        first.flush()
+        second = StreamArchive(directory, segment_size=200)
+        second.extend(records[500:])
+        second.flush()
+        assert list(second.scan()) == records
+
+    def test_rejects_out_of_order_across_reopen(self, tmp_path, records):
+        directory = tmp_path / "arch"
+        archive = StreamArchive(directory, segment_size=100)
+        archive.extend(records)
+        archive.flush()
+        reopened = StreamArchive(directory)
+        with pytest.raises(StreamOrderError):
+            reopened.append(0, records[0][1] - 1.0)
+
+    def test_scan_range_matches_filter(self, tmp_path, records):
+        archive = StreamArchive(tmp_path / "arch", segment_size=150)
+        archive.extend(records)
+        archive.flush()
+        lo, hi = 2_000.0, 7_000.0
+        expected = [(e, t) for e, t in records if lo <= t <= hi]
+        assert list(archive.scan_range(lo, hi)) == expected
+
+    def test_scan_range_includes_tail(self, tmp_path, records):
+        archive = StreamArchive(tmp_path / "arch", segment_size=10_000)
+        archive.extend(records)
+        lo, hi = 2_000.0, 7_000.0
+        expected = [(e, t) for e, t in records if lo <= t <= hi]
+        assert list(archive.scan_range(lo, hi)) == expected
+
+    def test_load_range_stream(self, tmp_path, records):
+        archive = StreamArchive(tmp_path / "arch", segment_size=150)
+        archive.extend(records)
+        archive.flush()
+        stream = archive.load_range(0.0, 10_001.0)
+        assert len(stream) == len(records)
+
+    def test_invalid_range(self, tmp_path):
+        archive = StreamArchive(tmp_path / "arch")
+        with pytest.raises(InvalidParameterError):
+            list(archive.scan_range(5.0, 1.0))
+
+    def test_invalid_segment_size(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            StreamArchive(tmp_path / "arch", segment_size=0)
+
+    def test_offline_pbe1_over_archive(self, tmp_path, records):
+        """The paper's offline mode: build PBE-1 from an archive scan."""
+        from repro.core.pbe1 import PBE1
+        from repro.streams.frequency import StaircaseCurve
+
+        archive = StreamArchive(tmp_path / "arch", segment_size=200)
+        archive.extend(records)
+        archive.flush()
+        timestamps = [t for e, t in archive.scan() if e == 3]
+        sketch = PBE1(eta=20, buffer_size=100)
+        sketch.extend(timestamps)
+        sketch.flush()
+        curve = StaircaseCurve.from_timestamps(timestamps)
+        for q in (1_000.0, 5_000.0, 9_999.0):
+            assert sketch.value(q) <= curve.value(q)
+
+
+class TestEventRegistry:
+    def test_dense_assignment(self):
+        registry = EventRegistry()
+        assert registry.register("soccer") == 0
+        assert registry.register("swimming") == 1
+        assert registry.register("soccer") == 0
+        assert len(registry) == 2
+
+    def test_case_and_whitespace_insensitive(self):
+        registry = EventRegistry()
+        a = registry.register("  Anthem-Protest ")
+        assert registry.id_of("anthem-protest") == a
+        assert "ANTHEM-PROTEST " in registry
+
+    def test_name_of(self):
+        registry = EventRegistry()
+        registry.register("a")
+        assert registry.name_of(0) == "a"
+        with pytest.raises(InvalidParameterError):
+            registry.name_of(5)
+
+    def test_capacity(self):
+        registry = EventRegistry(capacity=2)
+        registry.register("a")
+        registry.register("b")
+        with pytest.raises(InvalidParameterError):
+            registry.register("c")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            EventRegistry().register("   ")
+
+    def test_save_load_round_trip(self, tmp_path):
+        registry = EventRegistry()
+        for name in ("soccer", "swimming", "anthem-protest"):
+            registry.register(name)
+        path = tmp_path / "registry.csv"
+        registry.save(path)
+        loaded = EventRegistry.load(path)
+        assert len(loaded) == 3
+        assert loaded.id_of("anthem-protest") == 2
+        assert list(loaded) == list(registry)
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\na,0\n")
+        with pytest.raises(InvalidParameterError):
+            EventRegistry.load(path)
+
+    def test_load_rejects_non_dense(self, tmp_path):
+        path = tmp_path / "sparse.csv"
+        path.write_text("name,event_id\na,0\nb,5\n")
+        with pytest.raises(InvalidParameterError):
+            EventRegistry.load(path)
+
+    def test_iteration(self):
+        registry = EventRegistry()
+        registry.register("a")
+        registry.register("b")
+        assert dict(registry) == {"a": 0, "b": 1}

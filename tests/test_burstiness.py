@@ -1,0 +1,84 @@
+"""Tests for the shared burstiness arithmetic (series evaluation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.burstiness import (
+    burst_frequency,
+    burstiness,
+    burstiness_series,
+    incoming_rate_series,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe2 import PBE2
+from repro.streams.frequency import StaircaseCurve
+
+
+@pytest.fixture(scope="module")
+def curve() -> StaircaseCurve:
+    rng = np.random.default_rng(17)
+    ts = np.sort(rng.uniform(0, 1_000, size=400)).round(0)
+    return StaircaseCurve.from_timestamps(ts.tolist())
+
+
+class TestScalars:
+    def test_burst_frequency_definition(self, curve):
+        t, tau = 600.0, 50.0
+        assert burst_frequency(curve, t, tau) == (
+            curve.value(t) - curve.value(t - tau)
+        )
+
+    def test_burstiness_is_rate_difference(self, curve):
+        t, tau = 600.0, 50.0
+        expected = burst_frequency(curve, t, tau) - burst_frequency(
+            curve, t - tau, tau
+        )
+        assert burstiness(curve, t, tau) == expected
+
+    def test_invalid_tau(self, curve):
+        with pytest.raises(InvalidParameterError):
+            burstiness(curve, 1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            burst_frequency(curve, 1.0, -5.0)
+
+
+class TestSeries:
+    def test_series_matches_scalars_on_staircase(self, curve):
+        times = np.linspace(0, 1_100, 37)
+        series = burstiness_series(curve, times, 50.0)
+        scalars = [burstiness(curve, t, 50.0) for t in times]
+        assert series.tolist() == scalars
+
+    def test_incoming_rate_series_matches_scalars(self, curve):
+        times = np.linspace(0, 1_100, 37)
+        series = incoming_rate_series(curve, times, 50.0)
+        scalars = [burst_frequency(curve, t, 50.0) for t in times]
+        assert series.tolist() == scalars
+
+    def test_series_on_generic_curve(self):
+        """Non-staircase curves take the scalar fallback path."""
+        rng = np.random.default_rng(3)
+        ts = np.sort(rng.uniform(0, 1_000, size=300)).round(0).tolist()
+        sketch = PBE2(gamma=5.0)
+        sketch.extend(ts)
+        sketch.finalize()
+        times = np.linspace(100, 900, 9)
+        series = burstiness_series(sketch, times, 50.0)
+        scalars = [burstiness(sketch, t, 50.0) for t in times]
+        assert series.tolist() == pytest.approx(scalars)
+
+    def test_series_invalid_tau(self, curve):
+        with pytest.raises(InvalidParameterError):
+            burstiness_series(curve, np.array([1.0]), 0.0)
+
+    def test_sum_of_burstiness_telescopes(self, curve):
+        """Summing b over a tau-grid telescopes to a bf difference."""
+        tau = 100.0
+        grid = np.arange(2 * tau, 1_000.0, tau)
+        total = float(np.sum(burstiness_series(curve, grid, tau)))
+        expected = burst_frequency(curve, grid[-1], tau) - burst_frequency(
+            curve, grid[0] - tau, tau
+        )
+        assert total == pytest.approx(expected)

@@ -1,0 +1,163 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.profiles import DAY
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.bin"
+    code = main([
+        "generate", "olympicrio", "--out", str(path),
+        "--events", "16", "--mentions", "4000",
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def sketch_file(tmp_path, stream_file):
+    path = tmp_path / "sketch.cmpbe"
+    code = main([
+        "build", str(stream_file), "--out", str(path),
+        "--method", "cm-pbe-2", "--gamma", "10", "--width", "4",
+        "--depth", "3",
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_binary(self, stream_file, capsys):
+        assert stream_file.exists()
+
+    def test_csv(self, tmp_path, capsys):
+        path = tmp_path / "stream.csv"
+        code = main([
+            "generate", "uspolitics", "--out", str(path), "--csv",
+            "--events", "8", "--mentions", "2000",
+        ])
+        assert code == 0
+        header = path.read_text().splitlines()[0]
+        assert header == "event_id,timestamp"
+
+
+class TestBuild:
+    def test_cm_pbe_1(self, tmp_path, stream_file, capsys):
+        out = tmp_path / "s1.cmpbe"
+        code = main([
+            "build", str(stream_file), "--out", str(out),
+            "--method", "cm-pbe-1", "--eta", "40",
+            "--buffer-size", "200", "--width", "4", "--depth", "3",
+        ])
+        assert code == 0
+        assert out.read_bytes()[:4] == b"CMPB"
+
+    def test_reports_sizes(self, sketch_file, capsys):
+        assert sketch_file.exists()
+
+
+class TestQuery:
+    def test_point(self, sketch_file, capsys):
+        code = main([
+            "query", "point", "--sketch", str(sketch_file),
+            "--event", "0", "--t", str(29 * DAY), "--tau", str(DAY),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("b(0,")
+
+    def test_point_requires_t(self, sketch_file, capsys):
+        code = main([
+            "query", "point", "--sketch", str(sketch_file),
+            "--event", "0",
+        ])
+        assert code == 2
+
+    def test_bursty_times(self, sketch_file, capsys):
+        code = main([
+            "query", "bursty-times", "--sketch", str(sketch_file),
+            "--event", "0", "--theta", "1", "--tau", str(DAY),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bursty from" in out or "never bursty" in out
+
+    def test_bursty_times_requires_theta(self, sketch_file, capsys):
+        code = main([
+            "query", "bursty-times", "--sketch", str(sketch_file),
+            "--event", "0",
+        ])
+        assert code == 2
+
+    def test_unseen_event(self, sketch_file, capsys):
+        code = main([
+            "query", "bursty-times", "--sketch", str(sketch_file),
+            "--event", "9999", "--theta", "1",
+        ])
+        assert code == 0
+
+
+class TestInspect:
+    def test_stream(self, stream_file, capsys):
+        assert main(["inspect", str(stream_file)]) == 0
+        assert "event stream" in capsys.readouterr().out
+
+    def test_sketch(self, sketch_file, capsys):
+        assert main(["inspect", str(sketch_file)]) == 0
+        assert "CM-PBE sketch" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_fig7(self, capsys):
+        code = main(["experiment", "fig7", "--mentions", "3000"])
+        assert code == 0
+        assert "Fig 7" in capsys.readouterr().out
+
+    def test_costs(self, capsys):
+        code = main(["experiment", "costs", "--mentions", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact" in out and "PBE-1" in out
+
+
+class TestValidateCommand:
+    def test_validate(self, stream_file, sketch_file, capsys):
+        code = main([
+            "validate", "--sketch", str(sketch_file),
+            "--stream", str(stream_file), "--times", "6",
+        ])
+        assert code == 0
+        assert "mean abs err" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig08.txt").write_text("hello table\n")
+        code = main(["report", "--results", str(results)])
+        assert code == 0
+        assert (results / "REPORT.md").exists()
+        assert "hello table" in (results / "REPORT.md").read_text()
+
+    def test_fig9(self, capsys):
+        code = main(["experiment", "fig9", "--mentions", "3000"])
+        assert code == 0
+        assert "PBE-2" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        code = main(["experiment", "fig8", "--mentions", "3000"])
+        assert code == 0
+        assert "PBE-1" in capsys.readouterr().out
+
+    def test_fig11(self, capsys):
+        code = main([
+            "experiment", "fig11", "--mentions", "3000", "--events", "16",
+        ])
+        assert code == 0
+        assert "CM-PBE" in capsys.readouterr().out

@@ -1,0 +1,150 @@
+"""Tests for CM-PBE (mixed-stream sketches) and the direct PBE map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.cmpbe import CMPBE, DirectPBEMap
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe1 import PBE1
+
+
+class TestConstruction:
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidParameterError):
+            CMPBE.with_pbe1(eta=10, width=0, depth=3)
+
+    def test_invalid_combiner(self):
+        with pytest.raises(InvalidParameterError):
+            CMPBE.with_pbe1(eta=10, width=4, depth=3, combiner="mean")
+
+    def test_paper_dimensions(self):
+        width, depth = CMPBE.dimensions_from_error_bounds(0.5, 0.2)
+        assert width == 6 and depth == 2
+
+    def test_count(self, mixed_stream):
+        sketch = CMPBE.with_pbe1(eta=20, width=8, depth=3, buffer_size=100)
+        sketch.extend(mixed_stream)
+        assert sketch.count == len(mixed_stream)
+
+
+class TestAccuracy:
+    @pytest.fixture(scope="class")
+    def exact(self, mixed_stream) -> ExactBurstStore:
+        return ExactBurstStore.from_stream(mixed_stream)
+
+    @pytest.fixture(scope="class", params=["pbe1", "pbe2"])
+    def sketch(self, request, mixed_stream) -> CMPBE:
+        if request.param == "pbe1":
+            sketch = CMPBE.with_pbe1(
+                eta=80, width=8, depth=3, buffer_size=300
+            )
+        else:
+            sketch = CMPBE.with_pbe2(gamma=10.0, width=8, depth=3)
+        sketch.extend(mixed_stream)
+        sketch.finalize()
+        return sketch
+
+    def test_cumulative_frequency_close(self, sketch, exact, mixed_stream):
+        t_end = mixed_stream.span[1]
+        n = len(mixed_stream)
+        for event_id in (0, 5, 11):
+            for t in (t_end * 0.3, t_end * 0.6, t_end):
+                estimate = sketch.cumulative_frequency(event_id, t)
+                truth = exact.cumulative_frequency(event_id, t)
+                # Theorem 1: |err| <= eps*N + Delta whp; generous slack.
+                assert abs(estimate - truth) <= 0.5 * n
+
+    def test_burst_detected(self, sketch, exact):
+        # Event 5 bursts hugely around t=500 in the fixture.
+        tau = 50.0
+        estimate = sketch.burstiness(5, 520.0, tau)
+        truth = exact.burstiness(5, 520.0, tau)
+        assert truth > 300
+        assert estimate == pytest.approx(truth, rel=0.35)
+
+    def test_quiet_event_not_bursty(self, sketch, exact):
+        tau = 50.0
+        estimate = sketch.burstiness(7, 520.0, tau)
+        truth = exact.burstiness(7, 520.0, tau)
+        assert abs(truth) < 60
+        assert abs(estimate) < 250
+
+    def test_curve_view(self, sketch):
+        view = sketch.curve(5)
+        assert view.value(500.0) == sketch.cumulative_frequency(5, 500.0)
+        assert view.size_in_bytes() == sketch.size_in_bytes()
+
+    def test_segment_starts_nonempty(self, sketch):
+        assert sketch.segment_starts(5)
+
+
+class TestCombiners:
+    def test_min_combiner_never_above_median_by_construction(
+        self, mixed_stream
+    ):
+        median = CMPBE.with_pbe1(
+            eta=40, width=4, depth=3, buffer_size=200, combiner="median"
+        )
+        minimum = CMPBE.with_pbe1(
+            eta=40, width=4, depth=3, buffer_size=200, combiner="min"
+        )
+        median.extend(mixed_stream)
+        minimum.extend(mixed_stream)
+        for event_id in (0, 5, 9):
+            t = 700.0
+            assert minimum.cumulative_frequency(
+                event_id, t
+            ) <= median.cumulative_frequency(event_id, t)
+
+
+class TestSpace:
+    def test_size_grows_with_eta(self, mixed_stream):
+        small = CMPBE.with_pbe1(eta=10, width=4, depth=2, buffer_size=100)
+        large = CMPBE.with_pbe1(eta=80, width=4, depth=2, buffer_size=100)
+        small.extend(mixed_stream)
+        large.extend(mixed_stream)
+        small.finalize()
+        large.finalize()
+        assert small.size_in_bytes() < large.size_in_bytes()
+
+    def test_much_smaller_than_exact(self, mixed_stream):
+        sketch = CMPBE.with_pbe1(eta=20, width=4, depth=2, buffer_size=300)
+        sketch.extend(mixed_stream)
+        sketch.finalize()
+        exact_bytes = 8 * len(mixed_stream)
+        assert sketch.size_in_bytes() < exact_bytes / 3
+
+
+class TestDirectPBEMap:
+    def test_exact_per_id_when_budget_large(self, mixed_stream):
+        direct = DirectPBEMap(lambda: PBE1(eta=10_000, buffer_size=10_000))
+        direct.extend(mixed_stream)
+        direct.finalize()
+        exact = ExactBurstStore.from_stream(mixed_stream)
+        for event_id in (0, 5, 15):
+            for t in (300.0, 600.0, 999.0):
+                assert direct.cumulative_frequency(event_id, t) == (
+                    pytest.approx(exact.cumulative_frequency(event_id, t))
+                )
+
+    def test_unseen_id_is_zero(self):
+        direct = DirectPBEMap(lambda: PBE1(eta=4, buffer_size=10))
+        assert direct.cumulative_frequency(42, 1.0) == 0.0
+        assert direct.segment_starts(42) == []
+
+    def test_burstiness_matches_exact(self, mixed_stream):
+        direct = DirectPBEMap(lambda: PBE1(eta=10_000, buffer_size=10_000))
+        direct.extend(mixed_stream)
+        exact = ExactBurstStore.from_stream(mixed_stream)
+        assert direct.burstiness(5, 520.0, 50.0) == pytest.approx(
+            exact.burstiness(5, 520.0, 50.0)
+        )
+
+    def test_count_and_size(self, mixed_stream):
+        direct = DirectPBEMap(lambda: PBE1(eta=10, buffer_size=50))
+        direct.extend(mixed_stream)
+        assert direct.count == len(mixed_stream)
+        assert direct.size_in_bytes() > 0

@@ -1,0 +1,120 @@
+"""Property-based tests for CM-PBE's estimator structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cmpbe import CMPBE
+from repro.sketch.persistent_countmin import PersistentCountMin
+
+# Small mixed streams: lists of (event_id, timestamp) with sorted times.
+mixed_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=200),
+    ),
+    min_size=1,
+    max_size=120,
+).map(lambda records: sorted(records, key=lambda r: r[1]))
+
+
+def _build(records, combiner="median", seed=3):
+    sketch = CMPBE.with_pbe1(
+        eta=6, width=4, depth=3, buffer_size=16, combiner=combiner,
+        seed=seed,
+    )
+    for event_id, t in records:
+        sketch.update(event_id, float(t))
+    sketch.finalize()
+    return sketch
+
+
+class TestEstimatorStructure:
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_streams)
+    def test_min_combiner_below_median(self, records):
+        """min over rows can never exceed the median over rows."""
+        median = _build(records, "median")
+        minimum = _build(records, "min")
+        for event_id in {e for e, _ in records}:
+            for t in (50.0, 120.0, 210.0):
+                assert minimum.cumulative_frequency(event_id, t) <= (
+                    median.cumulative_frequency(event_id, t) + 1e-9
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_streams)
+    def test_estimate_bounded_by_total(self, records):
+        """No combiner can report more mass than the whole stream."""
+        sketch = _build(records)
+        for event_id in range(10):
+            estimate = sketch.cumulative_frequency(event_id, 1e9)
+            assert estimate <= len(records) + 1e-9
+            assert estimate >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_streams)
+    def test_estimates_monotone_in_time(self, records):
+        """F~_e(t) inherits monotonicity from the per-cell curves."""
+        sketch = _build(records)
+        for event_id in {e for e, _ in records}:
+            values = [
+                sketch.cumulative_frequency(event_id, t)
+                for t in np.linspace(-5, 205, 22)
+            ]
+            assert all(
+                a <= b + 1e-9 for a, b in zip(values, values[1:])
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(mixed_streams, st.integers(0, 10_000))
+    def test_single_event_equals_standalone_pbe(self, records, seed):
+        """With one event id, hashing is irrelevant: every cell sees the
+        full stream, so the estimate equals a standalone PBE."""
+        from repro.core.pbe1 import PBE1
+
+        timestamps = sorted(float(t) for _, t in records)
+        sketch = CMPBE.with_pbe1(
+            eta=6, width=4, depth=3, buffer_size=16, seed=seed
+        )
+        for t in timestamps:
+            sketch.update(0, t)
+        sketch.finalize()
+        standalone = PBE1(eta=6, buffer_size=16)
+        standalone.extend(timestamps)
+        standalone.flush()
+        for t in (10.0, 100.0, 300.0):
+            assert sketch.cumulative_frequency(0, t) == pytest.approx(
+                standalone.value(t)
+            )
+
+
+class TestPersistentCountMinProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_streams)
+    def test_pcm_never_underestimates_anywhere(self, records):
+        pcm = PersistentCountMin(width=4, depth=2, seed=1)
+        truth: dict[int, list[float]] = {}
+        for event_id, t in records:
+            pcm.update(event_id, float(t))
+            truth.setdefault(event_id, []).append(float(t))
+        for event_id, times in truth.items():
+            for q in (0.0, 50.0, 100.0, 250.0):
+                exact = sum(1 for t in times if t <= q)
+                assert pcm.cumulative_frequency(event_id, q) >= exact
+
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_streams)
+    def test_pcm_estimates_monotone(self, records):
+        pcm = PersistentCountMin(width=4, depth=2, seed=1)
+        for event_id, t in records:
+            pcm.update(event_id, float(t))
+        for event_id in {e for e, _ in records}:
+            values = [
+                pcm.cumulative_frequency(event_id, q)
+                for q in np.linspace(-5, 205, 15)
+            ]
+            assert all(a <= b for a, b in zip(values, values[1:]))

@@ -1,0 +1,128 @@
+"""Tests for the classic Count-Min sketch substrate."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.sketch.countmin import CountMinSketch, dimensions_for
+
+
+class TestDimensions:
+    def test_paper_parameters(self):
+        # The paper's experiment uses eps=0.5, delta=0.2.
+        width, depth = dimensions_for(0.5, 0.2)
+        assert width == 6  # ceil(e / 0.5)
+        assert depth == 2  # ceil(ln 5)
+
+    def test_tighter_eps_widens(self):
+        w1, _ = dimensions_for(0.1, 0.2)
+        w2, _ = dimensions_for(0.01, 0.2)
+        assert w2 > w1
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            dimensions_for(0.0, 0.2)
+        with pytest.raises(InvalidParameterError):
+            dimensions_for(0.5, 1.5)
+
+
+class TestCountMin:
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=1024, depth=4, seed=0)
+        for item in range(5):
+            sketch.update(item, count=item + 1)
+        for item in range(5):
+            assert sketch.estimate(item) == item + 1
+
+    def test_never_underestimates(self):
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, 50, size=2000)
+        sketch = CountMinSketch(width=8, depth=3, seed=1)
+        truth = Counter()
+        for item in items:
+            sketch.update(int(item))
+            truth[int(item)] += 1
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_epsilon_bound_mostly_holds(self):
+        epsilon, delta = 0.1, 0.05
+        sketch = CountMinSketch.from_error_bounds(epsilon, delta, seed=3)
+        rng = np.random.default_rng(5)
+        items = rng.zipf(1.3, size=5000) % 1000
+        truth = Counter()
+        for item in items:
+            sketch.update(int(item))
+            truth[int(item)] += 1
+        n = sketch.total
+        violations = sum(
+            1
+            for item, count in truth.items()
+            if sketch.estimate(item) - count > epsilon * n
+        )
+        assert violations / len(truth) <= delta
+
+    def test_unseen_item_estimate_small(self):
+        sketch = CountMinSketch(width=1024, depth=4, seed=0)
+        sketch.update(1, count=10)
+        assert sketch.estimate(999999) <= 10
+
+    def test_negative_update_rejected(self):
+        sketch = CountMinSketch(width=4, depth=2)
+        with pytest.raises(InvalidParameterError):
+            sketch.update(1, count=-1)
+
+    def test_merge(self):
+        a = CountMinSketch(width=16, depth=3, seed=7)
+        b = CountMinSketch(width=16, depth=3, seed=7)
+        a.update(1, 5)
+        b.update(1, 3)
+        b.update(2, 2)
+        a.merge(b)
+        assert a.estimate(1) >= 8
+        assert a.total == 10
+
+    def test_merge_dimension_mismatch(self):
+        a = CountMinSketch(width=16, depth=3)
+        b = CountMinSketch(width=8, depth=3)
+        with pytest.raises(InvalidParameterError):
+            a.merge(b)
+
+    def test_inner_product_upper_bounds_truth(self):
+        a = CountMinSketch(width=64, depth=3, seed=2)
+        b = CountMinSketch(width=64, depth=3, seed=2)
+        for item in (1, 1, 2, 3):
+            a.update(item)
+        for item in (1, 2, 2, 4):
+            b.update(item)
+        exact = 2 * 1 + 1 * 2  # items 1 and 2
+        assert a.inner_product(b) >= exact
+
+    def test_size_in_bytes(self):
+        sketch = CountMinSketch(width=10, depth=3)
+        assert sketch.size_in_bytes() == 10 * 3 * 8
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(width=0, depth=1)
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=200
+        )
+    )
+    def test_property_overestimate_only(self, items):
+        sketch = CountMinSketch(width=4, depth=2, seed=11)
+        truth = Counter()
+        for item in items:
+            sketch.update(item)
+            truth[item] += 1
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count

@@ -1,0 +1,206 @@
+"""Tests for the dyadic decomposition and the bursty-event index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.dyadic import BurstyEventIndex
+from repro.core.errors import InvalidParameterError
+from repro.sketch.dyadic_ranges import DyadicDecomposition
+
+
+class TestDyadicDecomposition:
+    def test_padding_to_power_of_two(self):
+        assert DyadicDecomposition(5).padded_size == 8
+        assert DyadicDecomposition(8).padded_size == 8
+        assert DyadicDecomposition(9).padded_size == 16
+
+    def test_levels(self):
+        assert DyadicDecomposition(8).n_levels == 3
+        assert DyadicDecomposition(1).n_levels == 0
+
+    def test_range_id_leaf_is_identity(self):
+        dec = DyadicDecomposition(16)
+        for event_id in range(16):
+            assert dec.range_id(event_id, 0) == event_id
+
+    def test_range_id_root_is_zero(self):
+        dec = DyadicDecomposition(16)
+        for event_id in range(16):
+            assert dec.range_id(event_id, 4) == 0
+
+    def test_range_bounds_roundtrip(self):
+        dec = DyadicDecomposition(16)
+        for level in range(dec.n_levels + 1):
+            for event_id in range(16):
+                rid = dec.range_id(event_id, level)
+                low, high = dec.range_bounds(rid, level)
+                assert low <= event_id <= high
+
+    def test_bounds_clip_to_universe(self):
+        dec = DyadicDecomposition(5)  # padded to 8
+        low, high = dec.range_bounds(0, 3)
+        assert (low, high) == (0, 4)
+
+    def test_children_partition_parent(self):
+        dec = DyadicDecomposition(16)
+        for level in range(1, dec.n_levels + 1):
+            for rid in range(dec.n_ranges(level)):
+                left, right = dec.children(rid, level)
+                parent_low, parent_high = dec.range_bounds(rid, level)
+                left_low, _ = dec.range_bounds(left, level - 1)
+                try:
+                    _, right_high = dec.range_bounds(right, level - 1)
+                except InvalidParameterError:
+                    continue  # right child entirely past the universe
+                assert left_low == parent_low
+                assert right_high == parent_high
+
+    def test_parent_inverts_children(self):
+        dec = DyadicDecomposition(16)
+        left, right = dec.children(3, 2)
+        assert dec.parent(left, 1) == 3
+        assert dec.parent(right, 1) == 3
+
+    def test_validation(self):
+        dec = DyadicDecomposition(8)
+        with pytest.raises(InvalidParameterError):
+            dec.range_id(8, 0)
+        with pytest.raises(InvalidParameterError):
+            dec.range_id(0, 9)
+        with pytest.raises(InvalidParameterError):
+            dec.children(0, 0)
+        with pytest.raises(InvalidParameterError):
+            dec.parent(0, 3)
+        with pytest.raises(InvalidParameterError):
+            DyadicDecomposition(0)
+
+
+def _burst_stream(universe: int, bursty_ids: dict[int, float], seed: int = 0):
+    """Background Poisson noise plus planted bursts at given times."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for t in range(1_000):
+        for _ in range(rng.poisson(1.0)):
+            records.append((int(rng.integers(0, universe)), float(t)))
+        for event_id, onset in bursty_ids.items():
+            if onset <= t < onset + 40:
+                for _ in range(rng.poisson(12)):
+                    records.append((event_id, float(t)))
+    records.sort(key=lambda r: r[1])
+    return records
+
+
+class TestBurstyEventIndex:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        universe = 64
+        records = _burst_stream(universe, {5: 480, 40: 700})
+        index = BurstyEventIndex.with_pbe1(
+            universe, eta=60, width=8, depth=3, buffer_size=300
+        )
+        index.extend(records)
+        index.finalize()
+        exact = ExactBurstStore.from_stream(records)
+        return universe, index, exact
+
+    def test_detects_planted_bursts(self, planted):
+        universe, index, exact = planted
+        tau = 40.0
+        hits = index.bursty_events(520.0, 200.0, tau)
+        assert 5 in {hit.event_id for hit in hits}
+        hits = index.bursty_events(740.0, 200.0, tau)
+        assert 40 in {hit.event_id for hit in hits}
+
+    def test_agrees_with_exact_at_high_threshold(self, planted):
+        universe, index, exact = planted
+        tau = 40.0
+        truth = {
+            h.event_id for h in exact.bursty_events(520.0, 250.0, tau)
+        }
+        found = {
+            h.event_id for h in index.bursty_events(520.0, 250.0, tau)
+        }
+        assert truth, "the planted burst must be in the exact answer"
+        assert truth <= found | truth  # sanity
+        # Recall: every exact hit is found.
+        assert truth <= found
+
+    def test_results_sorted_by_burstiness(self, planted):
+        _, index, _ = planted
+        hits = index.bursty_events(520.0, 50.0, 40.0)
+        values = [hit.burstiness for hit in hits]
+        assert values == sorted(values, reverse=True)
+
+    def test_pruning_issues_fewer_queries_than_naive(self, planted):
+        universe, index, _ = planted
+        index.reset_query_counter()
+        index.bursty_events(520.0, 300.0, 40.0)
+        assert index.point_queries_issued < universe
+
+    def test_naive_matches_leaf_scan(self, planted):
+        universe, index, _ = planted
+        tau = 40.0
+        naive = index.naive_bursty_events(520.0, 300.0, tau)
+        leaf = index.level_sketch(0)
+        for hit in naive:
+            assert leaf.burstiness(hit.event_id, 520.0, tau) >= 300.0
+
+    def test_point_query_counter(self, planted):
+        _, index, _ = planted
+        index.reset_query_counter()
+        index.point_query(5, 520.0, 40.0)
+        assert index.point_queries_issued == 1
+
+    def test_update_validates_event_id(self, planted):
+        universe, index, _ = planted
+        with pytest.raises(InvalidParameterError):
+            index.update(universe, 1_001.0)
+
+    def test_negative_theta_rejected(self, planted):
+        _, index, _ = planted
+        with pytest.raises(InvalidParameterError):
+            index.bursty_events(520.0, -1.0, 40.0)
+
+    def test_level_count(self, planted):
+        universe, index, _ = planted
+        assert index.n_levels == 7  # 64 leaves -> levels 0..6
+
+    def test_size_accounts_all_levels(self, planted):
+        _, index, _ = planted
+        total = sum(
+            index.level_sketch(level).size_in_bytes()
+            for level in range(index.n_levels)
+        )
+        assert index.size_in_bytes() == total
+
+    def test_additivity_of_parent_estimates(self, planted):
+        """b_parent ~ b_left + b_right (exact additivity, sketch noise)."""
+        universe, index, exact = planted
+        tau, t = 40.0, 520.0
+        dec = index.decomposition
+        level = 2
+        rid = dec.range_id(5, level)
+        left, right = dec.children(rid, level)
+        b_parent = index.level_sketch(level).burstiness(rid, t, tau)
+        b_left = index.level_sketch(level - 1).burstiness(left, t, tau)
+        b_right = index.level_sketch(level - 1).burstiness(right, t, tau)
+        lo, hi = dec.range_bounds(rid, level)
+        truth = sum(
+            exact.burstiness(e, t, tau) for e in range(lo, hi + 1)
+        )
+        assert b_parent == pytest.approx(truth, rel=0.4, abs=100)
+        assert b_left + b_right == pytest.approx(truth, rel=0.4, abs=100)
+
+    def test_pbe2_variant_also_detects(self):
+        universe = 32
+        records = _burst_stream(universe, {9: 400}, seed=5)
+        index = BurstyEventIndex.with_pbe2(
+            universe, gamma=15.0, width=8, depth=3
+        )
+        index.extend(records)
+        index.finalize()
+        hits = index.bursty_events(440.0, 200.0, 40.0)
+        assert 9 in {hit.event_id for hit in hits}

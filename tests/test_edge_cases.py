@@ -1,0 +1,146 @@
+"""Edge cases across modules: tiny universes, empty parts, degenerate
+curves — the corners a downstream user will eventually hit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cmpbe import CMPBE, DirectPBEMap
+from repro.core.dyadic import BurstyEventIndex
+from repro.core.parallel import merge_pbe1, merge_pbe2
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.core.queries import HistoricalBurstAnalyzer
+from repro.streams.frequency import StaircaseCurve
+
+
+class TestTinyUniverses:
+    def test_index_with_single_event(self):
+        index = BurstyEventIndex.with_pbe1(
+            1, eta=10, width=4, depth=2, buffer_size=50
+        )
+        for t in range(100):
+            index.update(0, float(t))
+        for _ in range(50):
+            index.update(0, 100.0)
+        hits = index.bursty_events(100.0, 10.0, 20.0)
+        assert [h.event_id for h in hits] == [0]
+        assert index.n_levels == 1
+
+    def test_index_with_two_events(self):
+        index = BurstyEventIndex.with_pbe2(2, gamma=3.0, width=4, depth=2)
+        for t in range(100):
+            index.update(t % 2, float(t))
+        for i in range(60):
+            index.update(1, 100.0 + i * 0.1)
+        hits = index.bursty_events(106.0, 20.0, 10.0)
+        assert 1 in {h.event_id for h in hits}
+
+    def test_analyzer_with_single_event_universe(self):
+        analyzer = HistoricalBurstAnalyzer(
+            "cm-pbe-1", universe_size=1, eta=10, buffer_size=50,
+            width=4, depth=2,
+        )
+        for t in range(50):
+            analyzer.update(0, float(t))
+        assert isinstance(analyzer.point_query(0, 25.0, 10.0), float)
+
+    def test_non_power_of_two_universe(self):
+        # Width must exceed the number of live events, else leaf-level
+        # collisions merge siblings and the pruning rule loses them.
+        index = BurstyEventIndex.with_pbe1(
+            5, eta=10, width=8, depth=3, buffer_size=50
+        )
+        for t in range(200):
+            index.update(t % 5, float(t))
+        for i in range(80):
+            index.update(4, 200.0 + i * 0.01)
+        hits = index.bursty_events(201.0, 30.0, 20.0)
+        assert 4 in {h.event_id for h in hits}
+        # Padded ids (5, 6, 7) never appear in answers.
+        assert all(h.event_id < 5 for h in hits)
+
+
+class TestEmptyAndDegenerate:
+    def test_merge_with_empty_part(self):
+        a = PBE1(eta=5, buffer_size=10)
+        b = PBE1(eta=5, buffer_size=10)  # never updated
+        c = PBE1(eta=5, buffer_size=10)
+        a.extend([1.0, 2.0])
+        c.extend([5.0, 6.0])
+        merged = merge_pbe1([a, b, c])
+        assert merged.count == 4
+        assert merged.value(10.0) == 4.0
+
+    def test_merge_pbe2_with_empty_part(self):
+        a = PBE2(gamma=2.0)
+        b = PBE2(gamma=2.0)
+        a.extend([1.0, 2.0, 3.0])
+        merged = merge_pbe2([a, b])
+        assert merged.count == 3
+
+    def test_empty_staircase_values(self):
+        curve = StaircaseCurve([], [])
+        assert curve.value(10.0) == 0.0
+        assert curve.values(np.array([1.0, 2.0])).tolist() == [0.0, 0.0]
+
+    def test_single_point_pbe2(self):
+        sketch = PBE2(gamma=2.0)
+        sketch.update(5.0)
+        sketch.finalize()
+        assert sketch.value(5.0) >= 0.0
+        assert sketch.value(4.0) == 0.0
+        assert sketch.n_segments == 1
+
+    def test_pbe1_single_timestamp_many_counts(self):
+        sketch = PBE1(eta=2, buffer_size=10)
+        sketch.update(7.0, count=100)
+        assert sketch.value(7.0) == 100.0
+        assert sketch.n_corners == 1
+
+    def test_direct_map_curve_view(self, mixed_stream):
+        direct = DirectPBEMap(lambda: PBE1(eta=20, buffer_size=100))
+        direct.extend(mixed_stream)
+        view = direct.curve(5)
+        assert view.value(500.0) == direct.cumulative_frequency(5, 500.0)
+
+
+class TestPolygonCapPaths:
+    def test_group_restart_after_cap(self):
+        """After a cap-forced finalize, the next range starts cleanly."""
+        rng = np.random.default_rng(6)
+        ts = np.sort(rng.uniform(0, 500, size=300)).round(0).tolist()
+        sketch = PBE2(gamma=30.0, max_polygon_vertices=3)
+        sketch.extend(ts)
+        sketch.finalize()
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.arange(ts[0], ts[-1], 13.0):
+            assert sketch.value(q) <= curve.value(q) + 1e-6
+            assert sketch.value(q) >= curve.value(q) - 30.0 - 1e-6
+
+
+class TestCmpbeSeedIsolation:
+    def test_different_seeds_different_errors(self, mixed_stream):
+        """Hash randomness actually varies with the seed."""
+        values = set()
+        for seed in (1, 2, 3):
+            sketch = CMPBE.with_pbe1(
+                eta=20, width=4, depth=2, buffer_size=200, seed=seed
+            )
+            sketch.extend(mixed_stream)
+            values.add(round(sketch.cumulative_frequency(5, 700.0), 3))
+        assert len(values) > 1
+
+    def test_same_seed_reproducible(self, mixed_stream):
+        first = CMPBE.with_pbe1(
+            eta=20, width=4, depth=2, buffer_size=200, seed=9
+        )
+        second = CMPBE.with_pbe1(
+            eta=20, width=4, depth=2, buffer_size=200, seed=9
+        )
+        first.extend(mixed_stream)
+        second.extend(mixed_stream)
+        assert first.cumulative_frequency(5, 700.0) == (
+            second.cumulative_frequency(5, 700.0)
+        )

@@ -1,0 +1,176 @@
+"""Unit tests for the event-stream containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.streams.events import (
+    EventRecord,
+    EventStream,
+    SingleEventStream,
+    merge_streams,
+)
+
+
+class TestEventRecord:
+    def test_fields(self):
+        record = EventRecord(3, 1.5)
+        assert record.event_id == 3
+        assert record.timestamp == 1.5
+
+    def test_as_tuple(self):
+        assert EventRecord(3, 1.5).as_tuple() == (3, 1.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EventRecord(3, 1.5).event_id = 4  # type: ignore[misc]
+
+
+class TestEventStream:
+    def test_empty(self):
+        stream = EventStream()
+        assert len(stream) == 0
+        assert list(stream) == []
+
+    def test_append_and_iterate(self):
+        stream = EventStream()
+        stream.append(1, 0.0)
+        stream.append(2, 1.0)
+        assert list(stream) == [(1, 0.0), (2, 1.0)]
+
+    def test_append_rejects_decreasing_timestamps(self):
+        stream = EventStream([(1, 5.0)])
+        with pytest.raises(StreamOrderError):
+            stream.append(2, 4.0)
+
+    def test_equal_timestamps_allowed(self):
+        stream = EventStream([(1, 5.0), (2, 5.0), (1, 5.0)])
+        assert len(stream) == 3
+
+    def test_getitem(self):
+        stream = EventStream([(1, 0.0), (2, 1.0)])
+        assert stream[1] == EventRecord(2, 1.0)
+
+    def test_from_columns(self):
+        stream = EventStream.from_columns([1, 2], [0.0, 1.0])
+        assert list(stream) == [(1, 0.0), (2, 1.0)]
+
+    def test_from_columns_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            EventStream.from_columns([1, 2], [0.0])
+
+    def test_span(self):
+        stream = EventStream([(1, 2.0), (2, 9.0)])
+        assert stream.span == (2.0, 9.0)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            EventStream().span
+
+    def test_distinct_event_ids(self):
+        stream = EventStream([(1, 0.0), (2, 1.0), (1, 2.0)])
+        assert stream.distinct_event_ids() == {1, 2}
+
+    def test_substream_inclusive(self):
+        stream = EventStream([(1, 0.0), (2, 1.0), (3, 2.0), (4, 3.0)])
+        sub = stream.substream(1.0, 2.0)
+        assert list(sub) == [(2, 1.0), (3, 2.0)]
+
+    def test_substream_empty_range_raises(self):
+        stream = EventStream([(1, 0.0)])
+        with pytest.raises(InvalidParameterError):
+            stream.substream(2.0, 1.0)
+
+    def test_substream_outside_data(self):
+        stream = EventStream([(1, 5.0)])
+        assert len(stream.substream(10.0, 20.0)) == 0
+
+    def test_for_event(self):
+        stream = EventStream([(1, 0.0), (2, 1.0), (1, 2.0)])
+        single = stream.for_event(1)
+        assert list(single) == [0.0, 2.0]
+        assert single.event_id == 1
+
+    def test_count(self):
+        stream = EventStream([(1, 0.0), (1, 1.0), (2, 1.0), (1, 3.0)])
+        assert stream.count(1, 0.0, 1.0) == 2
+        assert stream.count(1, 0.0, 3.0) == 3
+        assert stream.count(2, 0.0, 3.0) == 1
+        assert stream.count(9, 0.0, 3.0) == 0
+
+
+class TestSingleEventStream:
+    def test_cumulative_frequency(self):
+        stream = SingleEventStream([1.0, 2.0, 2.0, 5.0])
+        assert stream.cumulative_frequency(0.0) == 0
+        assert stream.cumulative_frequency(2.0) == 3
+        assert stream.cumulative_frequency(10.0) == 4
+
+    def test_frequency_range(self):
+        stream = SingleEventStream([1.0, 2.0, 2.0, 5.0])
+        assert stream.frequency(2.0, 5.0) == 3
+        assert stream.frequency(3.0, 4.0) == 0
+        assert stream.frequency(5.0, 4.0) == 0
+
+    def test_rejects_decreasing(self):
+        stream = SingleEventStream([3.0])
+        with pytest.raises(StreamOrderError):
+            stream.append(2.0)
+
+    def test_burst_frequency(self):
+        stream = SingleEventStream([1.0, 2.0, 3.0, 4.0, 5.0])
+        # bf(5, tau=2) = F(5) - F(3) = 5 - 3
+        assert stream.burst_frequency(5.0, 2.0) == 2
+
+    def test_burstiness_definition(self):
+        stream = SingleEventStream([1.0, 2.0, 3.0, 3.5, 4.0, 4.2, 4.4])
+        tau = 1.0
+        t = 4.5
+        expected = (
+            stream.cumulative_frequency(t)
+            - 2 * stream.cumulative_frequency(t - tau)
+            + stream.cumulative_frequency(t - 2 * tau)
+        )
+        assert stream.burstiness(t, tau) == expected
+
+    def test_burstiness_invalid_tau(self):
+        stream = SingleEventStream([1.0])
+        with pytest.raises(InvalidParameterError):
+            stream.burstiness(1.0, 0.0)
+
+    def test_stable_rate_has_zero_burstiness(self):
+        stream = SingleEventStream([float(t) for t in range(100)])
+        assert stream.burstiness(50.0, 10.0) == 0
+
+    def test_accelerating_rate_has_positive_burstiness(self):
+        # 1 arrival in [0,10), 5 in [10,20): acceleration of 4 at t=20.
+        times = [5.0] + [12.0, 14.0, 16.0, 18.0, 19.0]
+        stream = SingleEventStream(sorted(times))
+        assert stream.burstiness(20.0, 10.0) == 4
+
+    def test_as_event_stream(self):
+        stream = SingleEventStream([1.0, 2.0], event_id=9)
+        lifted = stream.as_event_stream()
+        assert list(lifted) == [(9, 1.0), (9, 2.0)]
+
+    def test_as_event_stream_without_id_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SingleEventStream([1.0]).as_event_stream()
+
+
+class TestMergeStreams:
+    def test_merge_preserves_order(self):
+        a = EventStream([(1, 0.0), (1, 2.0), (1, 4.0)])
+        b = EventStream([(2, 1.0), (2, 3.0)])
+        merged = merge_streams([a, b])
+        assert [t for _, t in merged] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert [e for e, _ in merged] == [1, 2, 1, 2, 1]
+
+    def test_merge_with_empty(self):
+        a = EventStream([(1, 0.0)])
+        merged = merge_streams([a, EventStream()])
+        assert list(merged) == [(1, 0.0)]
+
+    def test_merge_nothing(self):
+        assert len(merge_streams([])) == 0

@@ -1,0 +1,57 @@
+"""The example scripts run end to end (at reduced scale)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--mentions", "8000",
+                          "--events", "16")
+        assert "POINT QUERY" in out
+        assert "BURSTY TIME QUERY" in out
+        assert "BURSTY EVENT QUERY" in out
+
+    def test_olympics_history(self):
+        out = run_example("olympics_history.py", "--mentions", "10000")
+        assert "soccer" in out
+        assert "swimming" in out
+        assert "PBE-1" in out and "PBE-2" in out
+        assert "peak burst" in out
+
+    def test_politics_timeline(self):
+        out = run_example(
+            "politics_timeline.py", "--mentions", "8000",
+            "--events", "32", "--step-days", "15",
+        )
+        assert "democrat" in out
+        assert "Busiest step" in out
+
+    def test_streaming_pipeline(self):
+        out = run_example("streaming_pipeline.py")
+        assert "earthquake" in out
+        assert "acceleration, not frequency" in out
+
+    def test_persist_and_resume(self):
+        out = run_example("persist_and_resume.py")
+        assert "Persisted" in out
+        assert "Resumed sketch" in out
+        assert "chunked" in out

@@ -1,0 +1,153 @@
+"""Unit and property tests for frequency curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.frequency import (
+    StaircaseCurve,
+    burstiness_from_curve,
+    corners_from_timestamps,
+    staircase_area_between,
+)
+
+sorted_timestamps = st.lists(
+    st.integers(min_value=0, max_value=500), min_size=1, max_size=60
+).map(sorted)
+
+
+class TestCornersFromTimestamps:
+    def test_empty(self):
+        xs, ys = corners_from_timestamps([])
+        assert xs.size == 0 and ys.size == 0
+
+    def test_duplicates_collapse(self):
+        xs, ys = corners_from_timestamps([1.0, 1.0, 2.0, 2.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0]
+        assert ys.tolist() == [2.0, 5.0]
+
+    def test_unsorted_raises(self):
+        with pytest.raises(InvalidParameterError):
+            corners_from_timestamps([2.0, 1.0])
+
+    @given(sorted_timestamps)
+    def test_final_count_matches_length(self, ts):
+        _, ys = corners_from_timestamps([float(t) for t in ts])
+        assert ys[-1] == len(ts)
+
+    @given(sorted_timestamps)
+    def test_strictly_increasing(self, ts):
+        xs, ys = corners_from_timestamps([float(t) for t in ts])
+        assert np.all(np.diff(xs) > 0)
+        assert np.all(np.diff(ys) > 0)
+
+
+class TestStaircaseCurve:
+    def test_value_semantics(self):
+        curve = StaircaseCurve([1.0, 3.0], [2.0, 5.0])
+        assert curve.value(0.5) == 0.0
+        assert curve.value(1.0) == 2.0
+        assert curve.value(2.9) == 2.0
+        assert curve.value(3.0) == 5.0
+        assert curve.value(100.0) == 5.0
+
+    def test_values_vectorized_matches_scalar(self):
+        curve = StaircaseCurve([1.0, 3.0, 7.0], [2.0, 5.0, 6.0])
+        ts = np.array([-1.0, 0.0, 1.0, 2.0, 3.0, 6.9, 7.0, 10.0])
+        vector = curve.values(ts)
+        scalar = [curve.value(t) for t in ts]
+        assert vector.tolist() == scalar
+
+    def test_from_timestamps_matches_bisect_count(self):
+        ts = [1.0, 1.0, 4.0, 9.0, 9.0, 9.0]
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.arange(0.0, 11.0, 0.5):
+            assert curve.value(q) == sum(1 for t in ts if t <= q)
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(InvalidParameterError):
+            StaircaseCurve([1.0, 1.0], [0.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            StaircaseCurve([1.0, 2.0], [3.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            StaircaseCurve([1.0, 2.0], [1.0])
+
+    def test_size_in_bytes(self):
+        curve = StaircaseCurve([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert curve.size_in_bytes() == 3 * 16
+
+    def test_total(self):
+        assert StaircaseCurve([1.0], [4.0]).total() == 4.0
+        assert StaircaseCurve([], []).total() == 0.0
+
+    def test_n_corners_and_len(self):
+        curve = StaircaseCurve([1.0, 2.0], [1.0, 2.0])
+        assert curve.n_corners == 2
+        assert len(curve) == 2
+
+    @given(sorted_timestamps)
+    def test_monotone_nondecreasing(self, ts):
+        curve = StaircaseCurve.from_timestamps([float(t) for t in ts])
+        queries = np.linspace(-1, max(ts) + 1, 50)
+        values = curve.values(queries)
+        assert np.all(np.diff(values) >= 0)
+
+
+class TestBurstinessFromCurve:
+    def test_identity(self):
+        curve = StaircaseCurve.from_timestamps(
+            [1.0, 2.0, 3.0, 3.5, 4.0, 4.2, 4.4]
+        )
+        t, tau = 4.5, 1.0
+        expected = (
+            curve.value(t) - 2 * curve.value(t - tau) + curve.value(t - 2 * tau)
+        )
+        assert burstiness_from_curve(curve, t, tau) == expected
+        assert curve.burstiness(t, tau) == expected
+
+    def test_invalid_tau(self):
+        curve = StaircaseCurve([1.0], [1.0])
+        with pytest.raises(InvalidParameterError):
+            burstiness_from_curve(curve, 1.0, -1.0)
+
+    def test_figure1_example(self):
+        """The running example of paper Fig. 1: rate stable, then growing."""
+        # One arrival/unit on [0, 10), then 3/unit on [10, 20).
+        times = [float(t) for t in range(10)]
+        times += [10 + i / 3 for i in range(30)]
+        curve = StaircaseCurve.from_timestamps(sorted(times))
+        assert curve.burstiness(9.9, 5.0) == 0  # still stable
+        # Stable again at the higher rate (boundary arrivals allow +-2).
+        assert abs(curve.burstiness(20.0, 5.0)) <= 2
+        assert curve.burstiness(15.0, 5.0) >= 5  # acceleration at the rise
+
+
+class TestStaircaseAreaBetween:
+    def test_identical_curves_have_zero_area(self):
+        curve = StaircaseCurve.from_timestamps([1.0, 2.0, 5.0])
+        assert staircase_area_between(curve, curve) == pytest.approx(0.0)
+
+    def test_dropping_a_middle_corner(self):
+        exact = StaircaseCurve([0.0, 1.0, 3.0], [1.0, 2.0, 3.0])
+        approx = StaircaseCurve([0.0, 3.0], [1.0, 3.0])
+        # Missing corner (1, 2): deficit of 1 over t in [1, 3).
+        assert staircase_area_between(exact, approx) == pytest.approx(2.0)
+
+    def test_empty_exact(self):
+        exact = StaircaseCurve([], [])
+        approx = StaircaseCurve([], [])
+        assert staircase_area_between(exact, approx) == 0.0
+
+    def test_with_t_end_extension(self):
+        exact = StaircaseCurve([0.0, 1.0], [1.0, 2.0])
+        approx = StaircaseCurve([0.0], [1.0])
+        # Deficit of 1 from t=1 to t_end=5.
+        assert staircase_area_between(exact, approx, t_end=5.0) == (
+            pytest.approx(4.0)
+        )

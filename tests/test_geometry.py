@@ -1,0 +1,135 @@
+"""Tests for the convex-polygon substrate used by PBE-2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.sketch.geometry import (
+    ConvexPolygon,
+    HalfPlane,
+    strip_parallelogram,
+)
+
+
+def unit_square() -> ConvexPolygon:
+    return ConvexPolygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+class TestHalfPlane:
+    def test_contains(self):
+        # x + y <= 1
+        hp = HalfPlane(1.0, 1.0, 1.0)
+        assert hp.contains((0.0, 0.0))
+        assert hp.contains((0.5, 0.5))
+        assert not hp.contains((1.0, 1.0))
+
+    def test_signed_violation(self):
+        hp = HalfPlane(1.0, 0.0, 2.0)
+        assert hp.signed_violation((3.0, 0.0)) == pytest.approx(1.0)
+        assert hp.signed_violation((1.0, 0.0)) == pytest.approx(-1.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HalfPlane(0.0, 0.0, 1.0)
+
+
+class TestClipping:
+    def test_clip_keeps_half(self):
+        clipped = unit_square().clipped(HalfPlane(1.0, 0.0, 0.5))  # x <= 0.5
+        assert not clipped.is_empty()
+        for x, _y in clipped.vertices:
+            assert x <= 0.5 + 1e-9
+
+    def test_clip_to_empty(self):
+        clipped = unit_square().clipped(HalfPlane(1.0, 0.0, -1.0))  # x <= -1
+        assert clipped.is_empty()
+
+    def test_clip_no_effect(self):
+        clipped = unit_square().clipped(HalfPlane(1.0, 0.0, 5.0))  # x <= 5
+        assert clipped.n_vertices == 4
+
+    def test_sequential_clips_to_triangle(self):
+        poly = unit_square()
+        poly = poly.clipped(HalfPlane(1.0, 1.0, 1.0))  # x + y <= 1
+        assert not poly.is_empty()
+        assert poly.n_vertices == 3
+
+    def test_clip_can_degenerate_to_segment(self):
+        poly = unit_square()
+        poly = poly.clipped(HalfPlane(0.0, 1.0, 0.0))  # y <= 0
+        assert not poly.is_empty()
+        assert poly.n_vertices <= 2
+
+    def test_centroid_inside(self):
+        poly = unit_square().clipped(HalfPlane(1.0, 1.0, 1.0))
+        cx, cy = poly.centroid()
+        assert poly.contains((cx, cy))
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            ConvexPolygon([]).centroid()
+
+    def test_contains_boundary(self):
+        assert unit_square().contains((0.0, 0.5))
+        assert unit_square().contains((0.5, 0.5))
+        assert not unit_square().contains((1.5, 0.5))
+
+
+class TestStripParallelogram:
+    def test_corners_satisfy_both_strips(self):
+        poly = strip_parallelogram(1.0, 0.0, 2.0, 3.0, 1.0, 4.0)
+        assert poly.n_vertices == 4
+        for a, b in poly.vertices:
+            assert 0.0 - 1e-9 <= a * 1.0 + b <= 2.0 + 1e-9
+            assert 1.0 - 1e-9 <= a * 3.0 + b <= 4.0 + 1e-9
+
+    def test_equal_abscissae_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            strip_parallelogram(1.0, 0.0, 1.0, 1.0, 0.0, 1.0)
+
+    def test_centroid_feasible(self):
+        poly = strip_parallelogram(0.0, 5.0, 6.0, 10.0, 7.0, 9.0)
+        a, b = poly.centroid()
+        assert 5.0 - 1e-9 <= b <= 6.0 + 1e-9
+        assert 7.0 - 1e-9 <= a * 10.0 + b <= 9.0 + 1e-9
+
+
+# Random strips that all contain the line b = 0, a = 0.5 -> always feasible.
+# Abscissae are drawn on a grid so no two strips are numerically adjacent
+# (near-parallel strip pairs have unboundedly large intersections, which is
+# a float pathology, not a logic case PBE-2 can produce: its abscissae are
+# distinct clock ticks).
+strip_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=1000).map(lambda k: k / 10.0),
+        st.floats(min_value=0.01, max_value=5.0),
+    ),
+    min_size=2,
+    max_size=12,
+    unique_by=lambda pair: pair[0],
+)
+
+
+class TestFeasibilityProperty:
+    @settings(max_examples=60)
+    @given(strip_lists)
+    def test_known_feasible_point_survives_clipping(self, strips):
+        """Strips built around the line 0.5 t + 0: (0.5, 0) stays inside."""
+        target_a, target_b = 0.5, 0.0
+        strips = sorted(strips)
+        (t1, w1), (t2, w2) = strips[0], strips[1]
+        value1 = target_a * t1 + target_b
+        value2 = target_a * t2 + target_b
+        poly = strip_parallelogram(
+            t1, value1 - w1, value1 + w1, t2, value2 - w2, value2 + w2
+        )
+        assert poly.contains((target_a, target_b))
+        for t, w in strips[2:]:
+            value = target_a * t + target_b
+            poly = poly.clipped(HalfPlane(-t, -1.0, -(value - w)))
+            poly = poly.clipped(HalfPlane(t, 1.0, value + w))
+            assert not poly.is_empty()
+            assert poly.contains((target_a, target_b), eps=1e-6)

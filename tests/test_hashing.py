@@ -1,0 +1,73 @@
+"""Tests for the universal hash family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.sketch.hashing import HashFamily, UniversalHash
+
+
+class TestUniversalHash:
+    def test_range(self):
+        h = UniversalHash(a=12345, b=678, width=10)
+        for x in range(1000):
+            assert 0 <= h(x) < 10
+
+    def test_deterministic(self):
+        h = UniversalHash(a=12345, b=678, width=10)
+        assert all(h(x) == h(x) for x in range(50))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            UniversalHash(a=0, b=0, width=10)
+        with pytest.raises(InvalidParameterError):
+            UniversalHash(a=1, b=-1, width=10)
+        with pytest.raises(InvalidParameterError):
+            UniversalHash(a=1, b=0, width=0)
+
+    def test_hash_array_matches_scalar(self):
+        h = UniversalHash(a=98765, b=4321, width=7)
+        xs = np.arange(100)
+        assert h.hash_array(xs).tolist() == [h(int(x)) for x in xs]
+
+    def test_roughly_uniform(self):
+        h = UniversalHash(a=1_234_567_891, b=987_654_321, width=8)
+        counts = np.bincount([h(x) for x in range(8000)], minlength=8)
+        # Each bucket should get 1000 +- 30%.
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+
+class TestHashFamily:
+    def test_reproducible_with_seed(self):
+        fam1 = HashFamily(depth=3, width=10, seed=42)
+        fam2 = HashFamily(depth=3, width=10, seed=42)
+        for x in range(100):
+            assert fam1.hash_all(x) == fam2.hash_all(x)
+
+    def test_different_seeds_differ(self):
+        fam1 = HashFamily(depth=3, width=1000, seed=1)
+        fam2 = HashFamily(depth=3, width=1000, seed=2)
+        assert any(
+            fam1.hash_all(x) != fam2.hash_all(x) for x in range(100)
+        )
+
+    def test_rows_are_independent_functions(self):
+        family = HashFamily(depth=4, width=1000, seed=0)
+        values = [family[row](12345) for row in range(4)]
+        assert len(set(values)) > 1
+
+    def test_len_and_functions(self):
+        family = HashFamily(depth=5, width=3, seed=0)
+        assert len(family) == 5
+        assert len(family.functions) == 5
+
+    def test_invalid_depth(self):
+        with pytest.raises(InvalidParameterError):
+            HashFamily(depth=0, width=3)
+
+    def test_hash_all_length(self):
+        family = HashFamily(depth=3, width=4, seed=0)
+        assert len(family.hash_all(7)) == 3

@@ -1,0 +1,134 @@
+"""End-to-end integration: messages -> h -> stream -> sketches -> queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CMPBE,
+    PBE1,
+    PBE2,
+    ExactBurstStore,
+    HistoricalBurstAnalyzer,
+)
+from repro.streams.io import read_binary, write_binary
+from repro.text.mapper import HashtagEventMapper, map_messages
+from repro.text.messages import SyntheticTweetSource
+from repro.workloads.olympics import make_olympicrio
+from repro.workloads.profiles import DAY
+
+
+class TestMessagePipeline:
+    def test_tweets_to_burst_detection(self):
+        """Full paper pipeline: text messages through h to burst queries."""
+        topics = ["weather", "earthquake"]
+        source = SyntheticTweetSource(
+            topics=topics, seed=0, multi_topic_probability=0.0
+        )
+        rng = np.random.default_rng(0)
+        messages = []
+        # Weather: steady mentions.  Earthquake: silent then a surge.
+        for t in range(2_000):
+            if rng.uniform() < 0.3:
+                messages.append(source.message(0, float(t)))
+            if t >= 1_500 and rng.uniform() < 3 * (
+                np.exp(-(t - 1_500) / 200)
+            ):
+                messages.append(source.message(1, float(t)))
+        mapper = HashtagEventMapper()
+        stream = map_messages(messages, mapper)
+
+        weather_id = mapper.id_of("weather")
+        quake_id = mapper.id_of("earthquake")
+        assert weather_id is not None and quake_id is not None
+
+        analyzer = HistoricalBurstAnalyzer(
+            "cm-pbe-1", universe_size=4, eta=80, buffer_size=300,
+            width=4, depth=3,
+        )
+        analyzer.ingest(stream)
+        analyzer.finalize()
+
+        tau = 200.0
+        # The earthquake bursts at its onset; weather never does.
+        quake_b = analyzer.point_query(quake_id, 1_700.0, tau)
+        weather_b = analyzer.point_query(weather_id, 1_700.0, tau)
+        assert quake_b > 10 * max(weather_b, 1.0)
+        hits = analyzer.bursty_events(1_700.0, quake_b * 0.5, tau)
+        assert quake_id in {hit.event_id for hit in hits}
+
+
+class TestSketchVsExactOnOlympics:
+    @pytest.fixture(scope="class")
+    def olympics(self):
+        return make_olympicrio(n_events=48, total_mentions=25_000)
+
+    def test_all_backends_agree_on_the_big_bursts(self, olympics):
+        exact = ExactBurstStore.from_stream(olympics)
+        tau = DAY
+        # Find the strongest exact burst of event 0 (soccer).
+        grid = np.arange(2 * DAY, 31 * DAY, DAY / 2)
+        truths = [exact.burstiness(0, t, tau) for t in grid]
+        t_star = float(grid[int(np.argmax(truths))])
+        b_star = max(truths)
+        assert b_star > 50
+
+        for method, kwargs in (
+            ("cm-pbe-1", {"eta": 100, "buffer_size": 500}),
+            ("cm-pbe-2", {"gamma": 10.0}),
+        ):
+            analyzer = HistoricalBurstAnalyzer(
+                method, universe_size=48, width=8, depth=3, **kwargs
+            )
+            analyzer.ingest(olympics)
+            analyzer.finalize()
+            estimate = analyzer.point_query(0, t_star, tau)
+            assert estimate == pytest.approx(b_star, rel=0.5), method
+
+    def test_round_trip_through_binary_file(self, olympics, tmp_path):
+        path = tmp_path / "olympics.bin"
+        write_binary(olympics, path)
+        loaded = read_binary(path)
+        sketch_a = PBE1(eta=50, buffer_size=300)
+        sketch_b = PBE1(eta=50, buffer_size=300)
+        sketch_a.extend(t for e, t in olympics if e == 0)
+        sketch_b.extend(t for e, t in loaded if e == 0)
+        sketch_a.flush()
+        sketch_b.flush()
+        for t in (5 * DAY, 15 * DAY, 29 * DAY):
+            assert sketch_a.value(t) == sketch_b.value(t)
+
+
+class TestSingleVsMixedConsistency:
+    def test_cmpbe_cell_equals_pbe_on_single_event_stream(self):
+        """With one event, every CM-PBE cell sees the full stream, so the
+        estimate must equal a standalone PBE's."""
+        rng = np.random.default_rng(8)
+        ts = np.sort(rng.uniform(0, 5_000, size=1_000)).round(0).tolist()
+        standalone = PBE2(gamma=7.0)
+        standalone.extend(ts)
+        standalone.finalize()
+        sketch = CMPBE.with_pbe2(gamma=7.0, width=4, depth=3)
+        for t in ts:
+            sketch.update(0, t)
+        sketch.finalize()
+        for q in (500.0, 2_500.0, 4_900.0):
+            assert sketch.cumulative_frequency(0, q) == pytest.approx(
+                standalone.value(q)
+            )
+
+    def test_pbe1_inside_cmpbe_single_event(self):
+        rng = np.random.default_rng(9)
+        ts = np.sort(rng.uniform(0, 5_000, size=1_000)).round(0).tolist()
+        standalone = PBE1(eta=40, buffer_size=200)
+        standalone.extend(ts)
+        standalone.flush()
+        sketch = CMPBE.with_pbe1(eta=40, width=4, depth=3, buffer_size=200)
+        for t in ts:
+            sketch.update(0, t)
+        sketch.finalize()
+        for q in (500.0, 2_500.0, 4_900.0):
+            assert sketch.cumulative_frequency(0, q) == pytest.approx(
+                standalone.value(q)
+            )

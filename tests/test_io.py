@@ -1,0 +1,86 @@
+"""Round-trip tests for stream serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.events import EventStream
+from repro.streams.io import (
+    iter_csv,
+    read_binary,
+    read_csv,
+    write_binary,
+    write_csv,
+)
+
+
+@pytest.fixture
+def sample_stream() -> EventStream:
+    return EventStream(
+        [(1, 0.0), (2, 0.5), (1, 0.5), (3, 2.25), (1, 1000000.125)]
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, sample_stream):
+        path = tmp_path / "stream.csv"
+        write_csv(sample_stream, path)
+        loaded = read_csv(path)
+        assert list(loaded) == list(sample_stream)
+
+    def test_iter_csv_lazy(self, tmp_path, sample_stream):
+        path = tmp_path / "stream.csv"
+        write_csv(sample_stream, path)
+        iterator = iter_csv(path)
+        assert next(iterator) == (1, 0.0)
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(EventStream(), path)
+        assert len(read_csv(path)) == 0
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(InvalidParameterError):
+            read_csv(path)
+
+    def test_float_precision_preserved(self, tmp_path):
+        stream = EventStream([(1, 0.1), (1, 0.30000000000000004)])
+        path = tmp_path / "precise.csv"
+        write_csv(stream, path)
+        assert list(read_csv(path)) == list(stream)
+
+
+class TestBinary:
+    def test_round_trip(self, tmp_path, sample_stream):
+        path = tmp_path / "stream.bin"
+        write_binary(sample_stream, path)
+        loaded = read_binary(path)
+        assert list(loaded) == list(sample_stream)
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_binary(EventStream(), path)
+        assert len(read_binary(path)) == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 8)
+        with pytest.raises(InvalidParameterError):
+            read_binary(path)
+
+    def test_truncated_rejected(self, tmp_path, sample_stream):
+        path = tmp_path / "trunc.bin"
+        write_binary(sample_stream, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(InvalidParameterError):
+            read_binary(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "hdr.bin"
+        path.write_bytes(b"REPRO")
+        with pytest.raises(InvalidParameterError):
+            read_binary(path)

@@ -1,0 +1,84 @@
+"""Tests for the Kleinberg burst-automaton baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kleinberg import KleinbergBurstDetector
+from repro.core.errors import InvalidParameterError
+
+
+def gappy_stream() -> list[float]:
+    """Sparse arrivals, a dense burst, then sparse again."""
+    times = [float(t) for t in range(0, 1_000, 100)]  # every 100
+    times += [1_000 + t * 2.0 for t in range(200)]  # every 2
+    times += [1_400 + t * 100.0 for t in range(10)]  # every 100
+    return sorted(times)
+
+
+class TestKleinberg:
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            KleinbergBurstDetector(s=1.0)
+        with pytest.raises(InvalidParameterError):
+            KleinbergBurstDetector(gamma=0.0)
+        with pytest.raises(InvalidParameterError):
+            KleinbergBurstDetector(n_states=1)
+
+    def test_empty_and_single(self):
+        detector = KleinbergBurstDetector()
+        assert detector.state_sequence([]) == []
+        assert detector.state_sequence([1.0]) == []
+        assert detector.burst_intervals([1.0]) == []
+
+    def test_stable_stream_never_bursts(self):
+        detector = KleinbergBurstDetector()
+        times = [float(t) for t in range(0, 1_000, 10)]
+        assert detector.burst_intervals(times) == []
+
+    def test_detects_dense_phase(self):
+        detector = KleinbergBurstDetector()
+        intervals = detector.burst_intervals(gappy_stream())
+        assert intervals, "the dense phase must be flagged"
+        start, end = intervals[0].start, intervals[-1].end
+        assert 900 <= start <= 1_100
+        assert 1_300 <= end <= 1_500
+
+    def test_state_sequence_length(self):
+        detector = KleinbergBurstDetector()
+        times = gappy_stream()
+        states = detector.state_sequence(times)
+        assert len(states) == len(times) - 1
+
+    def test_higher_gamma_means_fewer_bursts(self):
+        lenient = KleinbergBurstDetector(gamma=0.5)
+        strict = KleinbergBurstDetector(gamma=50.0)
+        times = gappy_stream()
+
+        def burst_length(detector):
+            return sum(
+                iv.end - iv.start for iv in detector.burst_intervals(times)
+            )
+
+        assert burst_length(strict) <= burst_length(lenient)
+
+    def test_multi_state_levels(self):
+        detector = KleinbergBurstDetector(n_states=3)
+        intervals = detector.burst_intervals(gappy_stream())
+        assert intervals
+        assert all(iv.level >= 1 for iv in intervals)
+
+    def test_agrees_with_acceleration_definition_on_onset(self):
+        """Kleinberg's burst onset ~ where acceleration-burstiness peaks."""
+        from repro.streams.frequency import StaircaseCurve
+
+        times = gappy_stream()
+        detector = KleinbergBurstDetector()
+        intervals = detector.burst_intervals(times)
+        curve = StaircaseCurve.from_timestamps(times)
+        tau = 200.0
+        grid = np.arange(200.0, 1_800.0, 20.0)
+        values = [curve.burstiness(t, tau) for t in grid]
+        peak_t = float(grid[int(np.argmax(values))])
+        assert intervals[0].start - 400 <= peak_t <= intervals[-1].end + 400

@@ -1,0 +1,167 @@
+"""Tests for evaluation metrics and table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.eval.metrics import (
+    mean_absolute_error,
+    precision_recall,
+    random_point_queries,
+)
+from repro.eval.tables import format_series, format_table
+
+
+class TestMeanAbsoluteError:
+    def test_basic(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 0.0]) == 1.5
+
+    def test_zero_for_identical(self):
+        assert mean_absolute_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mean_absolute_error([], [])
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        result = precision_recall({1, 2}, {1, 2})
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1() == 1.0
+
+    def test_half(self):
+        result = precision_recall({1, 2}, {2, 3})
+        assert result.precision == 0.5
+        assert result.recall == 0.5
+
+    def test_empty_retrieved_nothing_relevant(self):
+        result = precision_recall(set(), set())
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+    def test_empty_retrieved_some_relevant(self):
+        result = precision_recall(set(), {1})
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f1() == 0.0
+
+    def test_all_retrieved_none_relevant(self):
+        result = precision_recall({1, 2}, set())
+        assert result.precision == 0.0
+        assert result.recall == 1.0
+
+    def test_counts(self):
+        result = precision_recall({1, 2, 3}, {3})
+        assert result.n_retrieved == 3
+        assert result.n_relevant == 1
+
+
+class TestRandomPointQueries:
+    def test_zero_when_functions_equal(self):
+        rng = np.random.default_rng(0)
+        fn = lambda t: t * 2  # noqa: E731
+        assert random_point_queries(fn, fn, 0.0, 10.0, 20, rng) == 0.0
+
+    def test_constant_offset(self):
+        rng = np.random.default_rng(0)
+        error = random_point_queries(
+            lambda t: t, lambda t: t + 3.0, 0.0, 10.0, 20, rng
+        )
+        assert error == pytest.approx(3.0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidParameterError):
+            random_point_queries(
+                lambda t: t, lambda t: t, 0.0, 10.0, 0, rng
+            )
+        with pytest.raises(InvalidParameterError):
+            random_point_queries(
+                lambda t: t, lambda t: t, 10.0, 0.0, 5, rng
+            )
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [
+            {"name": "a", "value": 1.5},
+            {"name": "long-name", "value": 22.125},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_number_rendering(self):
+        rows = [{"v": 1234567.0}, {"v": 0.1234}, {"v": 0}]
+        text = format_table(rows)
+        assert "1,234,567" in text
+        assert "0.1234" in text
+
+    def test_format_series(self):
+        text = format_series("err", [1, 2], [0.5, 0.25])
+        assert text.startswith("err:")
+        assert "(1, 0.5000)" in text
+
+
+class TestAsciiCharts:
+    def test_sparkline_shape(self):
+        from repro.eval.ascii import sparkline
+
+        line = sparkline([0.0, 1.0, 2.0, 1.0, 0.0])
+        assert len(line) == 5
+        assert line[2] > line[0]  # peak uses a taller tick
+
+    def test_sparkline_flat_and_empty(self):
+        from repro.eval.ascii import sparkline
+
+        assert sparkline([]) == ""
+        assert sparkline([3.0, 3.0]) == "▁▁"
+
+    def test_horizontal_bar(self):
+        from repro.eval.ascii import horizontal_bar
+
+        assert horizontal_bar(5.0, 10.0, width=10) == "#####"
+        assert horizontal_bar(20.0, 10.0, width=10) == "#" * 10
+        assert horizontal_bar(-1.0, 10.0, width=10) == ""
+
+    def test_horizontal_bar_validation(self):
+        from repro.core.errors import InvalidParameterError
+        from repro.eval.ascii import horizontal_bar
+
+        with pytest.raises(InvalidParameterError):
+            horizontal_bar(1.0, 1.0, width=0)
+
+    def test_bar_chart(self):
+        from repro.eval.ascii import bar_chart
+
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=4)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 4
+        assert lines[0].count("#") == 2
+
+    def test_bar_chart_validation(self):
+        from repro.core.errors import InvalidParameterError
+        from repro.eval.ascii import bar_chart
+
+        with pytest.raises(InvalidParameterError):
+            bar_chart(["a"], [1.0, 2.0])
+        assert bar_chart([], []) == "(no data)"

@@ -1,0 +1,124 @@
+"""Tests for the real-time burst monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cmpbe import CMPBE
+from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.core.monitor import BurstMonitor, MonitoredAnalyzer
+
+
+def surge_stream(onset: float = 500.0) -> list[tuple[int, float]]:
+    """Event 1 drips steadily; event 2 surges at ``onset``."""
+    rng = np.random.default_rng(11)
+    records = []
+    for t in range(1_000):
+        if rng.uniform() < 0.2:
+            records.append((1, float(t)))
+        if t >= onset and rng.uniform() < 5 * np.exp(-(t - onset) / 100):
+            records.append((2, float(t)))
+    records.sort(key=lambda r: r[1])
+    return records
+
+
+class TestBurstMonitor:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BurstMonitor(tau=0.0, theta=1.0)
+        with pytest.raises(InvalidParameterError):
+            BurstMonitor(tau=1.0, theta=0.0)
+
+    def test_rejects_out_of_order(self):
+        monitor = BurstMonitor(tau=10.0, theta=5.0)
+        monitor.update(1, 5.0)
+        with pytest.raises(StreamOrderError):
+            monitor.update(1, 4.0)
+
+    def test_steady_event_never_alerts(self):
+        monitor = BurstMonitor(tau=50.0, theta=8.0)
+        alerts = monitor.consume(
+            (1, float(t)) for t in range(0, 2_000, 5)
+        )
+        assert alerts == []
+
+    def test_surge_alerts_near_onset(self):
+        monitor = BurstMonitor(tau=50.0, theta=10.0)
+        alerts = monitor.consume(surge_stream(onset=500.0))
+        surge_alerts = [a for a in alerts if a.event_id == 2]
+        assert surge_alerts
+        assert 500.0 <= surge_alerts[0].timestamp <= 600.0
+
+    def test_cooldown_suppresses_storms(self):
+        # Accelerating arrivals (t ~ sqrt(i)) keep burstiness positive
+        # long past the warm-up; a steady storm would not (acceleration,
+        # not rate).
+        dense = [(2, 500.0 + 10.0 * (i**0.5)) for i in range(600)]
+        eager = BurstMonitor(tau=20.0, theta=5.0, cooldown=0.0)
+        calm = BurstMonitor(tau=20.0, theta=5.0, cooldown=50.0)
+        eager_alerts = eager.consume(dense)
+        calm_alerts = calm.consume(dense)
+        assert eager_alerts
+        assert len(calm_alerts) < len(eager_alerts)
+
+    def test_memory_bounded_by_window(self):
+        monitor = BurstMonitor(tau=25.0, theta=1e9)
+        monitor.consume((1, float(t)) for t in range(1_000))
+        # Only the last 2*tau = 50 elements (1/second) are retained.
+        assert monitor.memory_elements() <= 52
+
+    def test_current_burstiness_definition(self):
+        monitor = BurstMonitor(tau=10.0, theta=1e9)
+        # 2 elements in (t-2tau, t-tau], 5 in (t-tau, t].
+        for t in (81.0, 85.0, 92.0, 94.0, 96.0, 98.0, 100.0):
+            monitor.update(7, t)
+        assert monitor.current_burstiness(7) == 5 - 2
+
+    def test_unseen_event_zero(self):
+        monitor = BurstMonitor(tau=10.0, theta=5.0)
+        assert monitor.current_burstiness(99) == 0.0
+
+    def test_n_tracked_events(self):
+        monitor = BurstMonitor(tau=5.0, theta=1e9)
+        monitor.update(1, 0.0)
+        monitor.update(2, 1.0)
+        assert monitor.n_tracked_events == 2
+        monitor.update(3, 1_000.0)  # evicts 1 and 2 lazily on touch
+        monitor.update(1, 1_001.0)
+        monitor.update(2, 1_001.0)
+        assert monitor.n_tracked_events == 3
+
+    def test_callback_invoked(self):
+        seen = []
+        monitor = BurstMonitor(tau=50.0, theta=10.0)
+        monitor.consume(surge_stream(), callback=seen.append)
+        assert seen
+        assert all(alert.burstiness >= 10.0 for alert in seen)
+
+
+class TestMonitoredAnalyzer:
+    def test_live_and_historical_agree(self):
+        records = surge_stream(onset=500.0)
+        analyzer = MonitoredAnalyzer(
+            monitor=BurstMonitor(tau=50.0, theta=10.0),
+            sketch=CMPBE.with_pbe2(gamma=5.0, width=4, depth=3),
+        )
+        analyzer.ingest(records)
+        assert analyzer.alerts, "the surge must alert live"
+        first = analyzer.alerts[0]
+        # After the fact, the sketch confirms the burst around the alert.
+        historical = analyzer.historical_burstiness(
+            first.event_id, first.timestamp, 50.0
+        )
+        assert historical >= first.burstiness / 3
+
+    def test_alerts_accumulate(self):
+        analyzer = MonitoredAnalyzer(
+            monitor=BurstMonitor(tau=20.0, theta=5.0, cooldown=100.0),
+            sketch=CMPBE.with_pbe2(gamma=5.0, width=4, depth=2),
+        )
+        # Quiet lead-in past the warm-up, then a dense surge.
+        analyzer.ingest((1, float(t)) for t in range(0, 400, 20))
+        analyzer.ingest((2, 500.0 + i * 0.5) for i in range(100))
+        assert len(analyzer.alerts) >= 1

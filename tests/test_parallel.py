@@ -1,0 +1,145 @@
+"""Tests for chunked/parallel construction and time-disjoint merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.parallel import (
+    build_pbe1_chunked,
+    build_pbe2_chunked,
+    merge_pbe1,
+    merge_pbe2,
+)
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.streams.frequency import StaircaseCurve
+
+
+@pytest.fixture(scope="module")
+def timestamps() -> list[float]:
+    rng = np.random.default_rng(31)
+    return np.sort(rng.uniform(0, 4_000, size=800)).round(0).tolist()
+
+
+class TestMergePbe1:
+    def test_merged_matches_monolithic_totals(self, timestamps):
+        half = len(timestamps) // 2
+        part_a = PBE1(eta=20, buffer_size=100)
+        part_b = PBE1(eta=20, buffer_size=100)
+        part_a.extend(timestamps[:half])
+        part_b.extend(timestamps[half:])
+        merged = merge_pbe1([part_a, part_b])
+        assert merged.count == len(timestamps)
+        assert merged.value(1e9) == len(timestamps)
+
+    def test_merged_never_overestimates(self, timestamps):
+        quarter = len(timestamps) // 4
+        parts = []
+        for i in range(4):
+            part = PBE1(eta=15, buffer_size=80)
+            part.extend(timestamps[i * quarter : (i + 1) * quarter])
+            parts.append(part)
+        merged = merge_pbe1(parts)
+        curve = StaircaseCurve.from_timestamps(timestamps[: 4 * quarter])
+        for q in np.linspace(0, 4_100, 80):
+            assert merged.value(q) <= curve.value(q) + 1e-9
+
+    def test_out_of_order_parts_rejected(self, timestamps):
+        half = len(timestamps) // 2
+        part_a = PBE1(eta=20, buffer_size=100)
+        part_b = PBE1(eta=20, buffer_size=100)
+        part_a.extend(timestamps[:half])
+        part_b.extend(timestamps[half:])
+        with pytest.raises(InvalidParameterError):
+            merge_pbe1([part_b, part_a])
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            merge_pbe1([])
+
+
+class TestMergePbe2:
+    def test_merged_within_band(self, timestamps):
+        gamma = 6.0
+        half = len(timestamps) // 2
+        part_a = PBE2(gamma=gamma)
+        part_b = PBE2(gamma=gamma)
+        part_a.extend(timestamps[:half])
+        part_b.extend(timestamps[half:])
+        merged = merge_pbe2([part_a, part_b])
+        curve = StaircaseCurve.from_timestamps(timestamps)
+        for q in np.arange(timestamps[0], timestamps[-1], 11.0):
+            estimate = merged.value(q)
+            truth = curve.value(q)
+            assert estimate <= truth + 1e-6
+            assert estimate >= truth - gamma - 1e-6
+
+    def test_counts_accumulate(self, timestamps):
+        half = len(timestamps) // 2
+        part_a = PBE2(gamma=5.0)
+        part_b = PBE2(gamma=5.0)
+        part_a.extend(timestamps[:half])
+        part_b.extend(timestamps[half:])
+        merged = merge_pbe2([part_a, part_b])
+        assert merged.count == len(timestamps)
+
+
+class TestChunkedBuilders:
+    def test_pbe1_chunked_equals_band(self, timestamps):
+        sketch = build_pbe1_chunked(
+            timestamps, eta=20, buffer_size=100, n_chunks=5
+        )
+        curve = StaircaseCurve.from_timestamps(timestamps)
+        assert sketch.count == len(timestamps)
+        for q in np.linspace(0, 4_100, 50):
+            assert sketch.value(q) <= curve.value(q) + 1e-9
+
+    def test_pbe2_chunked_within_band(self, timestamps):
+        gamma = 7.0
+        sketch = build_pbe2_chunked(timestamps, gamma=gamma, n_chunks=5)
+        curve = StaircaseCurve.from_timestamps(timestamps)
+        for q in np.arange(timestamps[0], timestamps[-1], 17.0):
+            assert curve.value(q) - gamma - 1e-6 <= sketch.value(q)
+            assert sketch.value(q) <= curve.value(q) + 1e-6
+
+    def test_invalid_chunks(self, timestamps):
+        with pytest.raises(InvalidParameterError):
+            build_pbe1_chunked(timestamps, eta=10, n_chunks=0)
+
+    def test_process_pool_matches_serial(self, timestamps):
+        serial = build_pbe1_chunked(
+            timestamps, eta=20, buffer_size=100, n_chunks=4, n_workers=1
+        )
+        pooled = build_pbe1_chunked(
+            timestamps, eta=20, buffer_size=100, n_chunks=4, n_workers=2
+        )
+        for q in np.linspace(0, 4_100, 30):
+            assert serial.value(q) == pooled.value(q)
+
+
+class TestTopK:
+    def test_top_k_returns_the_burstiest(self, mixed_stream):
+        from repro.core.dyadic import BurstyEventIndex
+
+        index = BurstyEventIndex.with_pbe1(
+            16, eta=60, width=8, depth=3, buffer_size=300
+        )
+        index.extend(mixed_stream)
+        index.finalize()
+        top = index.top_k_bursty_events(520.0, k=3, tau=50.0)
+        assert top
+        assert top[0].event_id == 5  # the planted burst dominates
+        values = [hit.burstiness for hit in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_k_validation(self, mixed_stream):
+        from repro.core.dyadic import BurstyEventIndex
+
+        index = BurstyEventIndex.with_pbe1(
+            16, eta=60, width=8, depth=3, buffer_size=300
+        )
+        index.extend(mixed_stream)
+        with pytest.raises(InvalidParameterError):
+            index.top_k_bursty_events(520.0, k=0, tau=50.0)

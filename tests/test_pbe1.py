@@ -1,0 +1,202 @@
+"""Tests for the streaming PBE-1 sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    EmptySketchError,
+    InvalidParameterError,
+    StreamOrderError,
+)
+from repro.core.pbe1 import PBE1
+from repro.streams.frequency import StaircaseCurve
+
+timestamp_lists = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=1, max_size=150
+).map(sorted)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            PBE1(eta=1)
+        with pytest.raises(InvalidParameterError):
+            PBE1(eta=4, buffer_size=1)
+
+    def test_rejects_out_of_order(self):
+        sketch = PBE1(eta=4, buffer_size=10)
+        sketch.update(5.0)
+        with pytest.raises(StreamOrderError):
+            sketch.update(4.0)
+
+    def test_rejects_nonpositive_count(self):
+        sketch = PBE1(eta=4, buffer_size=10)
+        with pytest.raises(InvalidParameterError):
+            sketch.update(1.0, count=0)
+
+    def test_duplicate_timestamps_grow_corner(self):
+        sketch = PBE1(eta=4, buffer_size=10)
+        for _ in range(5):
+            sketch.update(3.0)
+        assert sketch.n_corners == 1
+        assert sketch.value(3.0) == 5.0
+
+    def test_count_tracks_multiplicity(self):
+        sketch = PBE1(eta=4, buffer_size=10)
+        sketch.update(1.0, count=3)
+        sketch.update(2.0, count=2)
+        assert sketch.count == 5
+
+    def test_duplicate_after_buffer_boundary(self):
+        """A timestamp equal to the last kept corner grows that corner."""
+        sketch = PBE1(eta=2, buffer_size=3)
+        for t in (1.0, 2.0, 3.0):
+            sketch.update(t)  # fills and compresses the buffer
+        sketch.update(3.0)  # same timestamp again
+        assert sketch.value(3.0) == 4.0
+
+    def test_empty_sketch_value_is_zero(self):
+        assert PBE1(eta=4).value(100.0) == 0.0
+
+    def test_empty_sketch_burstiness_raises(self):
+        with pytest.raises(EmptySketchError):
+            PBE1(eta=4).burstiness(1.0, 1.0)
+
+
+class TestNeverOverestimates:
+    @settings(max_examples=60, deadline=None)
+    @given(timestamp_lists, st.integers(2, 12), st.integers(4, 30))
+    def test_value_at_or_below_truth(self, ts, eta, buffer_size):
+        ts = [float(t) for t in ts]
+        sketch = PBE1(eta=eta, buffer_size=buffer_size)
+        sketch.extend(ts)
+        sketch.flush()
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.linspace(-5, max(ts) + 5, 40):
+            assert sketch.value(q) <= curve.value(q) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(timestamp_lists, st.integers(2, 12), st.integers(4, 30))
+    def test_monotone_nondecreasing(self, ts, eta, buffer_size):
+        ts = [float(t) for t in ts]
+        sketch = PBE1(eta=eta, buffer_size=buffer_size)
+        sketch.extend(ts)
+        sketch.flush()
+        qs = np.linspace(-5, max(ts) + 5, 40)
+        values = [sketch.value(q) for q in qs]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamp_lists, st.integers(4, 30))
+    def test_exact_with_big_budget(self, ts, buffer_size):
+        ts = [float(t) for t in ts]
+        sketch = PBE1(eta=10_000, buffer_size=buffer_size)
+        sketch.extend(ts)
+        sketch.flush()
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.linspace(-5, max(ts) + 5, 40):
+            assert sketch.value(q) == pytest.approx(curve.value(q))
+
+
+class TestBuffering:
+    def test_final_total_exact_after_flush(self):
+        ts = [float(t) for t in range(100)]
+        sketch = PBE1(eta=3, buffer_size=10)
+        sketch.extend(ts)
+        sketch.flush()
+        # The last corner is always kept, so the total is exact.
+        assert sketch.value(1e9) == 100.0
+
+    def test_buffer_boundaries_exact(self):
+        """Both boundary corners of each buffer are kept (Corollary 1)."""
+        ts = [float(t) for t in range(50)]
+        sketch = PBE1(eta=2, buffer_size=10)
+        sketch.extend(ts)
+        curve = StaircaseCurve.from_timestamps(ts)
+        # Buffer boundaries fall at corners 0, 9, 10, 19, 20, ...
+        for boundary in (0.0, 9.0, 10.0, 19.0, 20.0, 29.0):
+            assert sketch.value(boundary) == curve.value(boundary)
+
+    def test_space_bounded_by_eta_per_buffer(self):
+        ts = [float(t) for t in range(1000)]
+        sketch = PBE1(eta=5, buffer_size=100)
+        sketch.extend(ts)
+        sketch.flush()
+        n_buffers = 10
+        assert sketch.n_corners <= 5 * n_buffers
+        assert sketch.size_in_bytes() == 16 * sketch.n_corners
+
+    def test_queries_see_unflushed_buffer(self):
+        sketch = PBE1(eta=2, buffer_size=100)
+        sketch.extend([1.0, 2.0, 3.0])
+        assert sketch.value(3.0) == 3.0  # exact while buffered
+
+    def test_flush_idempotent(self):
+        sketch = PBE1(eta=3, buffer_size=10)
+        sketch.extend([float(t) for t in range(25)])
+        sketch.flush()
+        corners = sketch.n_corners
+        sketch.flush()
+        assert sketch.n_corners == corners
+
+    def test_construction_error_accumulates(self):
+        ts = [float(t) for t in range(100)]
+        tight = PBE1(eta=2, buffer_size=10)
+        loose = PBE1(eta=8, buffer_size=10)
+        tight.extend(ts)
+        loose.extend(ts)
+        tight.flush()
+        loose.flush()
+        assert tight.construction_error >= loose.construction_error
+
+    def test_segment_starts_contains_kept_corners(self):
+        sketch = PBE1(eta=3, buffer_size=10)
+        sketch.extend([float(t) for t in range(30)])
+        starts = sketch.segment_starts()
+        assert 0.0 in starts
+        assert len(starts) == sketch.n_corners
+
+
+class TestBurstinessEstimation:
+    def test_matches_exact_on_kept_resolution(self):
+        """With a generous budget the burstiness estimate is exact."""
+        rng = np.random.default_rng(0)
+        ts = np.sort(rng.uniform(0, 500, size=300)).round(0).tolist()
+        sketch = PBE1(eta=1000, buffer_size=1000)
+        sketch.extend(ts)
+        sketch.flush()
+        curve = StaircaseCurve.from_timestamps(ts)
+        for t in (100.0, 250.0, 400.0):
+            assert sketch.burstiness(t, 50.0) == pytest.approx(
+                curve.burstiness(t, 50.0)
+            )
+
+    def test_error_bounded_by_4_delta_heuristic(self):
+        """Error shrinks as eta grows (the 4*Delta bound of Lemma 1)."""
+        rng = np.random.default_rng(1)
+        ts = np.sort(rng.uniform(0, 2000, size=800)).round(0).tolist()
+        curve = StaircaseCurve.from_timestamps(ts)
+        queries = rng.uniform(100, 1900, size=50)
+        errors = []
+        for eta in (3, 10, 40):
+            sketch = PBE1(eta=eta, buffer_size=200)
+            sketch.extend(ts)
+            sketch.flush()
+            errors.append(
+                float(
+                    np.mean(
+                        [
+                            abs(
+                                sketch.burstiness(t, 100.0)
+                                - curve.burstiness(t, 100.0)
+                            )
+                            for t in queries
+                        ]
+                    )
+                )
+            )
+        assert errors[0] >= errors[1] >= errors[2]

@@ -1,0 +1,198 @@
+"""Tests for the streaming PBE-2 (online PLA) sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import (
+    EmptySketchError,
+    InvalidParameterError,
+    StreamOrderError,
+)
+from repro.core.pbe2 import PBE2, LineSegment
+from repro.streams.frequency import StaircaseCurve
+
+timestamp_lists = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=1, max_size=150
+).map(sorted)
+
+gammas = st.floats(min_value=0.5, max_value=50.0)
+
+
+class TestLineSegment:
+    def test_value_within_range(self):
+        seg = LineSegment(a=2.0, b=1.0, t_start=0.0, t_end=10.0)
+        assert seg.value(5.0) == 11.0
+
+    def test_value_holds_beyond_end(self):
+        seg = LineSegment(a=2.0, b=1.0, t_start=0.0, t_end=10.0)
+        assert seg.value(100.0) == 21.0
+
+    def test_value_clamps_before_start(self):
+        seg = LineSegment(a=2.0, b=1.0, t_start=5.0, t_end=10.0)
+        assert seg.value(0.0) == 11.0
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            PBE2(gamma=0.0)
+        with pytest.raises(InvalidParameterError):
+            PBE2(gamma=1.0, unit=0.0)
+        with pytest.raises(InvalidParameterError):
+            PBE2(gamma=1.0, max_polygon_vertices=2)
+
+    def test_rejects_out_of_order(self):
+        sketch = PBE2(gamma=2.0)
+        sketch.update(5.0)
+        with pytest.raises(StreamOrderError):
+            sketch.update(4.0)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(InvalidParameterError):
+            PBE2(gamma=2.0).update(1.0, count=0)
+
+    def test_empty_value_is_zero(self):
+        assert PBE2(gamma=2.0).value(5.0) == 0.0
+
+    def test_empty_burstiness_raises(self):
+        with pytest.raises(EmptySketchError):
+            PBE2(gamma=2.0).burstiness(1.0, 1.0)
+
+    def test_duplicate_timestamps_accumulate(self):
+        sketch = PBE2(gamma=2.0)
+        for _ in range(5):
+            sketch.update(3.0)
+        sketch.update(4.0)
+        sketch.finalize()
+        assert sketch.value(3.5) >= 5.0 - 2.0
+        assert sketch.count == 6
+
+    def test_finalize_idempotent(self):
+        sketch = PBE2(gamma=2.0)
+        sketch.extend([1.0, 2.0, 3.0, 10.0])
+        sketch.finalize()
+        segments = sketch.n_segments
+        sketch.finalize()
+        assert sketch.n_segments == segments
+
+
+class TestApproximationGuarantee:
+    @settings(max_examples=50, deadline=None)
+    @given(timestamp_lists, gammas)
+    def test_within_gamma_band(self, ts, gamma):
+        """F~(t) in [F(t) - gamma, F(t)] for every integer instant."""
+        ts = [float(t) for t in ts]
+        sketch = PBE2(gamma=gamma, unit=1.0)
+        sketch.extend(ts)
+        sketch.finalize()
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.arange(min(ts), max(ts) + 1.0):
+            estimate = sketch.value(q)
+            truth = curve.value(q)
+            assert estimate <= truth + 1e-6
+            assert estimate >= truth - gamma - 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamp_lists, gammas)
+    def test_burstiness_error_at_most_4_gamma(self, ts, gamma):
+        """Lemma 4: |b~(t) - b(t)| <= 4 gamma."""
+        ts = [float(t) for t in ts]
+        sketch = PBE2(gamma=gamma, unit=1.0)
+        sketch.extend(ts)
+        sketch.finalize()
+        curve = StaircaseCurve.from_timestamps(ts)
+        tau = max(1.0, (max(ts) - min(ts)) / 7)
+        for q in np.linspace(min(ts), max(ts), 25):
+            estimate = sketch.burstiness(q, tau)
+            truth = curve.burstiness(q, tau)
+            assert abs(estimate - truth) <= 4 * gamma + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamp_lists)
+    def test_queries_before_finalize_also_bounded(self, ts):
+        """Live (provisional) state answers within the gamma band too."""
+        gamma = 3.0
+        ts = [float(t) for t in ts]
+        sketch = PBE2(gamma=gamma, unit=1.0)
+        sketch.extend(ts)
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.arange(min(ts), max(ts) + 1.0):
+            estimate = sketch.value(q)
+            truth = curve.value(q)
+            assert estimate <= truth + 1e-6
+            assert estimate >= truth - gamma - 1e-6
+
+
+class TestSpaceBehaviour:
+    def test_larger_gamma_fewer_segments(self):
+        rng = np.random.default_rng(2)
+        ts = np.sort(rng.uniform(0, 3000, size=1500)).round(0).tolist()
+        sizes = []
+        for gamma in (1.0, 5.0, 25.0, 125.0):
+            sketch = PBE2(gamma=gamma)
+            sketch.extend(ts)
+            sketch.finalize()
+            sizes.append(sketch.n_segments)
+        assert sizes[0] >= sizes[1] >= sizes[2] >= sizes[3]
+
+    def test_perfectly_linear_stream_uses_one_segment(self):
+        ts = [float(t) for t in range(200)]
+        sketch = PBE2(gamma=2.0)
+        sketch.extend(ts)
+        sketch.finalize()
+        assert sketch.n_segments <= 2
+
+    def test_size_accounting(self):
+        sketch = PBE2(gamma=2.0)
+        sketch.extend([1.0, 5.0, 6.0, 50.0, 51.0, 52.0])
+        sketch.finalize()
+        assert sketch.size_in_bytes() == 32 * sketch.n_segments
+
+    def test_max_polygon_vertices_forces_breaks(self):
+        rng = np.random.default_rng(3)
+        ts = np.sort(rng.uniform(0, 2000, size=800)).round(0).tolist()
+        free = PBE2(gamma=50.0)
+        capped = PBE2(gamma=50.0, max_polygon_vertices=4)
+        free.extend(ts)
+        capped.extend(ts)
+        free.finalize()
+        capped.finalize()
+        assert capped.n_segments >= free.n_segments
+
+    def test_capped_polygon_still_within_band(self):
+        rng = np.random.default_rng(4)
+        ts = np.sort(rng.uniform(0, 1000, size=400)).round(0).tolist()
+        gamma = 10.0
+        sketch = PBE2(gamma=gamma, max_polygon_vertices=4)
+        sketch.extend(ts)
+        sketch.finalize()
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.arange(ts[0], ts[-1], 7.0):
+            estimate = sketch.value(q)
+            truth = curve.value(q)
+            assert truth - gamma - 1e-6 <= estimate <= truth + 1e-6
+
+
+class TestSegments:
+    def test_segments_cover_stream_in_order(self):
+        rng = np.random.default_rng(5)
+        ts = np.sort(rng.uniform(0, 1000, size=300)).round(0).tolist()
+        sketch = PBE2(gamma=5.0)
+        sketch.extend(ts)
+        sketch.finalize()
+        segments = sketch.segments
+        assert segments, "finalized sketch must have segments"
+        starts = [s.t_start for s in segments]
+        assert starts == sorted(starts)
+        for segment in segments:
+            assert segment.t_end >= segment.t_start
+
+    def test_segment_starts_knots(self):
+        sketch = PBE2(gamma=5.0)
+        sketch.extend([1.0, 2.0, 3.0, 100.0, 101.0])
+        knots = sketch.segment_starts()
+        assert knots, "live sketch exposes provisional knots"

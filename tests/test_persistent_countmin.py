@@ -1,0 +1,80 @@
+"""Tests for the Persistent Count-Min comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.sketch.persistent_countmin import PersistentCountMin
+
+
+class TestPersistentCountMin:
+    def test_invalid_dimensions(self):
+        with pytest.raises(InvalidParameterError):
+            PersistentCountMin(width=0, depth=1)
+
+    def test_never_underestimates(self, mixed_stream):
+        sketch = PersistentCountMin(width=8, depth=3, seed=0)
+        exact = ExactBurstStore.from_stream(mixed_stream)
+        for event_id, timestamp in mixed_stream:
+            sketch.update(event_id, timestamp)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            event_id = int(rng.integers(0, 16))
+            t = float(rng.uniform(0, 1_000))
+            assert sketch.cumulative_frequency(event_id, t) >= (
+                exact.cumulative_frequency(event_id, t)
+            )
+
+    def test_exact_when_wide(self, mixed_stream):
+        sketch = PersistentCountMin(width=4096, depth=4, seed=0)
+        exact = ExactBurstStore.from_stream(mixed_stream)
+        for event_id, timestamp in mixed_stream:
+            sketch.update(event_id, timestamp)
+        for event_id in (0, 5, 15):
+            for t in (250.0, 500.0, 999.0):
+                assert sketch.cumulative_frequency(event_id, t) == (
+                    exact.cumulative_frequency(event_id, t)
+                )
+
+    def test_burstiness_close_when_wide(self, mixed_stream):
+        sketch = PersistentCountMin(width=4096, depth=4, seed=0)
+        exact = ExactBurstStore.from_stream(mixed_stream)
+        for event_id, timestamp in mixed_stream:
+            sketch.update(event_id, timestamp)
+        assert sketch.burstiness(5, 520.0, 50.0) == pytest.approx(
+            exact.burstiness(5, 520.0, 50.0)
+        )
+
+    def test_rejects_out_of_order(self):
+        sketch = PersistentCountMin(width=4, depth=2)
+        sketch.update(1, 5.0)
+        with pytest.raises(StreamOrderError):
+            sketch.update(1, 4.0)
+
+    def test_invalid_tau(self):
+        sketch = PersistentCountMin(width=4, depth=2)
+        sketch.update(1, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sketch.burstiness(1, 1.0, 0.0)
+
+    def test_space_linear_in_history(self, mixed_stream):
+        """PCM keeps every distinct (cell, timestamp): far bigger than a
+        PBE-compressed CM — the motivation for CM-PBE."""
+        from repro.core.cmpbe import CMPBE
+
+        pcm = PersistentCountMin(width=8, depth=3, seed=0)
+        cmpbe = CMPBE.with_pbe1(eta=40, width=8, depth=3, buffer_size=300)
+        for event_id, timestamp in mixed_stream:
+            pcm.update(event_id, timestamp)
+        cmpbe.extend(mixed_stream)
+        cmpbe.finalize()
+        assert pcm.size_in_bytes() > 2 * cmpbe.size_in_bytes()
+
+    def test_total(self, mixed_stream):
+        sketch = PersistentCountMin(width=8, depth=2)
+        for event_id, timestamp in mixed_stream:
+            sketch.update(event_id, timestamp)
+        assert sketch.total == len(mixed_stream)

@@ -1,0 +1,169 @@
+"""Cross-cutting property-based tests (hypothesis) over the core
+invariants that the paper's correctness rests on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import merge_pbe1, merge_pbe2
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.core.queries import bursty_time_intervals
+from repro.core.serialize import (
+    dump_pbe1,
+    dump_pbe2,
+    load_pbe1,
+    load_pbe2,
+)
+from repro.streams.frequency import (
+    StaircaseCurve,
+    burstiness_from_curve,
+)
+
+timestamp_lists = st.lists(
+    st.integers(min_value=0, max_value=400), min_size=2, max_size=120
+).map(sorted)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(timestamp_lists, st.integers(2, 10))
+    def test_pbe1_round_trip_identical(self, ts, eta):
+        ts = [float(t) for t in ts]
+        sketch = PBE1(eta=eta, buffer_size=16)
+        sketch.extend(ts)
+        loaded = load_pbe1(dump_pbe1(sketch))
+        for q in np.linspace(-5, max(ts) + 5, 23):
+            assert loaded.value(q) == sketch.value(q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamp_lists, st.floats(1.0, 30.0))
+    def test_pbe2_round_trip_identical(self, ts, gamma):
+        ts = [float(t) for t in ts]
+        sketch = PBE2(gamma=gamma)
+        sketch.extend(ts)
+        loaded = load_pbe2(dump_pbe2(sketch))
+        for q in np.linspace(-5, max(ts) + 5, 23):
+            assert loaded.value(q) == pytest.approx(sketch.value(q))
+
+
+class TestMergeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(timestamp_lists, st.integers(1, 110))
+    def test_merged_pbe1_stays_below_truth(self, ts, cut):
+        ts = [float(t) for t in ts]
+        cut = min(cut, len(ts) - 1)
+        # Never split a run of equal timestamps across parts.
+        while 0 < cut < len(ts) and ts[cut] == ts[cut - 1]:
+            cut += 1
+        left = PBE1(eta=3, buffer_size=8)
+        right = PBE1(eta=3, buffer_size=8)
+        left.extend(ts[:cut])
+        right.extend(ts[cut:])
+        merged = merge_pbe1([left, right])
+        curve = StaircaseCurve.from_timestamps(ts)
+        assert merged.count == len(ts)
+        for q in np.linspace(-5, max(ts) + 5, 29):
+            assert merged.value(q) <= curve.value(q) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamp_lists, st.floats(2.0, 20.0))
+    def test_merged_pbe2_stays_in_band(self, ts, gamma):
+        ts = [float(t) for t in ts]
+        cut = len(ts) // 2
+        while 0 < cut < len(ts) and ts[cut] == ts[cut - 1]:
+            cut += 1
+        left = PBE2(gamma=gamma)
+        right = PBE2(gamma=gamma)
+        left.extend(ts[:cut])
+        right.extend(ts[cut:])
+        merged = merge_pbe2([left, right])
+        curve = StaircaseCurve.from_timestamps(ts)
+        for q in np.arange(min(ts), max(ts) + 1.0):
+            estimate = merged.value(q)
+            truth = curve.value(q)
+            assert estimate <= truth + 1e-6
+            assert estimate >= truth - gamma - 1e-6
+
+
+class TestBurstyTimeProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        timestamp_lists,
+        st.floats(1.0, 40.0),
+        st.integers(5, 60),
+    )
+    def test_staircase_intervals_sound(self, ts, theta, tau):
+        """Inside every reported interval b~ >= theta (sampled densely);
+        at breakpoints outside all intervals b~ < theta."""
+        ts = [float(t) for t in ts]
+        sketch = PBE1(eta=5, buffer_size=16)
+        sketch.extend(ts)
+        t_end = max(ts) + 2.0 * tau
+        intervals = bursty_time_intervals(
+            sketch, sketch.segment_starts(), theta, float(tau), t_end,
+            "constant",
+        )
+
+        def inside(t: float) -> bool:
+            return any(start <= t < end for start, end in intervals)
+
+        for q in np.linspace(0, t_end, 60):
+            value = burstiness_from_curve(sketch, q, float(tau))
+            if inside(q):
+                assert value >= theta - 1e-9
+            else:
+                # Outside an interval the estimate is below theta except
+                # exactly at interval right-endpoints (half-open).
+                if not any(abs(q - end) < 1e-9 for _, end in intervals):
+                    assert value < theta + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(timestamp_lists, st.floats(5.0, 50.0))
+    def test_intervals_nested_in_lower_threshold(self, ts, theta):
+        """Raising theta can only shrink the bursty-time answer."""
+        ts = [float(t) for t in ts]
+        sketch = PBE1(eta=5, buffer_size=16)
+        sketch.extend(ts)
+        tau = 20.0
+        t_end = max(ts) + 2 * tau
+        low = bursty_time_intervals(
+            sketch, sketch.segment_starts(), theta / 2, tau, t_end,
+            "constant",
+        )
+        high = bursty_time_intervals(
+            sketch, sketch.segment_starts(), theta, tau, t_end, "constant"
+        )
+
+        def covered(t: float, intervals) -> bool:
+            return any(start <= t < end for start, end in intervals)
+
+        for start, end in high:
+            mid = (start + end) / 2
+            assert covered(mid, low)
+
+
+class TestPbe1Pbe2Agreement:
+    @settings(max_examples=30, deadline=None)
+    @given(timestamp_lists)
+    def test_generous_budgets_agree_with_truth(self, ts):
+        """Both sketches converge to the exact curve when unconstrained."""
+        ts = [float(t) for t in ts]
+        curve = StaircaseCurve.from_timestamps(ts)
+        pbe1 = PBE1(eta=10_000, buffer_size=10_000)
+        pbe1.extend(ts)
+        pbe1.flush()
+        pbe2 = PBE2(gamma=0.51)
+        pbe2.extend(ts)
+        pbe2.finalize()
+        # The gamma band is guaranteed on the discrete clock domain
+        # (integer ticks here); between ticks a PLA line interpolates
+        # jumps, which is exactly what the paper's pre-corner points
+        # bound at tick resolution.
+        for q in np.arange(min(ts), max(ts) + 1.0):
+            truth = curve.value(q)
+            assert pbe1.value(q) == pytest.approx(truth)
+            assert abs(pbe2.value(q) - truth) <= 0.51 + 1e-6

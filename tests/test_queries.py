@@ -1,0 +1,273 @@
+"""Tests for bursty-time intervals and the analyzer facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.core.queries import HistoricalBurstAnalyzer, bursty_time_intervals
+from repro.streams.frequency import StaircaseCurve
+
+
+@pytest.fixture(scope="module")
+def bursty_curve_and_pbes(bursty_timestamps):
+    curve = StaircaseCurve.from_timestamps(bursty_timestamps)
+    pbe1 = PBE1(eta=100, buffer_size=400)
+    pbe1.extend(bursty_timestamps)
+    pbe1.flush()
+    pbe2 = PBE2(gamma=5.0)
+    pbe2.extend(bursty_timestamps)
+    pbe2.finalize()
+    return curve, pbe1, pbe2
+
+
+class TestBurstyTimeIntervals:
+    def test_staircase_finds_the_burst(
+        self, bursty_curve_and_pbes, bursty_timestamps
+    ):
+        curve, pbe1, _ = bursty_curve_and_pbes
+        tau = 400.0
+        theta = 100.0
+        t_end = max(bursty_timestamps) + 2 * tau
+        intervals = bursty_time_intervals(
+            pbe1, pbe1.segment_starts(), theta, tau, t_end, "constant"
+        )
+        assert intervals, "the planted burst must be found"
+        # The burst is around t=5000-5400: some interval must cover it.
+        assert any(
+            start <= 5_400 and end >= 5_000 for start, end in intervals
+        )
+
+    def test_linear_finds_the_burst(
+        self, bursty_curve_and_pbes, bursty_timestamps
+    ):
+        _, _, pbe2 = bursty_curve_and_pbes
+        tau = 400.0
+        t_end = max(bursty_timestamps) + 2 * tau
+        intervals = bursty_time_intervals(
+            pbe2, pbe2.segment_starts(), 100.0, tau, t_end, "linear"
+        )
+        assert intervals
+        assert any(
+            start <= 5_400 and end >= 5_000 for start, end in intervals
+        )
+
+    def test_intervals_sorted_and_disjoint(
+        self, bursty_curve_and_pbes, bursty_timestamps
+    ):
+        _, pbe1, _ = bursty_curve_and_pbes
+        tau = 300.0
+        t_end = max(bursty_timestamps) + 2 * tau
+        intervals = bursty_time_intervals(
+            pbe1, pbe1.segment_starts(), 20.0, tau, t_end, "constant"
+        )
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 < s2
+        for start, end in intervals:
+            assert start < end
+
+    def test_burstiness_above_theta_inside_intervals(
+        self, bursty_curve_and_pbes, bursty_timestamps
+    ):
+        _, pbe1, _ = bursty_curve_and_pbes
+        tau = 400.0
+        theta = 80.0
+        t_end = max(bursty_timestamps) + 2 * tau
+        intervals = bursty_time_intervals(
+            pbe1, pbe1.segment_starts(), theta, tau, t_end, "constant"
+        )
+        from repro.streams.frequency import burstiness_from_curve
+
+        for start, end in intervals:
+            mid = (start + end) / 2
+            assert burstiness_from_curve(pbe1, mid, tau) >= theta - 1e-9
+
+    def test_huge_theta_returns_nothing(
+        self, bursty_curve_and_pbes, bursty_timestamps
+    ):
+        _, pbe1, _ = bursty_curve_and_pbes
+        intervals = bursty_time_intervals(
+            pbe1, pbe1.segment_starts(), 1e9, 400.0, 10_000.0, "constant"
+        )
+        assert intervals == []
+
+    def test_empty_knots(self, bursty_curve_and_pbes):
+        _, pbe1, _ = bursty_curve_and_pbes
+        assert bursty_time_intervals(pbe1, [], 1.0, 10.0, 100.0) == []
+
+    def test_invalid_arguments(self, bursty_curve_and_pbes):
+        _, pbe1, _ = bursty_curve_and_pbes
+        with pytest.raises(InvalidParameterError):
+            bursty_time_intervals(pbe1, [1.0], 1.0, -1.0, 100.0)
+        with pytest.raises(InvalidParameterError):
+            bursty_time_intervals(
+                pbe1, [1.0], 1.0, 1.0, 100.0, piecewise="cubic"
+            )
+
+    def test_matches_exact_intervals_roughly(self, bursty_timestamps):
+        """PBE-1 intervals overlap the exact intervals substantially."""
+        tau, theta = 400.0, 150.0
+        exact = ExactBurstStore()
+        for t in bursty_timestamps:
+            exact.update(0, t)
+        t_end = max(bursty_timestamps) + 2 * tau
+        truth = exact.bursty_times(0, theta, tau, t_end=t_end)
+        pbe = PBE1(eta=200, buffer_size=500)
+        pbe.extend(bursty_timestamps)
+        pbe.flush()
+        estimate = bursty_time_intervals(
+            pbe, pbe.segment_starts(), theta, tau, t_end, "constant"
+        )
+
+        def total_length(intervals):
+            return sum(end - start for start, end in intervals)
+
+        def overlap(a, b):
+            total = 0.0
+            for s1, e1 in a:
+                for s2, e2 in b:
+                    total += max(0.0, min(e1, e2) - max(s1, s2))
+            return total
+
+        assert truth and estimate
+        jaccard = overlap(truth, estimate) / (
+            total_length(truth)
+            + total_length(estimate)
+            - overlap(truth, estimate)
+        )
+        assert jaccard > 0.6
+
+
+class TestAnalyzerFacade:
+    @pytest.fixture(scope="class", params=["exact", "cm-pbe-1", "cm-pbe-2"])
+    def analyzer(self, request, mixed_stream) -> HistoricalBurstAnalyzer:
+        instance = HistoricalBurstAnalyzer(
+            request.param,
+            universe_size=16,
+            eta=60,
+            buffer_size=300,
+            gamma=8.0,
+            width=8,
+            depth=3,
+        )
+        instance.ingest(mixed_stream)
+        instance.finalize()
+        return instance
+
+    def test_point_query_close_to_exact(self, analyzer, mixed_stream):
+        exact = ExactBurstStore.from_stream(mixed_stream)
+        truth = exact.burstiness(5, 520.0, 50.0)
+        estimate = analyzer.point_query(5, 520.0, 50.0)
+        assert truth > 300
+        assert estimate == pytest.approx(truth, rel=0.4)
+
+    def test_bursty_events_include_the_burst(self, analyzer):
+        hits = analyzer.bursty_events(520.0, 200.0, 50.0)
+        assert 5 in {hit.event_id for hit in hits}
+
+    def test_bursty_times_cover_the_burst(self, analyzer):
+        intervals = analyzer.bursty_times(5, 200.0, 50.0)
+        assert intervals
+        assert any(start <= 540 and end >= 480 for start, end in intervals)
+
+    def test_cumulative_frequency(self, analyzer, mixed_stream):
+        exact = ExactBurstStore.from_stream(mixed_stream)
+        truth = exact.cumulative_frequency(5, 600.0)
+        estimate = analyzer.cumulative_frequency(5, 600.0)
+        assert estimate == pytest.approx(truth, rel=0.25)
+
+    def test_size_reported(self, analyzer):
+        assert analyzer.size_in_bytes() > 0
+
+    def test_sketch_much_smaller_than_exact(self, mixed_stream):
+        exact = HistoricalBurstAnalyzer("exact")
+        sketch = HistoricalBurstAnalyzer(
+            "cm-pbe-2", universe_size=16, gamma=20.0, width=4, depth=2
+        )
+        exact.ingest(mixed_stream)
+        sketch.ingest(mixed_stream)
+        sketch.finalize()
+        assert sketch.size_in_bytes() < exact.size_in_bytes() / 2
+
+    def test_invalid_method(self):
+        with pytest.raises(InvalidParameterError):
+            HistoricalBurstAnalyzer("pbe-3")
+
+    def test_sketch_requires_universe(self):
+        with pytest.raises(InvalidParameterError):
+            HistoricalBurstAnalyzer("cm-pbe-1")
+
+    def test_without_index_scans_universe(self, mixed_stream):
+        analyzer = HistoricalBurstAnalyzer(
+            "cm-pbe-1",
+            universe_size=16,
+            eta=60,
+            buffer_size=300,
+            width=8,
+            depth=3,
+            with_index=False,
+        )
+        analyzer.ingest(mixed_stream)
+        analyzer.finalize()
+        hits = analyzer.bursty_events(520.0, 200.0, 50.0)
+        assert 5 in {hit.event_id for hit in hits}
+
+
+class TestMaxBurstiness:
+    def test_finds_the_burst_peak(self, bursty_timestamps):
+        from repro.core.queries import max_burstiness
+
+        pbe = PBE1(eta=150, buffer_size=400)
+        pbe.extend(bursty_timestamps)
+        pbe.flush()
+        tau = 400.0
+        t_star, b_star = max_burstiness(
+            pbe, pbe.segment_starts(), tau, 0.0, 10_000.0
+        )
+        # The planted burst is around [5000, 5400].
+        assert 4_800 <= t_star <= 6_200
+        assert b_star > 100
+
+    def test_linear_mode(self, bursty_timestamps):
+        from repro.core.queries import max_burstiness
+
+        pbe = PBE2(gamma=5.0)
+        pbe.extend(bursty_timestamps)
+        pbe.finalize()
+        t_star, b_star = max_burstiness(
+            pbe, pbe.segment_starts(), 400.0, 0.0, 10_000.0,
+            piecewise="linear",
+        )
+        assert 4_800 <= t_star <= 6_200
+        assert b_star > 100
+
+    def test_validation(self, bursty_timestamps):
+        from repro.core.queries import max_burstiness
+
+        pbe = PBE1(eta=10, buffer_size=100)
+        pbe.extend(bursty_timestamps)
+        with pytest.raises(InvalidParameterError):
+            max_burstiness(pbe, [], 0.0, 0.0, 10.0)
+        with pytest.raises(InvalidParameterError):
+            max_burstiness(pbe, [], 1.0, 10.0, 0.0)
+
+    def test_analyzer_peak_matches_exact(self, mixed_stream):
+        exact = HistoricalBurstAnalyzer("exact")
+        sketch = HistoricalBurstAnalyzer(
+            "cm-pbe-1", universe_size=16, eta=80, buffer_size=300,
+            width=8, depth=3,
+        )
+        exact.ingest(mixed_stream)
+        sketch.ingest(mixed_stream)
+        sketch.finalize()
+        tau = 50.0
+        t_exact, b_exact = exact.peak_burstiness(5, 0.0, 1_000.0, tau)
+        t_sketch, b_sketch = sketch.peak_burstiness(5, 0.0, 1_000.0, tau)
+        # The burst is planted at [480, 520); both must land there.
+        assert 480 <= t_exact <= 620
+        assert 480 <= t_sketch <= 620
+        assert b_sketch == pytest.approx(b_exact, rel=0.4)

@@ -1,0 +1,68 @@
+"""Tests for the benchmark report assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.eval.reporting import build_report, collect_results, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "fig08_pbe1.txt").write_text("table A\nrow\n")
+    (directory / "costs.txt").write_text("table B\n")
+    (directory / "ablation_a1.txt").write_text("table C\n")
+    (directory / "notes.json").write_text("{}")  # ignored: not .txt
+    return directory
+
+
+class TestCollect:
+    def test_reads_only_txt(self, results_dir):
+        results = collect_results(results_dir)
+        assert set(results) == {"fig08_pbe1", "costs", "ablation_a1"}
+        assert results["costs"] == "table B"
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            collect_results(tmp_path / "nope")
+
+
+class TestBuild:
+    def test_ordering_figures_first(self, results_dir):
+        report = build_report(collect_results(results_dir))
+        fig_pos = report.index("## fig08_pbe1")
+        costs_pos = report.index("## costs")
+        ablation_pos = report.index("## ablation_a1")
+        assert fig_pos < costs_pos < ablation_pos
+
+    def test_contents_embedded(self, results_dir):
+        report = build_report(collect_results(results_dir))
+        assert "table A" in report
+        assert report.startswith("# Benchmark results")
+
+    def test_custom_title(self, results_dir):
+        report = build_report(
+            collect_results(results_dir), title="# My run"
+        )
+        assert report.startswith("# My run")
+
+
+class TestWrite:
+    def test_writes_default_location(self, results_dir):
+        path = write_report(results_dir)
+        assert path == results_dir / "REPORT.md"
+        assert "## costs" in path.read_text()
+
+    def test_custom_output(self, results_dir, tmp_path):
+        out = tmp_path / "out.md"
+        assert write_report(results_dir, out) == out
+        assert out.exists()
+
+    def test_empty_results_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(InvalidParameterError):
+            write_report(empty)

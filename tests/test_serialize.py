@@ -1,0 +1,196 @@
+"""Round-trip tests for sketch serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cmpbe import CMPBE
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.core.serialize import (
+    dump_cmpbe,
+    dump_pbe1,
+    dump_pbe2,
+    load_cmpbe,
+    load_pbe1,
+    load_pbe2,
+)
+
+
+@pytest.fixture(scope="module")
+def timestamps() -> list[float]:
+    rng = np.random.default_rng(21)
+    return np.sort(rng.uniform(0, 3_000, size=600)).round(0).tolist()
+
+
+class TestPbe1RoundTrip:
+    def test_values_preserved(self, timestamps):
+        sketch = PBE1(eta=30, buffer_size=150)
+        sketch.extend(timestamps)
+        loaded = load_pbe1(dump_pbe1(sketch))
+        for q in np.linspace(-10, 3_100, 60):
+            assert loaded.value(q) == sketch.value(q)
+
+    def test_metadata_preserved(self, timestamps):
+        sketch = PBE1(eta=30, buffer_size=150)
+        sketch.extend(timestamps)
+        loaded = load_pbe1(dump_pbe1(sketch))
+        assert loaded.eta == 30
+        assert loaded.buffer_size == 150
+        assert loaded.count == sketch.count
+        assert loaded.size_in_bytes() == sketch.size_in_bytes()
+
+    def test_loaded_sketch_accepts_more_data(self, timestamps):
+        sketch = PBE1(eta=30, buffer_size=150)
+        sketch.extend(timestamps)
+        loaded = load_pbe1(dump_pbe1(sketch))
+        loaded.update(timestamps[-1] + 100.0)
+        assert loaded.value(timestamps[-1] + 100.0) == sketch.count + 1
+
+    def test_bad_payloads(self):
+        with pytest.raises(InvalidParameterError):
+            load_pbe1(b"short")
+        with pytest.raises(InvalidParameterError):
+            load_pbe1(b"XXXX" + b"\x00" * 64)
+
+
+class TestPbe2RoundTrip:
+    def test_values_preserved(self, timestamps):
+        sketch = PBE2(gamma=8.0)
+        sketch.extend(timestamps)
+        loaded = load_pbe2(dump_pbe2(sketch))
+        for q in np.linspace(-10, 3_100, 60):
+            assert loaded.value(q) == pytest.approx(sketch.value(q))
+
+    def test_metadata_preserved(self, timestamps):
+        sketch = PBE2(gamma=8.0, unit=2.0)
+        sketch.extend(timestamps)
+        loaded = load_pbe2(dump_pbe2(sketch))
+        assert loaded.gamma == 8.0
+        assert loaded.unit == 2.0
+        assert loaded.count == sketch.count
+        assert loaded.n_segments == sketch.n_segments
+
+    def test_bad_payloads(self):
+        with pytest.raises(InvalidParameterError):
+            load_pbe2(b"nope")
+        with pytest.raises(InvalidParameterError):
+            load_pbe2(b"XXXX" + b"\x00" * 64)
+
+    def test_empty_sketch_round_trip(self):
+        sketch = PBE2(gamma=3.0)
+        loaded = load_pbe2(dump_pbe2(sketch))
+        assert loaded.value(10.0) == 0.0
+
+
+class TestCmpbeRoundTrip:
+    @pytest.mark.parametrize("variant", ["pbe1", "pbe2"])
+    def test_estimates_preserved(self, mixed_stream, variant):
+        if variant == "pbe1":
+            sketch = CMPBE.with_pbe1(
+                eta=40, width=4, depth=3, buffer_size=200, seed=5
+            )
+        else:
+            sketch = CMPBE.with_pbe2(gamma=10.0, width=4, depth=3, seed=5)
+        sketch.extend(mixed_stream)
+        loaded = load_cmpbe(dump_cmpbe(sketch))
+        for event_id in (0, 5, 11):
+            for t in (200.0, 520.0, 900.0):
+                assert loaded.cumulative_frequency(event_id, t) == (
+                    pytest.approx(sketch.cumulative_frequency(event_id, t))
+                )
+                assert loaded.burstiness(event_id, t, 50.0) == (
+                    pytest.approx(sketch.burstiness(event_id, t, 50.0))
+                )
+
+    def test_metadata_preserved(self, mixed_stream):
+        sketch = CMPBE.with_pbe1(
+            eta=40, width=4, depth=3, buffer_size=200, combiner="min",
+            seed=9,
+        )
+        sketch.extend(mixed_stream)
+        loaded = load_cmpbe(dump_cmpbe(sketch))
+        assert loaded.width == 4
+        assert loaded.depth == 3
+        assert loaded.combiner == "min"
+        assert loaded.seed == 9
+        assert loaded.count == sketch.count
+
+    def test_bad_payload(self):
+        with pytest.raises(InvalidParameterError):
+            load_cmpbe(b"tiny")
+
+
+class TestIndexRoundTrip:
+    @pytest.fixture(scope="class", params=["pbe1", "pbe2"])
+    def index(self, request, mixed_stream):
+        from repro.core.dyadic import BurstyEventIndex
+
+        if request.param == "pbe1":
+            index = BurstyEventIndex.with_pbe1(
+                16, eta=40, width=8, depth=3, buffer_size=200, seed=4
+            )
+        else:
+            index = BurstyEventIndex.with_pbe2(
+                16, gamma=8.0, width=8, depth=3, seed=4
+            )
+        index.extend(mixed_stream)
+        index.finalize()
+        return index
+
+    def test_queries_preserved(self, index):
+        from repro.core.serialize import dump_index, load_index
+
+        loaded = load_index(dump_index(index))
+        assert loaded.universe_size == 16
+        assert loaded.n_levels == index.n_levels
+        for event_id in (0, 5, 11):
+            for t in (300.0, 520.0, 900.0):
+                assert loaded.point_query(event_id, t, 50.0) == (
+                    pytest.approx(index.point_query(event_id, t, 50.0))
+                )
+
+    def test_bursty_events_preserved(self, index):
+        from repro.core.serialize import dump_index, load_index
+
+        loaded = load_index(dump_index(index))
+        original = {
+            h.event_id for h in index.bursty_events(520.0, 200.0, 50.0)
+        }
+        restored = {
+            h.event_id for h in loaded.bursty_events(520.0, 200.0, 50.0)
+        }
+        assert original == restored
+        assert 5 in restored
+
+    def test_bad_payload(self):
+        from repro.core.errors import InvalidParameterError
+        from repro.core.serialize import load_index
+
+        with pytest.raises(InvalidParameterError):
+            load_index(b"junk")
+
+
+class TestDirectMapRoundTrip:
+    def test_values_preserved(self, mixed_stream):
+        from repro.core.cmpbe import DirectPBEMap
+        from repro.core.serialize import dump_direct_map, load_direct_map
+
+        direct = DirectPBEMap(lambda: PBE1(eta=30, buffer_size=200))
+        direct.extend(mixed_stream)
+        loaded = load_direct_map(dump_direct_map(direct))
+        assert loaded.count == direct.count
+        for event_id in (0, 5, 15):
+            for t in (250.0, 520.0, 999.0):
+                assert loaded.cumulative_frequency(event_id, t) == (
+                    direct.cumulative_frequency(event_id, t)
+                )
+
+    def test_rejects_wrong_type(self):
+        from repro.core.errors import InvalidParameterError
+        from repro.core.serialize import dump_direct_map
+
+        with pytest.raises(InvalidParameterError):
+            dump_direct_map(PBE1(eta=4))

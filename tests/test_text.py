@@ -1,0 +1,121 @@
+"""Tests for the message substrate and the h mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.text.mapper import (
+    HashtagEventMapper,
+    KeywordEventMapper,
+    map_messages,
+)
+from repro.text.messages import (
+    Message,
+    SyntheticTweetSource,
+    extract_hashtags,
+)
+
+
+class TestHashtags:
+    def test_extract(self):
+        assert extract_hashtags("go #Brasil! #Gold #olympics2016") == [
+            "brasil",
+            "gold",
+            "olympics2016",
+        ]
+
+    def test_no_tags(self):
+        assert extract_hashtags("plain text") == []
+
+    def test_message_hashtags(self):
+        msg = Message("watch #Soccer now", 1.0)
+        assert msg.hashtags() == ["soccer"]
+
+
+class TestHashtagEventMapper:
+    def test_assigns_ids_on_first_sight(self):
+        mapper = HashtagEventMapper()
+        assert mapper.map(Message("#a #b", 0.0)) == [0, 1]
+        assert mapper.map(Message("#b #c", 1.0)) == [1, 2]
+        assert mapper.n_events == 3
+
+    def test_deduplicates_within_message(self):
+        mapper = HashtagEventMapper()
+        assert mapper.map(Message("#a #A #a", 0.0)) == [0]
+
+    def test_fixed_vocabulary_drops_unknown(self):
+        mapper = HashtagEventMapper(vocabulary={"a": 5})
+        assert mapper.map(Message("#a #zzz", 0.0)) == [5]
+        assert mapper.id_of("zzz") is None
+
+    def test_max_events_cap(self):
+        mapper = HashtagEventMapper(max_events=2)
+        mapper.map(Message("#a #b #c", 0.0))
+        assert mapper.n_events == 2
+
+    def test_vocabulary_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HashtagEventMapper(vocabulary={"a": 9}, max_events=4)
+
+    def test_paper_example_single_event(self):
+        """Two Rio-soccer messages map to one event id (paper §II-A)."""
+        mapper = HashtagEventMapper()
+        m1 = Message("LBC homeboy stoked to see Brasil wins #brasil", 0.0)
+        m2 = Message("#brasil #gold #Olympics2016", 1.0)
+        ids1 = mapper.map(m1)
+        ids2 = mapper.map(m2)
+        assert ids1[0] in ids2
+
+
+class TestKeywordEventMapper:
+    def test_multi_event_message(self):
+        mapper = KeywordEventMapper(
+            {0: ["soccer", "football"], 1: ["gold", "medal"]}
+        )
+        ids = mapper.map(Message("soccer final GOLD medal match", 0.0))
+        assert set(ids) == {0, 1}
+
+    def test_unmatched_is_empty(self):
+        mapper = KeywordEventMapper({0: ["soccer"]})
+        assert mapper.map(Message("swimming heats", 0.0)) == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            KeywordEventMapper({})
+
+
+class TestMapMessages:
+    def test_stream_built_in_order(self):
+        mapper = HashtagEventMapper()
+        messages = [
+            Message("#a", 0.0),
+            Message("#b #a", 1.0),
+            Message("nothing", 2.0),
+            Message("#b", 3.0),
+        ]
+        stream = map_messages(messages, mapper)
+        assert list(stream) == [(0, 0.0), (1, 1.0), (0, 1.0), (1, 3.0)]
+
+
+class TestSyntheticTweetSource:
+    def test_messages_carry_topic_hashtag(self):
+        source = SyntheticTweetSource(topics=["rio", "vote"], seed=0)
+        msg = source.message(0, 5.0)
+        assert "rio" in msg.hashtags()
+        assert msg.timestamp == 5.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticTweetSource(topics=[])
+        with pytest.raises(InvalidParameterError):
+            SyntheticTweetSource(topics=["a"], multi_topic_probability=2.0)
+
+    def test_multi_topic_sometimes(self):
+        source = SyntheticTweetSource(
+            topics=["a", "b"], seed=0, multi_topic_probability=1.0
+        )
+        tags = set()
+        for i in range(50):
+            tags.update(source.message(0, float(i)).hashtags())
+        assert tags == {"a", "b"}

@@ -1,0 +1,74 @@
+"""Tests for the sketch validation utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cmpbe import CMPBE, DirectPBEMap
+from repro.core.errors import InvalidParameterError
+from repro.core.pbe1 import PBE1
+from repro.eval.validation import validate_sketch
+
+
+class TestValidateSketch:
+    @pytest.fixture(scope="class")
+    def sketch(self, mixed_stream) -> CMPBE:
+        sketch = CMPBE.with_pbe1(eta=80, width=8, depth=3, buffer_size=300)
+        sketch.extend(mixed_stream)
+        sketch.finalize()
+        return sketch
+
+    def test_report_fields(self, sketch, mixed_stream):
+        report = validate_sketch(sketch, mixed_stream, tau=50.0)
+        assert report.n_queries == 16 * 32
+        assert report.mean_abs_error <= report.max_abs_error
+        assert report.median_abs_error <= report.max_abs_error
+        assert report.rmse >= report.mean_abs_error - 1e-9
+        assert report.truth_scale > 300  # the planted burst
+
+    def test_exact_sketch_validates_perfectly(self, mixed_stream):
+        perfect = DirectPBEMap(lambda: PBE1(eta=10_000, buffer_size=10_000))
+        perfect.extend(mixed_stream)
+        report = validate_sketch(perfect, mixed_stream, tau=50.0)
+        assert report.mean_abs_error == 0.0
+        assert report.max_abs_error == 0.0
+        assert report.relative_mean_error == 0.0
+
+    def test_worst_queries_sorted(self, sketch, mixed_stream):
+        report = validate_sketch(
+            sketch, mixed_stream, tau=50.0, n_worst=5
+        )
+        errors = [bad.error for bad in report.worst]
+        assert errors == sorted(errors, reverse=True)
+        assert len(report.worst) == 5
+
+    def test_event_subset(self, sketch, mixed_stream):
+        report = validate_sketch(
+            sketch, mixed_stream, tau=50.0, event_ids=[5], n_times=10
+        )
+        assert report.n_queries == 10
+
+    def test_summary_text(self, sketch, mixed_stream):
+        report = validate_sketch(sketch, mixed_stream, tau=50.0)
+        text = report.summary()
+        assert "mean abs err" in text
+        assert "worst:" in text
+
+    def test_validation_errors(self, sketch, mixed_stream):
+        with pytest.raises(InvalidParameterError):
+            validate_sketch(sketch, mixed_stream, tau=0.0)
+        with pytest.raises(InvalidParameterError):
+            validate_sketch(sketch, mixed_stream, tau=1.0, n_times=0)
+        with pytest.raises(InvalidParameterError):
+            validate_sketch(sketch, mixed_stream, tau=1.0, event_ids=[])
+
+    def test_better_sketch_scores_better(self, mixed_stream):
+        coarse = CMPBE.with_pbe2(gamma=80.0, width=4, depth=3)
+        fine = CMPBE.with_pbe2(gamma=2.0, width=8, depth=3)
+        coarse.extend(mixed_stream)
+        fine.extend(mixed_stream)
+        coarse.finalize()
+        fine.finalize()
+        coarse_report = validate_sketch(coarse, mixed_stream, tau=50.0)
+        fine_report = validate_sketch(fine, mixed_stream, tau=50.0)
+        assert fine_report.mean_abs_error <= coarse_report.mean_abs_error

@@ -1,0 +1,146 @@
+"""Tests for the Haar-wavelet and MACD related-work baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.macd import MacdTrendScorer
+from repro.baselines.wavelet import (
+    HaarBurstDetector,
+    haar_details,
+)
+from repro.core.errors import InvalidParameterError
+
+
+def bursty_series() -> list[float]:
+    """Steady drip, then a dense surge around t in [600, 700)."""
+    rng = np.random.default_rng(5)
+    quiet = rng.uniform(0, 600, size=60)
+    surge = rng.uniform(600, 700, size=400)
+    tail = rng.uniform(700, 1_024, size=40)
+    return np.sort(np.concatenate([quiet, surge, tail])).tolist()
+
+
+class TestHaarDetails:
+    def test_length_per_level(self):
+        details = haar_details(np.ones(16))
+        assert [d.size for d in details] == [8, 4, 2, 1]
+
+    def test_constant_series_has_zero_details(self):
+        for level in haar_details(np.full(32, 7.0)):
+            assert np.allclose(level, 0.0)
+
+    def test_step_series_detail_location(self):
+        counts = np.zeros(8)
+        counts[4:] = 10.0
+        details = haar_details(counts)
+        # The level-2 coefficient spans the step: it must dominate.
+        assert abs(details[2][0]) > max(
+            np.abs(details[0]).max(), np.abs(details[1]).max()
+        )
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            haar_details(np.ones(12))
+        with pytest.raises(InvalidParameterError):
+            haar_details(np.empty(0))
+
+    def test_energy_preserved(self):
+        """Haar transform is orthonormal: energy is conserved."""
+        rng = np.random.default_rng(0)
+        counts = rng.uniform(0, 10, size=64)
+        details = haar_details(counts)
+        approx_energy = np.sum(counts) ** 2 / counts.size
+        detail_energy = sum(float(np.sum(d**2)) for d in details)
+        assert detail_energy + approx_energy == pytest.approx(
+            float(np.sum(counts**2))
+        )
+
+
+class TestHaarBurstDetector:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HaarBurstDetector(bin_width=0.0)
+        with pytest.raises(InvalidParameterError):
+            HaarBurstDetector(bin_width=1.0, z_threshold=0.0)
+
+    def test_empty_stream(self):
+        assert HaarBurstDetector(bin_width=8.0).detect([]) == []
+
+    def test_detects_the_surge(self):
+        detector = HaarBurstDetector(bin_width=8.0, z_threshold=3.0)
+        bursts = detector.detect(bursty_series(), t_start=0.0, t_end=1_024.0)
+        assert bursts, "the surge must be flagged"
+        # Some flagged window overlaps the surge onset.
+        assert any(b.start <= 700 and b.end >= 600 for b in bursts)
+
+    def test_quiet_stream_mostly_silent(self):
+        rng = np.random.default_rng(1)
+        times = np.sort(rng.uniform(0, 1_024, size=500)).tolist()
+        detector = HaarBurstDetector(bin_width=8.0, z_threshold=4.0)
+        bursts = detector.detect(times, t_start=0.0, t_end=1_024.0)
+        assert len(bursts) <= 5
+
+    def test_bin_counts_power_of_two(self):
+        detector = HaarBurstDetector(bin_width=10.0)
+        counts = detector.bin_counts([5.0, 15.0, 15.5], 0.0, 100.0)
+        assert counts.size == 16
+        assert counts[0] == 1 and counts[1] == 2
+
+
+class TestMacd:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MacdTrendScorer(bin_width=0.0)
+        with pytest.raises(InvalidParameterError):
+            MacdTrendScorer(bin_width=1.0, fast=26, slow=12)
+        with pytest.raises(InvalidParameterError):
+            MacdTrendScorer(bin_width=1.0, signal=0)
+
+    def test_empty_stream(self):
+        assert MacdTrendScorer(bin_width=8.0).score_series([]) == []
+
+    def test_constant_rate_macd_near_zero(self):
+        times = [float(t) for t in range(0, 1_000)]
+        scorer = MacdTrendScorer(bin_width=10.0)
+        points = scorer.score_series(times)
+        # After warm-up the fast and slow EWMAs agree on a flat series.
+        settled = points[40:]
+        assert max(abs(p.macd) for p in settled) < 0.5
+
+    def test_surge_turns_macd_positive(self):
+        scorer = MacdTrendScorer(bin_width=8.0)
+        points = scorer.score_series(bursty_series())
+        during = [p for p in points if 600 <= p.t <= 720]
+        assert max(p.macd for p in during) > 1.0
+
+    def test_trending_interval_covers_surge(self):
+        scorer = MacdTrendScorer(bin_width=8.0)
+        intervals = scorer.trending_intervals(bursty_series())
+        assert intervals
+        assert any(
+            start <= 700 and end >= 600 for start, end in intervals
+        )
+
+    def test_histogram_property(self):
+        scorer = MacdTrendScorer(bin_width=8.0)
+        points = scorer.score_series(bursty_series())
+        for point in points:
+            assert point.histogram == point.macd - point.signal
+
+    def test_agrees_with_acceleration_definition(self):
+        """MACD momentum and PBE burstiness flag the same surge."""
+        from repro.streams.frequency import StaircaseCurve
+
+        times = bursty_series()
+        curve = StaircaseCurve.from_timestamps(times)
+        tau = 64.0
+        grid = np.arange(2 * tau, 1_024.0, 16.0)
+        values = [curve.burstiness(t, tau) for t in grid]
+        acceleration_peak = float(grid[int(np.argmax(values))])
+        intervals = MacdTrendScorer(bin_width=8.0).trending_intervals(times)
+        assert any(
+            start - tau <= acceleration_peak <= end + tau
+            for start, end in intervals
+        )

@@ -1,0 +1,69 @@
+"""Tests for workload statistics (and the generators' fidelity claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.events import EventStream
+from repro.workloads.olympics import make_olympicrio
+from repro.workloads.politics import make_uspolitics
+from repro.workloads.stats import describe_stream
+
+
+class TestDescribeStream:
+    def test_uniform_stream_low_gini(self):
+        stream = EventStream(
+            [(i % 4, float(t)) for t, i in enumerate(range(400))]
+        )
+        stats = describe_stream(stream, tau=50.0)
+        assert stats.n_mentions == 400
+        assert stats.n_events == 4
+        assert stats.gini < 0.05
+        assert stats.top_event_share == pytest.approx(0.25)
+
+    def test_skewed_stream_high_gini(self):
+        records = [(0, float(t)) for t in range(380)]
+        records += [(i, 380.0 + i) for i in range(1, 21)]
+        stream = EventStream(sorted(records, key=lambda r: r[1]))
+        stats = describe_stream(stream, tau=50.0)
+        assert stats.gini > 0.7
+        assert stats.top_event_share == pytest.approx(0.95)
+
+    def test_duplication(self):
+        stream = EventStream([(0, 1.0), (1, 1.0), (0, 2.0), (1, 2.0)])
+        stats = describe_stream(stream, tau=1.0)
+        assert stats.duplication == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            describe_stream(EventStream())
+
+    def test_invalid_tau(self):
+        stream = EventStream([(0, 1.0)])
+        with pytest.raises(InvalidParameterError):
+            describe_stream(stream, tau=0.0)
+
+    def test_summary_text(self):
+        stream = EventStream([(0, float(t)) for t in range(100)])
+        text = describe_stream(stream, tau=10.0).summary()
+        assert "mentions:" in text
+        assert "gini" in text
+
+
+class TestGeneratorFidelity:
+    """The synthetic datasets exhibit the skew the paper's data has."""
+
+    def test_olympicrio_is_skewed(self):
+        stream = make_olympicrio(n_events=64, total_mentions=12_000)
+        stats = describe_stream(stream)
+        assert stats.gini > 0.5
+        assert stats.top_event_share > 0.1
+        assert stats.burstiness_max > 20 * max(1.0, stats.burstiness_p99 / 10)
+
+    def test_uspolitics_is_skewed_and_spiky(self):
+        dataset = make_uspolitics(n_events=64, total_mentions=12_000)
+        stats = describe_stream(dataset.stream)
+        assert stats.gini > 0.5
+        # Spiky: the extreme burst dwarfs the typical one.
+        assert stats.burstiness_max > 2 * stats.burstiness_p99

@@ -1,0 +1,240 @@
+"""Tests for rate functions and synthetic stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.frequency import StaircaseCurve
+from repro.workloads.generator import build_event_stream, sample_timestamps
+from repro.workloads.olympics import (
+    make_olympicrio,
+    make_soccer_stream,
+    make_swimming_stream,
+)
+from repro.workloads.politics import make_uspolitics
+from repro.workloads.profiles import (
+    DAY,
+    outbreak_profile,
+    soccer_profile,
+    stable_profile,
+    swimming_profile,
+)
+from repro.workloads.rates import (
+    ConstantRate,
+    GaussianBurst,
+    LinearRampRate,
+    PiecewiseConstantRate,
+    ScaledRate,
+    SpikeRate,
+    SumRate,
+)
+
+
+class TestRateFunctions:
+    def test_constant(self):
+        rate = ConstantRate(2.5)
+        assert np.all(rate.rate(np.array([0.0, 1.0, 100.0])) == 2.5)
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ConstantRate(-1.0)
+
+    def test_linear_ramp(self):
+        ramp = LinearRampRate(0.0, 10.0, 0.0, 10.0)
+        values = ramp.rate(np.array([-5.0, 0.0, 5.0, 10.0, 20.0]))
+        assert values.tolist() == [0.0, 0.0, 5.0, 10.0, 10.0]
+
+    def test_linear_ramp_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LinearRampRate(10.0, 0.0, 0.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            LinearRampRate(0.0, 10.0, -1.0, 1.0)
+
+    def test_gaussian_burst_peaks_at_center(self):
+        burst = GaussianBurst(peak_time=50.0, height=3.0, width=10.0)
+        values = burst.rate(np.array([0.0, 50.0, 100.0]))
+        assert values[1] == 3.0
+        assert values[0] < 0.1 and values[2] < 0.1
+
+    def test_gaussian_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GaussianBurst(0.0, -1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            GaussianBurst(0.0, 1.0, 0.0)
+
+    def test_spike_zero_before_onset(self):
+        spike = SpikeRate(onset=10.0, height=5.0, decay=2.0)
+        values = spike.rate(np.array([9.0, 10.0, 12.0]))
+        assert values[0] == 0.0
+        assert values[1] == 5.0
+        assert values[2] == pytest.approx(5.0 * np.exp(-1.0))
+
+    def test_piecewise(self):
+        schedule = PiecewiseConstantRate([0.0, 10.0, 20.0], [1.0, 3.0])
+        values = schedule.rate(np.array([-1.0, 5.0, 15.0, 25.0]))
+        assert values.tolist() == [0.0, 1.0, 3.0, 0.0]
+
+    def test_piecewise_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PiecewiseConstantRate([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            PiecewiseConstantRate([1.0, 0.0], [1.0])
+
+    def test_sum_and_scale(self):
+        combo = SumRate([ConstantRate(1.0), ConstantRate(2.0)])
+        assert combo.rate(np.array([0.0]))[0] == 3.0
+        scaled = ScaledRate(combo, 2.0)
+        assert scaled.rate(np.array([0.0]))[0] == 6.0
+
+    def test_sum_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SumRate([])
+
+
+class TestSampler:
+    def test_count_near_expected(self):
+        rng = np.random.default_rng(0)
+        samples = sample_timestamps(
+            ConstantRate(1.0), t_end=10_000.0, rng=rng
+        )
+        assert 9_000 < samples.size < 11_000
+
+    def test_expected_total_override(self):
+        rng = np.random.default_rng(1)
+        samples = sample_timestamps(
+            ConstantRate(1.0), t_end=10_000.0, rng=rng, expected_total=500
+        )
+        assert 380 < samples.size < 620
+
+    def test_sorted_and_granular(self):
+        rng = np.random.default_rng(2)
+        samples = sample_timestamps(
+            ConstantRate(0.5), t_end=5_000.0, rng=rng, granularity=1.0
+        )
+        assert np.all(np.diff(samples) >= 0)
+        assert np.all(samples == np.floor(samples))
+
+    def test_zero_rate_yields_nothing(self):
+        rng = np.random.default_rng(3)
+        samples = sample_timestamps(ConstantRate(0.0), 100.0, rng)
+        assert samples.size == 0
+
+    def test_samples_follow_density(self):
+        rng = np.random.default_rng(4)
+        burst = GaussianBurst(peak_time=500.0, height=10.0, width=50.0)
+        samples = sample_timestamps(burst, t_end=1_000.0, rng=rng)
+        # Nearly all mass within 3 sigma of the peak.
+        inside = np.mean((samples > 350) & (samples < 650))
+        assert inside > 0.95
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(InvalidParameterError):
+            sample_timestamps(ConstantRate(1.0), 0.0, rng)
+        with pytest.raises(InvalidParameterError):
+            sample_timestamps(
+                ConstantRate(1.0), 10.0, rng, granularity=0.0
+            )
+
+    def test_build_event_stream_ordered(self):
+        rng = np.random.default_rng(6)
+        stream = build_event_stream(
+            {0: ConstantRate(0.5), 1: ConstantRate(0.2)},
+            t_end=2_000.0,
+            rng=rng,
+        )
+        ts = list(stream.timestamps)
+        assert ts == sorted(ts)
+        assert stream.distinct_event_ids() == {0, 1}
+
+
+class TestProfiles:
+    def test_soccer_has_biggest_burst_near_final(self):
+        profile = soccer_profile()
+        grid = np.linspace(0, 31 * DAY, 4_000)
+        rates = profile.rate(grid)
+        peak_day = grid[int(np.argmax(rates))] / DAY
+        assert 27 <= peak_day <= 31
+
+    def test_swimming_dies_after_first_half(self):
+        profile = swimming_profile()
+        grid_late = np.linspace(15 * DAY, 31 * DAY, 500)
+        assert float(profile.rate(grid_late).max()) < 0.01
+
+    def test_stable_profile_flat(self):
+        profile = stable_profile(0.05)
+        grid = np.linspace(0, 31 * DAY, 100)
+        assert np.allclose(profile.rate(grid), 0.05)
+
+    def test_outbreak_silent_then_loud(self):
+        profile = outbreak_profile(onset_day=12.0)
+        before = profile.rate(np.array([11.0 * DAY]))[0]
+        after = profile.rate(np.array([12.01 * DAY]))[0]
+        assert after > 100 * before
+
+
+class TestDatasets:
+    def test_soccer_stream_characteristics(self):
+        stream = make_soccer_stream(total_mentions=20_000)
+        assert 16_000 < len(stream) < 24_000
+        curve = StaircaseCurve.from_timestamps(stream.timestamps)
+        # Biggest daily burstiness late in the month (the final).
+        daily = [
+            curve.burstiness(day * DAY, DAY) for day in range(2, 31)
+        ]
+        best_day = 2 + int(np.argmax(daily))
+        assert best_day >= 25
+
+    def test_swimming_stream_characteristics(self):
+        stream = make_swimming_stream(total_mentions=20_000)
+        curve = StaircaseCurve.from_timestamps(stream.timestamps)
+        first_half = curve.value(15 * DAY)
+        assert first_half / curve.total() > 0.95
+
+    def test_olympicrio_structure(self):
+        stream = make_olympicrio(n_events=32, total_mentions=20_000)
+        assert stream.distinct_event_ids() <= set(range(32))
+        assert len(stream.distinct_event_ids()) > 20
+        ts = list(stream.timestamps)
+        assert ts == sorted(ts)
+
+    def test_uspolitics_structure(self):
+        dataset = make_uspolitics(n_events=64, total_mentions=20_000)
+        assert set(dataset.party) == set(range(64))
+        assert set(dataset.party.values()) <= {"democrat", "republican"}
+        counts = np.bincount(
+            list(dataset.stream.event_ids), minlength=64
+        )
+        # Zipf skew: the busiest event dwarfs the median event.
+        assert counts.max() > 10 * max(1, int(np.median(counts)))
+
+    def test_uspolitics_spikes_are_bursty(self):
+        dataset = make_uspolitics(n_events=16, total_mentions=40_000, seed=3)
+        # Find an event with a planted spike and enough volume.
+        from repro.baselines.exact import ExactBurstStore
+
+        store = ExactBurstStore.from_stream(dataset.stream)
+        best = max(
+            (
+                (event_id, onsets)
+                for event_id, onsets in dataset.spike_times.items()
+                if onsets
+            ),
+            key=lambda item: store.cumulative_frequency(item[0], 1e12),
+        )
+        event_id, onsets = best
+        tau = DAY / 2
+        values = [
+            store.burstiness(event_id, onset + tau, tau)
+            for onset in onsets
+        ]
+        assert max(values) > 0
+
+    def test_determinism(self):
+        a = make_soccer_stream(total_mentions=5_000, seed=1)
+        b = make_soccer_stream(total_mentions=5_000, seed=1)
+        assert list(a.timestamps) == list(b.timestamps)
+        c = make_soccer_stream(total_mentions=5_000, seed=2)
+        assert list(a.timestamps) != list(c.timestamps)
