@@ -4,8 +4,11 @@ Subcommands
 -----------
 generate
     Synthesize an `olympicrio`- or `uspolitics`-like stream to a file.
-build
-    Ingest a stream file into a CM-PBE sketch and serialize it.
+ingest (alias: build)
+    Ingest a stream file into a CM-PBE sketch and serialize it.  The
+    stream is read and fed to the sketch in numpy record batches
+    (``--batch-size``, default 8192); batching never changes the built
+    sketch, only the ingest speed.
 query
     Answer point / bursty-time queries from a serialized sketch.
 inspect
@@ -32,7 +35,14 @@ from repro.core.queries import bursty_time_intervals
 from repro.core.serialize import dump_cmpbe, load_cmpbe
 from repro.eval import harness
 from repro.eval.tables import format_table
-from repro.streams.io import read_binary, read_csv, write_binary, write_csv
+from repro.streams.io import (
+    DEFAULT_BATCH_SIZE,
+    iter_record_batches,
+    read_binary,
+    read_csv,
+    write_binary,
+    write_csv,
+)
 from repro.workloads.olympics import make_olympicrio, make_soccer_stream
 from repro.workloads.politics import make_uspolitics
 from repro.workloads.profiles import DAY
@@ -62,20 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", action="store_true", help="write CSV instead of binary"
     )
 
-    build = commands.add_parser(
-        "build", help="ingest a stream into a CM-PBE sketch"
-    )
-    build.add_argument("stream", type=Path)
-    build.add_argument("--out", required=True, type=Path)
-    build.add_argument(
-        "--method", choices=["cm-pbe-1", "cm-pbe-2"], default="cm-pbe-1"
-    )
-    build.add_argument("--eta", type=int, default=100)
-    build.add_argument("--buffer-size", type=int, default=1500)
-    build.add_argument("--gamma", type=float, default=20.0)
-    build.add_argument("--width", type=int, default=6)
-    build.add_argument("--depth", type=int, default=3)
-    build.add_argument("--seed", type=int, default=0)
+    for name in ("ingest", "build"):
+        ingest = commands.add_parser(
+            name,
+            help="ingest a stream into a CM-PBE sketch"
+            + ("" if name == "ingest" else " (alias of ingest)"),
+        )
+        ingest.add_argument("stream", type=Path)
+        ingest.add_argument("--out", required=True, type=Path)
+        ingest.add_argument(
+            "--method", choices=["cm-pbe-1", "cm-pbe-2"], default="cm-pbe-1"
+        )
+        ingest.add_argument("--eta", type=int, default=100)
+        ingest.add_argument("--buffer-size", type=int, default=1500)
+        ingest.add_argument("--gamma", type=float, default=20.0)
+        ingest.add_argument("--width", type=int, default=6)
+        ingest.add_argument("--depth", type=int, default=3)
+        ingest.add_argument("--seed", type=int, default=0)
+        ingest.add_argument(
+            "--batch-size",
+            type=int,
+            default=DEFAULT_BATCH_SIZE,
+            help="records per ingest batch (never affects the result)",
+        )
 
     query = commands.add_parser(
         "query", help="answer a historical burst query from a sketch"
@@ -160,7 +179,6 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    stream = _read_stream(args.stream)
     if args.method == "cm-pbe-1":
         sketch = CMPBE.with_pbe1(
             eta=args.eta,
@@ -176,7 +194,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
             depth=args.depth,
             seed=args.seed,
         )
-    sketch.extend(stream)
+    for event_ids, timestamps in iter_record_batches(
+        args.stream, args.batch_size
+    ):
+        sketch.extend_batch(event_ids, timestamps)
     payload = dump_cmpbe(sketch)
     args.out.write_bytes(payload)
     print(
@@ -293,6 +314,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "generate": _cmd_generate,
+    "ingest": _cmd_build,
     "build": _cmd_build,
     "query": _cmd_query,
     "inspect": _cmd_inspect,

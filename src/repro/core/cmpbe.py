@@ -20,7 +20,9 @@ from __future__ import annotations
 import statistics
 from typing import Callable, Protocol
 
-from repro.core.errors import InvalidParameterError
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, StreamOrderError
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
 from repro.sketch.countmin import dimensions_for
@@ -35,9 +37,50 @@ class PersistentSketchCell(Protocol):
 
     def update(self, timestamp: float, count: int = 1) -> None: ...
 
+    def extend_batch(self, timestamps, counts=None) -> None: ...
+
     def value(self, t: float) -> float: ...
 
     def size_in_bytes(self) -> int: ...
+
+
+def _validated_record_batch(
+    event_ids, timestamps, counts
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Validate a ``(event_ids, timestamps, counts)`` record batch."""
+    ids = np.asarray(event_ids)
+    ts = np.asarray(timestamps, dtype=np.float64)
+    if ids.ndim != 1 or ts.ndim != 1 or ids.shape != ts.shape:
+        raise InvalidParameterError(
+            "event_ids and timestamps must be 1-d arrays of equal length"
+        )
+    if ts.size > 1 and bool(np.any(np.diff(ts) < 0)):
+        raise StreamOrderError("batch timestamps must be non-decreasing")
+    if counts is not None:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != ts.shape:
+            raise InvalidParameterError(
+                "counts must match the record batch shape"
+            )
+        if counts.size and bool(np.any(counts <= 0)):
+            raise InvalidParameterError("count must be positive")
+    return ids, ts, counts
+
+
+def _iter_groups(keys: np.ndarray):
+    """Yield ``(key, order_slice)`` per distinct key, stably time-ordered.
+
+    ``order_slice`` indexes the original batch; within a group the
+    original (stream) order is preserved, so feeding each group to its
+    cell as one sub-batch replays exactly the scalar per-cell sequence.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [keys.size]))
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        yield int(sorted_keys[s]), order[s:e]
 
 
 class _EventCurveView:
@@ -159,6 +202,40 @@ class CMPBE:
         for event_id, timestamp in records:
             self.update(event_id, timestamp)
 
+    def extend_batch(self, event_ids, timestamps, counts=None) -> None:
+        """Vectorized ingest of a record batch (columnar arrays).
+
+        One hash pass per *unique* event id instead of per element; each
+        ``(row, column)`` cell then receives its collided sub-stream as a
+        single time-ordered batch.  Byte-identical to the equivalent
+        sequence of :meth:`update` calls.
+
+        Parameters
+        ----------
+        event_ids, timestamps:
+            Parallel 1-d columns of the record batch, timestamps
+            non-decreasing.
+        counts:
+            Optional positive per-record occurrence counts.
+        """
+        ids, ts, counts = _validated_record_batch(
+            event_ids, timestamps, counts
+        )
+        if ids.size == 0:
+            return
+        unique_ids, inverse = np.unique(ids, return_inverse=True)
+        columns = self._hashes.hash_many(unique_ids)[inverse]
+        for row in range(self.depth):
+            cells = self._cells[row]
+            for column, order in _iter_groups(columns[:, row]):
+                cells[column].extend_batch(
+                    ts[order],
+                    None if counts is None else counts[order],
+                )
+        self._count += (
+            int(ids.size) if counts is None else int(counts.sum())
+        )
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -247,6 +324,29 @@ class DirectPBEMap:
         """Ingest many ``(event_id, timestamp)`` pairs in stream order."""
         for event_id, timestamp in records:
             self.update(event_id, timestamp)
+
+    def extend_batch(self, event_ids, timestamps, counts=None) -> None:
+        """Vectorized ingest: each id's sub-stream feeds its PBE at once.
+
+        Byte-identical to the equivalent sequence of :meth:`update` calls.
+        """
+        ids, ts, counts = _validated_record_batch(
+            event_ids, timestamps, counts
+        )
+        if ids.size == 0:
+            return
+        for event_id, order in _iter_groups(ids):
+            cell = self._cells.get(event_id)
+            if cell is None:
+                cell = self._cell_factory()
+                self._cells[event_id] = cell
+            cell.extend_batch(
+                ts[order],
+                None if counts is None else counts[order],
+            )
+        self._count += (
+            int(ids.size) if counts is None else int(counts.sum())
+        )
 
     def cumulative_frequency(self, event_id: int, t: float) -> float:
         """Exact-per-cell estimate of ``F_e(t)`` (0 for unseen ids)."""

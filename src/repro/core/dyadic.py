@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.core.cmpbe import CMPBE, DirectPBEMap, PersistentSketchCell
 from repro.core.errors import InvalidParameterError
 from repro.core.pbe1 import PBE1
@@ -150,6 +152,26 @@ class BurstyEventIndex:
         """Ingest many ``(event_id, timestamp)`` pairs in stream order."""
         for event_id, timestamp in records:
             self.update(event_id, timestamp)
+
+    def extend_batch(self, event_ids, timestamps, counts=None) -> None:
+        """Vectorized ingest of a record batch into every level.
+
+        The per-level range ids are a single vectorized right-shift of
+        the id column; each level's sketch then ingests the shifted batch
+        through its own ``extend_batch``.  Byte-identical to the
+        equivalent sequence of :meth:`update` calls.
+        """
+        ids = np.asarray(event_ids)
+        if ids.size and (
+            bool(np.any(ids < 0))
+            or bool(np.any(ids >= self.universe_size))
+        ):
+            raise InvalidParameterError(
+                f"event ids outside [0, {self.universe_size})"
+            )
+        ids = ids.astype(np.int64)
+        for level, sketch in enumerate(self._levels):
+            sketch.extend_batch(ids >> level, timestamps, counts)
 
     # ------------------------------------------------------------------
     # Queries

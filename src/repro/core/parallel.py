@@ -15,6 +15,8 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.errors import InvalidParameterError
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2, LineSegment
@@ -41,8 +43,12 @@ def merge_pbe1(parts: Sequence[PBE1]) -> PBE1:
     last_x = float("-inf")
     for part in parts:
         part.flush()
-        xs = part._kept_xs
-        ys = part._kept_ys
+        # Copy the part's corner columns: the merged sketch must own its
+        # state outright, so that a caller reusing (and mutating) a part
+        # after the merge cannot corrupt the merged corners — and vice
+        # versa.
+        xs = list(part._kept_xs)
+        ys = list(part._kept_ys)
         if xs and xs[0] < last_x:
             raise InvalidParameterError(
                 "parts must cover consecutive disjoint time ranges"
@@ -90,37 +96,42 @@ def merge_pbe2(parts: Sequence[PBE2]) -> PBE2:
 
 
 def _build_pbe1_chunk(
-    args: tuple[list[float], int, int],
+    args: tuple[np.ndarray, int, int],
 ) -> PBE1:
     timestamps, eta, buffer_size = args
     sketch = PBE1(eta=eta, buffer_size=buffer_size)
-    sketch.extend(timestamps)
+    sketch.extend_batch(timestamps)
     sketch.flush()
     return sketch
 
 
-def _build_pbe2_chunk(args: tuple[list[float], float, float]) -> PBE2:
+def _build_pbe2_chunk(args: tuple[np.ndarray, float, float]) -> PBE2:
     timestamps, gamma, unit = args
     sketch = PBE2(gamma=gamma, unit=unit)
-    sketch.extend(timestamps)
+    sketch.extend_batch(timestamps)
     sketch.finalize()
     return sketch
 
 
-def _chunks(timestamps: Sequence[float], n_chunks: int) -> list[list[float]]:
-    """Split into ~equal chunks, never splitting a run of equal
-    timestamps (a straddled timestamp would make the parts overlap)."""
+def _chunks(timestamps: Sequence[float], n_chunks: int) -> list[np.ndarray]:
+    """Split into ~equal numpy chunks, never splitting a run of equal
+    timestamps (a straddled timestamp would make the parts overlap).
+
+    Chunks are contiguous float64 arrays, which ship to pool workers as
+    compact buffers instead of per-element Python tuples.
+    """
     if n_chunks <= 0:
         raise InvalidParameterError("n_chunks must be > 0")
-    size = max(1, len(timestamps) // n_chunks)
+    ts = np.ascontiguousarray(timestamps, dtype=np.float64)
+    size = max(1, ts.size // n_chunks)
     out = []
     start = 0
-    total = len(timestamps)
+    total = ts.size
     while start < total:
         end = min(start + size, total)
-        while end < total and timestamps[end] == timestamps[end - 1]:
+        while end < total and ts[end] == ts[end - 1]:
             end += 1
-        out.append(list(timestamps[start:end]))
+        out.append(ts[start:end].copy())
         start = end
     return out
 

@@ -317,6 +317,92 @@ class PBE1:
         for t in timestamps:
             self.update(t)
 
+    def extend_batch(self, timestamps, counts=None) -> None:
+        """Vectorized ingest of a sorted timestamp batch.
+
+        Produces byte-identical state to the equivalent sequence of
+        :meth:`update` calls (same corners, same compression points, same
+        accumulated error), but aggregates duplicate timestamps with one
+        ``np.unique`` pass and appends whole corner chunks to the buffer,
+        compressing per buffer-fill instead of checking per element.
+
+        Parameters
+        ----------
+        timestamps:
+            1-d array-like of non-decreasing occurrence timestamps; the
+            first must not precede anything already ingested.
+        counts:
+            Optional positive per-timestamp occurrence counts.
+        """
+        xs, ys = self._batched_corners(timestamps, counts)
+        if xs is None:
+            return
+        # Merge the leading corner into an existing same-timestamp corner,
+        # exactly as the scalar path grows it in place.
+        start = 0
+        if self._buffer_xs:
+            if self._buffer_xs[-1] == xs[0]:
+                self._buffer_ys[-1] = ys[0]
+                start = 1
+        elif self._kept_xs and self._kept_xs[-1] == xs[0]:
+            self._kept_ys[-1] = ys[0]
+            start = 1
+        n = len(xs)
+        while start < n:
+            take = min(self.buffer_size - len(self._buffer_xs), n - start)
+            self._buffer_xs.extend(xs[start:start + take])
+            self._buffer_ys.extend(ys[start:start + take])
+            start += take
+            if len(self._buffer_xs) >= self.buffer_size:
+                self._compress_buffer()
+
+    def _batched_corners(
+        self, timestamps, counts
+    ) -> tuple[list[float], list[float]] | tuple[None, None]:
+        """Validate a batch and collapse it to exact staircase corners.
+
+        Returns ``(xs, ys)`` — unique timestamps with the cumulative count
+        through each one's final occurrence — and bumps ``self._count``.
+        """
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.ndim != 1:
+            raise InvalidParameterError("timestamps must be a 1-d array")
+        if ts.size == 0:
+            return None, None
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != ts.shape:
+                raise InvalidParameterError(
+                    "counts must match the timestamp batch shape"
+                )
+            if bool(np.any(counts <= 0)):
+                raise InvalidParameterError("count must be positive")
+        if ts.size > 1 and bool(np.any(np.diff(ts) < 0)):
+            raise StreamOrderError("batch timestamps must be non-decreasing")
+        last = (
+            self._buffer_xs[-1]
+            if self._buffer_xs
+            else (self._kept_xs[-1] if self._kept_xs else None)
+        )
+        first = float(ts[0])
+        if last is not None and first < last:
+            raise StreamOrderError(
+                f"timestamp {first} arrived after {last}"
+            )
+        uniq, group_start = np.unique(ts, return_index=True)
+        if counts is None:
+            cumulative = np.append(group_start[1:], ts.size)
+            total = int(ts.size)
+        else:
+            running = np.cumsum(counts)
+            cumulative = running[
+                np.append(group_start[1:], ts.size) - 1
+            ]
+            total = int(running[-1])
+        ys = (cumulative + self._count).astype(np.float64)
+        self._count += total
+        return uniq.tolist(), ys.tolist()
+
     def flush(self) -> None:
         """Compress any partially filled buffer (call before querying the
         most recent corners at full fidelity; queries work without it)."""

@@ -31,6 +31,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.errors import (
     EmptySketchError,
     InvalidParameterError,
@@ -139,12 +141,81 @@ class PBE2:
         for t in timestamps:
             self.update(t)
 
+    def extend_batch(self, timestamps, counts=None) -> None:
+        """Vectorized ingest of a sorted timestamp batch.
+
+        Byte-identical to the equivalent sequence of :meth:`update` calls:
+        duplicate timestamps are collapsed with one ``np.unique`` pass into
+        final corner heights, then every corner except the last is pushed
+        through the same polygon-clipping commit path the scalar route
+        uses; the last corner becomes the new pending (duplicate-delay)
+        corner.
+
+        Parameters
+        ----------
+        timestamps:
+            1-d array-like of non-decreasing occurrence timestamps; the
+            first must not precede the current pending corner.
+        counts:
+            Optional positive per-timestamp occurrence counts.
+        """
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.ndim != 1:
+            raise InvalidParameterError("timestamps must be a 1-d array")
+        if ts.size == 0:
+            return
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != ts.shape:
+                raise InvalidParameterError(
+                    "counts must match the timestamp batch shape"
+                )
+            if bool(np.any(counts <= 0)):
+                raise InvalidParameterError("count must be positive")
+        if ts.size > 1 and bool(np.any(np.diff(ts) < 0)):
+            raise StreamOrderError("batch timestamps must be non-decreasing")
+        if self._pending_t is not None and float(ts[0]) < self._pending_t:
+            raise StreamOrderError(
+                f"timestamp {float(ts[0])} arrived after {self._pending_t}"
+            )
+        uniq, group_start = np.unique(ts, return_index=True)
+        group_end = np.append(group_start[1:], ts.size)
+        if counts is None:
+            cumulative = group_end
+            total = int(ts.size)
+        else:
+            running = np.cumsum(counts)
+            cumulative = running[group_end - 1]
+            total = int(running[-1])
+        base = self._count
+        self._count += total
+        xs = uniq.tolist()
+        ys = (cumulative + base).astype(np.float64).tolist()
+        start = 0
+        if self._pending_t is not None:
+            if xs[0] == self._pending_t:
+                self._pending_y = ys[0]
+                start = 1
+            if len(xs) > start:
+                # A strictly later timestamp proves the pending corner's
+                # final height, exactly as in the scalar path.
+                self._commit_pending()
+        for t, y in zip(xs[start:-1], ys[start:-1]):
+            self._commit_corner(t, y)
+        if len(xs) > start:
+            self._pending_t = xs[-1]
+            self._pending_y = ys[-1]
+
     def _commit_pending(self) -> None:
         """Push the now-final pending corner (and its pre-corner) into the
         feasibility polygon."""
         t = self._pending_t
-        y = self._pending_y
         assert t is not None
+        self._commit_corner(t, self._pending_y)
+        self._pending_t = None
+
+    def _commit_corner(self, t: float, y: float) -> None:
+        """Commit one final corner (and its pre-corner) to the polygon."""
         pre_t = t - self.unit
         prev_t = self._last_committed_t
         if prev_t is None or pre_t > prev_t:
@@ -152,7 +223,6 @@ class PBE2:
         self._add_range(t, y)
         self._last_committed_t = t
         self._last_committed_y = y
-        self._pending_t = None
 
     def _add_range(self, t: float, freq: float) -> None:
         """Add the timestamped frequency range ``(t, [freq - gamma, freq])``."""

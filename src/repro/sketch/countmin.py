@@ -20,6 +20,18 @@ from repro.sketch.hashing import HashFamily
 __all__ = ["CountMinSketch", "dimensions_for"]
 
 
+def _validated_counts(counts, shape) -> np.ndarray | None:
+    """Validate an optional per-item count vector (None means all ones)."""
+    if counts is None:
+        return None
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.shape != shape:
+        raise InvalidParameterError("counts must match the item batch shape")
+    if counts.size and bool(np.any(counts < 0)):
+        raise InvalidParameterError("negative updates are not supported")
+    return counts
+
+
 def dimensions_for(epsilon: float, delta: float) -> tuple[int, int]:
     """Return ``(width, depth)`` achieving the ``(epsilon, delta)`` bound."""
     if not 0 < epsilon < 1:
@@ -68,6 +80,37 @@ class CountMinSketch:
         for row, column in enumerate(self._hashes.hash_all(item)):
             self._table[row, column] += count
         self._total += count
+
+    def update_batch(self, items, counts=None) -> None:
+        """Add a batch of items in one vectorized pass.
+
+        Equivalent to ``for item, count in zip(items, counts):
+        update(item, count)`` — counter-exact, since integer scatter-adds
+        commute — but hashes the whole batch at once and applies each row
+        with a single ``np.add.at`` scatter-add.
+
+        Parameters
+        ----------
+        items:
+            1-d array-like of non-negative integer items.
+        counts:
+            Optional per-item occurrence counts (default: all ones).
+        """
+        items = np.asarray(items)
+        if items.size == 0:
+            return
+        counts = _validated_counts(counts, items.shape)
+        columns = self._hashes.hash_many(items)
+        if counts is None:
+            for row in range(self.depth):
+                self._table[row] += np.bincount(
+                    columns[:, row], minlength=self.width
+                )
+            self._total += int(items.size)
+        else:
+            for row in range(self.depth):
+                np.add.at(self._table[row], columns[:, row], counts)
+            self._total += int(counts.sum())
 
     def estimate(self, item: int) -> int:
         """Point query: min over rows — never underestimates."""

@@ -18,6 +18,67 @@ from repro.core.errors import InvalidParameterError
 __all__ = ["UniversalHash", "HashFamily"]
 
 _MERSENNE_61 = (1 << 61) - 1
+_U64_P = np.uint64(_MERSENNE_61)
+_U64_MASK32 = np.uint64(0xFFFFFFFF)
+_U64_MASK29 = np.uint64((1 << 29) - 1)
+
+
+def _fold61(values: np.ndarray) -> np.ndarray:
+    """One folding step of ``v mod (2^61 - 1)``: ``(v >> 61) + (v & p)``.
+
+    Exact because ``2^61 ≡ 1 (mod p)``; the result of folding a uint64 is
+    at most ``p + 7``, so one conditional subtract finishes the reduction.
+    """
+    return (values >> np.uint64(61)) + (values & _U64_P)
+
+
+def _mod61(values: np.ndarray) -> np.ndarray:
+    """Full reduction of uint64 values modulo ``2^61 - 1``."""
+    folded = _fold61(values)
+    return np.where(folded >= _U64_P, folded - _U64_P, folded)
+
+
+def _carter_wegman_many(
+    xs: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Exact ``(a * x + b) mod (2^61 - 1)`` over uint64 arrays.
+
+    ``a * x`` needs up to 122 bits, so the product is assembled from
+    32-bit limbs with every partial product and partial sum kept below
+    2^64 (no wraparound anywhere):
+
+        a = a1 * 2^32 + a0,  x = x1 * 2^32 + x0   (x already < p)
+        a * x = a1*x1 * 2^64 + (a1*x0 + a0*x1) * 2^32 + a0*x0
+
+    with ``2^64 ≡ 8`` and ``cross * 2^32`` split again at bit 29 so that
+    ``2^61 ≡ 1`` applies.  Broadcasting over a trailing axis evaluates all
+    hash functions of a family in one pass.
+    """
+    x0 = xs & _U64_MASK32
+    x1 = xs >> np.uint64(32)
+    a0 = a & _U64_MASK32
+    a1 = a >> np.uint64(32)
+    low = _mod61(a0 * x0)
+    # cross < 2^62 because a1, x1 < 2^29 (a, x < p < 2^61).
+    cross = a1 * x0 + a0 * x1
+    cross_lo = cross & _U64_MASK29
+    cross_hi = cross >> np.uint64(29)
+    cross_term = _mod61(cross_hi + (cross_lo << np.uint64(32)))
+    high_term = _mod61((a1 * x1) << np.uint64(3))
+    # Each term < p, plus b < p: the sum stays below 4 * 2^61 < 2^64.
+    return _mod61(low + cross_term + high_term + b)
+
+
+def _as_reduced_u64(items: np.ndarray) -> np.ndarray:
+    """Validate and convert hash inputs to uint64 reduced mod ``2^61 - 1``."""
+    xs = np.asarray(items)
+    if xs.ndim != 1:
+        raise InvalidParameterError("hash inputs must be a 1-d array")
+    if xs.dtype.kind not in "iu":
+        xs = np.asarray(xs, dtype=np.int64)
+    if xs.dtype.kind == "i" and xs.size and bool(np.any(xs < 0)):
+        raise InvalidParameterError("hash inputs must be non-negative")
+    return _mod61(xs.astype(np.uint64))
 
 
 class UniversalHash:
@@ -40,13 +101,12 @@ class UniversalHash:
         return ((self.a * x + self.b) % _MERSENNE_61) % self.width
 
     def hash_array(self, xs: np.ndarray) -> np.ndarray:
-        """Vectorized evaluation over an integer array."""
-        xs = np.asarray(xs, dtype=np.object_)  # exact big-int arithmetic
-        return np.array(
-            [((self.a * int(x) + self.b) % _MERSENNE_61) % self.width
-             for x in xs],
-            dtype=np.int64,
+        """Vectorized evaluation over a non-negative integer array."""
+        reduced = _as_reduced_u64(xs)
+        hashed = _carter_wegman_many(
+            reduced, np.uint64(self.a), np.uint64(self.b)
         )
+        return (hashed % np.uint64(self.width)).astype(np.int64)
 
 
 class HashFamily:
@@ -66,6 +126,13 @@ class HashFamily:
             )
             for _ in range(depth)
         ]
+        # Column vectors of the (a, b) coefficients for batched hashing.
+        self._a = np.array(
+            [h.a for h in self._functions], dtype=np.uint64
+        )
+        self._b = np.array(
+            [h.b for h in self._functions], dtype=np.uint64
+        )
 
     def __len__(self) -> int:
         return self.depth
@@ -81,3 +148,18 @@ class HashFamily:
     def hash_all(self, x: int) -> list[int]:
         """Return ``[h_0(x), ..., h_{d-1}(x)]``."""
         return [h(x) for h in self._functions]
+
+    def hash_many(self, items) -> np.ndarray:
+        """Hash a batch of non-negative integers with every family member.
+
+        Returns an ``(n, depth)`` int64 matrix whose ``[i, r]`` entry is
+        ``h_r(items[i])`` — exactly what :meth:`hash_all` returns per item,
+        but computed in one vectorized pass over the batch.
+        """
+        reduced = _as_reduced_u64(items)
+        hashed = _carter_wegman_many(
+            reduced[:, np.newaxis],
+            self._a[np.newaxis, :],
+            self._b[np.newaxis, :],
+        )
+        return (hashed % np.uint64(self.width)).astype(np.int64)

@@ -25,6 +25,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.core.errors import InvalidParameterError, StreamOrderError
 
 __all__ = [
@@ -90,13 +92,23 @@ class EventStream:
     def from_columns(
         cls, event_ids: Sequence[int], timestamps: Sequence[float]
     ) -> "EventStream":
-        """Build a stream from parallel id/timestamp columns."""
+        """Build a stream from parallel id/timestamp columns.
+
+        Order is validated with one vectorized pass instead of
+        per-element appends.
+        """
         if len(event_ids) != len(timestamps):
             raise InvalidParameterError(
                 "event_ids and timestamps must have equal length"
             )
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.size > 1 and bool(np.any(np.diff(ts) < 0)):
+            raise StreamOrderError("timestamps must be non-decreasing")
         stream = cls()
-        stream.extend(zip(event_ids, timestamps))
+        stream._event_ids = [
+            int(e) for e in np.asarray(event_ids).tolist()
+        ]
+        stream._timestamps = ts.tolist()
         return stream
 
     # ------------------------------------------------------------------
@@ -120,6 +132,32 @@ class EventStream:
     def timestamps(self) -> Sequence[float]:
         """The timestamp column (read-only view by convention)."""
         return self._timestamps
+
+    def as_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The stream as parallel numpy columns ``(event_ids, timestamps)``.
+
+        Returns fresh int64 / float64 arrays suitable for the sketches'
+        ``extend_batch`` ingest path.
+        """
+        return (
+            np.asarray(self._event_ids, dtype=np.int64),
+            np.asarray(self._timestamps, dtype=np.float64),
+        )
+
+    def iter_batches(
+        self, batch_size: int = 8192
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield the stream as ``(event_ids, timestamps)`` record batches."""
+        if batch_size <= 0:
+            raise InvalidParameterError(
+                f"batch_size must be > 0, got {batch_size}"
+            )
+        ids, ts = self.as_columns()
+        for start in range(0, len(ts), batch_size):
+            yield (
+                ids[start:start + batch_size],
+                ts[start:start + batch_size],
+            )
 
     @property
     def span(self) -> tuple[float, float]:

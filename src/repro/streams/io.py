@@ -28,10 +28,19 @@ __all__ = [
     "write_binary",
     "read_binary",
     "iter_csv",
+    "iter_csv_batches",
+    "iter_binary_batches",
+    "iter_record_batches",
+    "DEFAULT_BATCH_SIZE",
 ]
 
 _MAGIC = b"REPROEV1"
 _HEADER = struct.Struct("<8sQ")
+
+#: Default record-batch size for the batched readers and the CLI ingest
+#: path — large enough to amortize numpy dispatch, small enough to keep
+#: memory bounded on arbitrarily long streams.
+DEFAULT_BATCH_SIZE = 8192
 
 
 def write_csv(stream: EventStream, path: str | Path) -> None:
@@ -61,6 +70,37 @@ def read_csv(path: str | Path) -> EventStream:
     return EventStream(iter_csv(path))
 
 
+def iter_csv_batches(
+    path: str | Path, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(event_ids, timestamps)`` numpy record batches from a CSV.
+
+    Each batch holds up to ``batch_size`` records as parallel int64 /
+    float64 columns, ready for the sketches' ``extend_batch`` ingest
+    path.
+    """
+    if batch_size <= 0:
+        raise InvalidParameterError(
+            f"batch_size must be > 0, got {batch_size}"
+        )
+    ids: list[int] = []
+    ts: list[float] = []
+    for event_id, timestamp in iter_csv(path):
+        ids.append(event_id)
+        ts.append(timestamp)
+        if len(ids) >= batch_size:
+            yield (
+                np.asarray(ids, dtype=np.int64),
+                np.asarray(ts, dtype=np.float64),
+            )
+            ids, ts = [], []
+    if ids:
+        yield (
+            np.asarray(ids, dtype=np.int64),
+            np.asarray(ts, dtype=np.float64),
+        )
+
+
 def write_binary(stream: EventStream, path: str | Path) -> None:
     """Write a stream in the packed binary format."""
     ids = np.asarray(stream.event_ids, dtype="<u4")
@@ -87,5 +127,52 @@ def read_binary(path: str | Path) -> EventStream:
     ids = np.frombuffer(id_bytes, dtype="<u4")
     ts = np.frombuffer(ts_bytes, dtype="<f8")
     return EventStream.from_columns(
-        ids.astype(np.int64).tolist(), ts.astype(np.float64).tolist()
+        ids.astype(np.int64), ts.astype(np.float64)
     )
+
+
+def iter_binary_batches(
+    path: str | Path, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(event_ids, timestamps)`` numpy record batches from a
+    binary stream file without loading the whole stream.
+
+    The on-disk layout is columnar (all ids, then all timestamps), so
+    each batch is read with two bounded seeks — memory use stays
+    ``O(batch_size)`` no matter how long the stream is.
+    """
+    if batch_size <= 0:
+        raise InvalidParameterError(
+            f"batch_size must be > 0, got {batch_size}"
+        )
+    with open(path, "rb") as fh:
+        header = fh.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise InvalidParameterError("truncated binary stream file")
+        magic, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise InvalidParameterError("not a repro binary stream file")
+        ids_offset = _HEADER.size
+        ts_offset = _HEADER.size + 4 * count
+        for start in range(0, count, batch_size):
+            size = min(batch_size, count - start)
+            fh.seek(ids_offset + 4 * start)
+            id_bytes = fh.read(4 * size)
+            fh.seek(ts_offset + 8 * start)
+            ts_bytes = fh.read(8 * size)
+            if len(id_bytes) != 4 * size or len(ts_bytes) != 8 * size:
+                raise InvalidParameterError("truncated binary stream file")
+            yield (
+                np.frombuffer(id_bytes, dtype="<u4").astype(np.int64),
+                np.frombuffer(ts_bytes, dtype="<f8").astype(np.float64),
+            )
+
+
+def iter_record_batches(
+    path: str | Path, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield numpy record batches from either stream format (by suffix)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return iter_csv_batches(path, batch_size)
+    return iter_binary_batches(path, batch_size)

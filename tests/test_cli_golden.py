@@ -1,0 +1,141 @@
+"""Golden CLI tests: ingest/query output is frozen against snapshots.
+
+A small deterministic stream lives in ``tests/data/golden_stream.csv``
+and the exact stdout of representative ``ingest`` / ``query`` /
+``inspect`` invocations is committed under ``tests/golden/``.  The
+tests replay those invocations — across *several* ``--batch-size``
+values — and demand byte-identical output, so no change to the batched
+ingest path (or a future batch-size default bump) can silently alter
+what a built sketch answers.
+
+Temp paths are normalized to ``<OUT>`` before comparison.
+
+To regenerate after an intentional behaviour change::
+
+    PYTHONPATH=src python tests/test_cli_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+DATA = Path(__file__).parent / "data" / "golden_stream.csv"
+GOLDEN = Path(__file__).parent / "golden"
+
+#: Every scenario ingests the fixture stream, then queries the built
+#: sketch; the printed transcript of all steps is one golden file.
+SCENARIOS: dict[str, list[list[str]]] = {
+    "pbe1": [
+        [
+            "ingest", str(DATA), "--out", "<SKETCH>",
+            "--method", "cm-pbe-1", "--eta", "24",
+            "--buffer-size", "64", "--width", "8", "--depth", "3",
+        ],
+        [
+            "query", "point", "--sketch", "<SKETCH>",
+            "--event", "3", "--t", "290.0", "--tau", "60.0",
+        ],
+        [
+            "query", "bursty-times", "--sketch", "<SKETCH>",
+            "--event", "3", "--theta", "20.0", "--tau", "60.0",
+        ],
+        ["inspect", "<SKETCH>"],
+    ],
+    "pbe2": [
+        [
+            "ingest", str(DATA), "--out", "<SKETCH>",
+            "--method", "cm-pbe-2", "--gamma", "6.0",
+            "--width", "8", "--depth", "3",
+        ],
+        [
+            "query", "point", "--sketch", "<SKETCH>",
+            "--event", "3", "--t", "290.0", "--tau", "60.0",
+        ],
+        [
+            "query", "bursty-times", "--sketch", "<SKETCH>",
+            "--event", "3", "--theta", "20.0", "--tau", "60.0",
+        ],
+        ["inspect", "<SKETCH>"],
+    ],
+}
+
+BATCH_SIZES = [1, 7, 8192]
+
+
+def run_scenario(
+    name: str, tmp_dir: Path, capsys, batch_size: int | None
+) -> str:
+    sketch_path = tmp_dir / f"{name}.sketch"
+    transcript: list[str] = []
+    for step in SCENARIOS[name]:
+        argv = [
+            str(sketch_path) if arg == "<SKETCH>" else arg for arg in step
+        ]
+        if argv[0] == "ingest" and batch_size is not None:
+            argv += ["--batch-size", str(batch_size)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        transcript.append(out.replace(str(sketch_path), "<OUT>"))
+    return "".join(transcript)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_cli_output_matches_golden(name, batch_size, tmp_path, capsys):
+    golden = (GOLDEN / f"{name}.txt").read_text()
+    assert run_scenario(name, tmp_path, capsys, batch_size) == golden
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_build_alias_matches_golden(name, tmp_path, capsys):
+    """The legacy ``build`` spelling goes through the same ingest path."""
+    golden = (GOLDEN / f"{name}.txt").read_text()
+    SCENARIOS[name][0][0] = "build"
+    try:
+        transcript = run_scenario(name, tmp_path, capsys, None)
+    finally:
+        SCENARIOS[name][0][0] = "ingest"
+    assert transcript == golden
+
+
+def _regenerate() -> None:
+    import contextlib
+    import io
+    import tempfile
+    import types
+
+    class _Drain:
+        """Minimal stand-in for pytest's capsys over one StringIO."""
+
+        def __init__(self, buffer: io.StringIO) -> None:
+            self._buffer = buffer
+            self._position = 0
+
+        def readouterr(self):
+            value = self._buffer.getvalue()
+            out = value[self._position:]
+            self._position = len(value)
+            return types.SimpleNamespace(out=out)
+
+    GOLDEN.mkdir(exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in SCENARIOS:
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                transcript = run_scenario(
+                    name, Path(tmp), _Drain(buffer), batch_size=None
+                )
+            (GOLDEN / f"{name}.txt").write_text(transcript)
+            print(f"wrote {GOLDEN / f'{name}.txt'}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,239 @@
+"""Differential harness: the sketch stack vs the exact baseline.
+
+Every workload is ingested twice — once into :class:`ExactBurstStore`
+(ground truth) and once into a CM-PBE built through the batched ingest
+path — and point-query burstiness is compared under the paper's
+Theorem 1 error model::
+
+    Pr[ |F~_e(t) - F_e(t)| <= eps * N + Delta ] >= 1 - delta
+
+with ``eps = e / width``, ``delta = exp(-depth)``, and ``Delta`` the
+cell-approximation error (``gamma`` a priori for PBE-2 cells; measured
+exactly against each cell's collided sub-stream for PBE-1 cells).  A
+burstiness query combines three cumulative-frequency reads, so its
+error budget is ``4 * (eps * N + Delta)`` (Lemma 4 scaling).
+
+Two kinds of assertion:
+
+* **deterministic** — a PBE never overestimates its own collided
+  stream, so the sketch can never *under*-report ``F_e`` by more than
+  the worst cell error.  These hold for every query, no slack.
+* **probabilistic** — collision overshoot is only bounded with
+  probability ``1 - delta`` per query, so those assertions bound the
+  *violation rate* over a seeded query panel (allowance ``3 * delta``
+  for the three reads, plus finite-sample slack).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactBurstStore
+from repro.core.cmpbe import CMPBE
+from repro.workloads.generator import build_event_stream
+from repro.workloads.rates import ConstantRate, GaussianBurst, SumRate
+
+SEEDS = [11, 23, 47]
+N_EVENTS = 48
+HORIZON = 2_000.0
+WIDTH = 16
+DEPTH = 5
+EPSILON = math.e / WIDTH
+DELTA = math.exp(-DEPTH)
+
+
+def make_workload(seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """A seeded inhomogeneous-Poisson mixed stream (~4k mentions).
+
+    Event 0 carries a Gaussian attention burst around ``0.42 * HORIZON``
+    on top of the flat background every event has, so the panel always
+    probes at least one strongly bursty event.
+    """
+    rng = np.random.default_rng(seed)
+    rates = {eid: ConstantRate(0.04) for eid in range(N_EVENTS)}
+    rates[0] = SumRate(
+        [
+            ConstantRate(0.04),
+            GaussianBurst(
+                peak_time=0.42 * HORIZON, height=4.0, width=40.0
+            ),
+        ]
+    )
+    stream = build_event_stream(rates, t_end=HORIZON, rng=rng)
+    return stream.as_columns()
+
+
+def build_pair(ids, ts, sketch) -> tuple[ExactBurstStore, CMPBE]:
+    """Ingest the workload into the oracle and (batched) into the sketch."""
+    oracle = ExactBurstStore()
+    for event_id, timestamp in zip(ids.tolist(), ts.tolist()):
+        oracle.update(event_id, timestamp)
+    sketch.extend_batch(ids, ts)
+    return oracle, sketch
+
+
+def query_panel(rng_seed: int = 5) -> tuple[list[int], np.ndarray]:
+    """Events and times to probe: the planted burst plus random picks."""
+    rng = np.random.default_rng(rng_seed)
+    events = [0, *rng.integers(1, N_EVENTS, size=5).tolist()]
+    times = np.linspace(0.0, 1.1 * HORIZON, 12)
+    return events, times
+
+
+def collided_substreams(
+    ids: np.ndarray, ts: np.ndarray, sketch: CMPBE
+) -> dict[tuple[int, int], list[float]]:
+    """Exact per-cell collided timestamp lists, via the sketch's hashes."""
+    unique_ids, inverse = np.unique(ids, return_inverse=True)
+    columns = sketch._hashes.hash_many(unique_ids)[inverse]
+    cells: dict[tuple[int, int], list[float]] = defaultdict(list)
+    for i, t in enumerate(ts.tolist()):
+        for row in range(sketch.depth):
+            cells[(row, int(columns[i, row]))].append(t)
+    return cells
+
+
+def cell_errors(
+    sketch: CMPBE,
+    cells: dict[tuple[int, int], list[float]],
+    event_id: int,
+    t: float,
+) -> list[float]:
+    """Per-row ``F_collided(t) - cell.value(t)`` for one event's cells.
+
+    Each entry must be non-negative (a PBE never overestimates its own
+    stream); the max is the event's empirical ``Delta`` at ``t``.
+    """
+    errors = []
+    for row, column in enumerate(sketch._hashes.hash_all(event_id)):
+        exact = bisect.bisect_right(cells.get((row, column), []), t)
+        estimate = sketch._cells[row][column].value(t)
+        errors.append(exact - estimate)
+    return errors
+
+
+class TestCmPbe1Differential:
+    """CM-PBE-1 vs the oracle, with measured cell-compression error."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("eta", [8, 24])
+    def test_frequency_error_decomposition(self, seed, eta):
+        ids, ts = make_workload(seed)
+        oracle, sketch = build_pair(
+            ids,
+            ts,
+            CMPBE.with_pbe1(
+                eta=eta,
+                width=WIDTH,
+                depth=DEPTH,
+                buffer_size=256,
+                seed=seed,
+            ),
+        )
+        cells = collided_substreams(ids, ts, sketch)
+        events, times = query_panel()
+        overshoots = 0
+        total = 0
+        for event_id in events:
+            for t in times.tolist():
+                errors = cell_errors(sketch, cells, event_id, t)
+                # Deterministic: no cell overestimates its collided stream.
+                assert min(errors) >= -1e-6
+                delta_emp = max(errors)
+                exact = oracle.cumulative_frequency(event_id, t)
+                estimate = sketch.cumulative_frequency(event_id, t)
+                # Deterministic: underestimation only from cell error.
+                assert estimate >= exact - delta_emp - 1e-6
+                # Probabilistic: overshoot is collision mass.
+                total += 1
+                if estimate - exact > EPSILON * sketch.count:
+                    overshoots += 1
+        assert overshoots <= math.ceil(DELTA * total) + 2
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("tau", [50.0, 150.0])
+    @pytest.mark.parametrize("eta", [8, 24])
+    def test_burstiness_within_theorem_bound(self, seed, tau, eta):
+        ids, ts = make_workload(seed)
+        oracle, sketch = build_pair(
+            ids,
+            ts,
+            CMPBE.with_pbe1(
+                eta=eta,
+                width=WIDTH,
+                depth=DEPTH,
+                buffer_size=256,
+                seed=seed,
+            ),
+        )
+        cells = collided_substreams(ids, ts, sketch)
+        events, times = query_panel()
+        violations = 0
+        total = 0
+        for event_id in events:
+            for t in times.tolist():
+                delta_emp = max(
+                    max(cell_errors(sketch, cells, event_id, t_i))
+                    for t_i in (t, t - tau, t - 2 * tau)
+                )
+                bound = 4 * (EPSILON * sketch.count + delta_emp)
+                exact = oracle.burstiness(event_id, t, tau)
+                estimate = sketch.burstiness(event_id, t, tau)
+                total += 1
+                if abs(estimate - exact) > bound + 1e-6:
+                    violations += 1
+        # Three F-reads per burstiness query -> 3 * delta allowance.
+        assert violations <= math.ceil(3 * DELTA * total) + 2
+
+
+class TestCmPbe2Differential:
+    """CM-PBE-2 vs the oracle; Delta = gamma holds a priori per cell."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("tau", [50.0, 150.0])
+    @pytest.mark.parametrize("gamma", [4.0, 16.0])
+    def test_burstiness_within_theorem_bound(self, seed, tau, gamma):
+        ids, ts = make_workload(seed)
+        oracle, sketch = build_pair(
+            ids,
+            ts,
+            CMPBE.with_pbe2(
+                gamma=gamma, width=WIDTH, depth=DEPTH, seed=seed
+            ),
+        )
+        events, times = query_panel()
+        bound = 4 * (EPSILON * sketch.count + gamma)
+        violations = 0
+        total = 0
+        for event_id in events:
+            for t in times.tolist():
+                exact = oracle.burstiness(event_id, t, tau)
+                estimate = sketch.burstiness(event_id, t, tau)
+                total += 1
+                if abs(estimate - exact) > bound + 1e-6:
+                    violations += 1
+        assert violations <= math.ceil(3 * DELTA * total) + 2
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cells_never_overestimate_collided_streams(self, seed):
+        """Deterministic PBE-2 sandwich on every cell's own stream."""
+        ids, ts = make_workload(seed)
+        gamma = 8.0
+        _, sketch = build_pair(
+            ids,
+            ts,
+            CMPBE.with_pbe2(
+                gamma=gamma, width=WIDTH, depth=DEPTH, seed=seed
+            ),
+        )
+        cells = collided_substreams(ids, ts, sketch)
+        for (row, column), collided in cells.items():
+            cell = sketch._cells[row][column]
+            for t in np.linspace(0.0, HORIZON, 9).tolist():
+                exact = bisect.bisect_right(collided, t)
+                assert cell.value(t) <= exact + 1e-6

@@ -59,6 +59,39 @@ class TestMergePbe1:
         with pytest.raises(InvalidParameterError):
             merge_pbe1([])
 
+    def test_merged_owns_its_state(self, timestamps):
+        """Mutating a part after merging must not corrupt the merge.
+
+        Regression: the merge used to extend the merged sketch with the
+        part's *live* corner lists, so later updates to the last part
+        leaked into (or grew under) the merged result.
+        """
+        half = len(timestamps) // 2
+        part_a = PBE1(eta=20, buffer_size=100)
+        part_b = PBE1(eta=20, buffer_size=100)
+        part_a.extend(timestamps[:half])
+        part_b.extend(timestamps[half:])
+        merged = merge_pbe1([part_a, part_b])
+        before = (
+            list(merged._kept_xs),
+            list(merged._kept_ys),
+            merged.count,
+            merged.value(1e9),
+        )
+        # Keep feeding both parts well past the merge point.
+        for offset in range(1, 301):
+            part_a.update(timestamps[half - 1] + offset)
+            part_b.update(timestamps[-1] + offset)
+        part_a.flush()
+        part_b.flush()
+        after = (
+            list(merged._kept_xs),
+            list(merged._kept_ys),
+            merged.count,
+            merged.value(1e9),
+        )
+        assert before == after
+
 
 class TestMergePbe2:
     def test_merged_within_band(self, timestamps):
