@@ -14,6 +14,18 @@ Quickstart::
     analyzer.bursty_events(t=86_400.0, theta=50.0, tau=3_600.0)
     analyzer.bursty_times(event_id=7, theta=50.0, tau=3_600.0)
 
+Every backend is also reachable directly through the pluggable store
+layer — including hash-sharded composites and a versioned on-disk
+envelope::
+
+    from repro import create_store, load_store, save_store
+
+    store = create_store("sharded", shards=4, backend="cm-pbe-1",
+                         universe_size=1024)
+    store.extend(stream)
+    payload = save_store(store)             # self-describing envelope
+    again = load_store(payload)
+
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure.
 """
@@ -22,18 +34,27 @@ from repro.core import (
     CMPBE,
     PBE1,
     PBE2,
+    BurstStore,
     BurstyEvent,
     BurstyEventIndex,
     EmptySketchError,
     HistoricalBurstAnalyzer,
     InvalidParameterError,
     ReproError,
+    SerializationError,
+    ShardedBurstStore,
     StreamOrderError,
+    UnknownBackendError,
+    backend_keys,
     burst_frequency,
     burstiness,
     burstiness_series,
     bursty_time_intervals,
+    create_store,
     incoming_rate_series,
+    load_store,
+    register_backend,
+    save_store,
 )
 from repro.baselines import ExactBurstStore, KleinbergBurstDetector
 from repro.streams import EventStream, SingleEventStream, StaircaseCurve
@@ -44,18 +65,27 @@ __all__ = [
     "CMPBE",
     "PBE1",
     "PBE2",
+    "BurstStore",
     "BurstyEvent",
     "BurstyEventIndex",
     "EmptySketchError",
     "HistoricalBurstAnalyzer",
     "InvalidParameterError",
     "ReproError",
+    "SerializationError",
+    "ShardedBurstStore",
     "StreamOrderError",
+    "UnknownBackendError",
+    "backend_keys",
     "burst_frequency",
     "burstiness",
     "burstiness_series",
     "bursty_time_intervals",
+    "create_store",
     "incoming_rate_series",
+    "load_store",
+    "register_backend",
+    "save_store",
     "ExactBurstStore",
     "KleinbergBurstDetector",
     "EventStream",

@@ -19,7 +19,12 @@ from collections import defaultdict
 from typing import Iterable, Sequence
 
 from repro.core.dyadic import BurstyEvent
-from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.core.errors import (
+    InvalidParameterError,
+    StreamOrderError,
+    require_count,
+    require_tau,
+)
 from repro.streams.events import EventStream
 
 __all__ = ["ExactBurstStore"]
@@ -46,8 +51,7 @@ class ExactBurstStore:
     # ------------------------------------------------------------------
     def update(self, event_id: int, timestamp: float, count: int = 1) -> None:
         """Record ``count`` mentions of ``event_id`` at ``timestamp``."""
-        if count <= 0:
-            raise InvalidParameterError("count must be positive")
+        require_count(count)
         if (
             self._last_timestamp is not None
             and timestamp < self._last_timestamp
@@ -71,7 +75,7 @@ class ExactBurstStore:
 
     def burstiness(self, event_id: int, t: float, tau: float) -> int:
         """Exact ``b_e(t)``."""
-        _check_tau(tau)
+        require_tau(tau)
         return (
             self.cumulative_frequency(event_id, t)
             - 2 * self.cumulative_frequency(event_id, t - tau)
@@ -91,7 +95,7 @@ class ExactBurstStore:
         where ``t``, ``t - tau`` or ``t - 2 tau`` crosses an occurrence,
         so evaluating at those breakpoints suffices.
         """
-        _check_tau(tau)
+        require_tau(tau)
         times = self._timestamps.get(int(event_id), [])
         if not times:
             return []
@@ -121,7 +125,7 @@ class ExactBurstStore:
         self, t: float, theta: float, tau: float
     ) -> list[BurstyEvent]:
         """Exact bursty event query over all seen events."""
-        _check_tau(tau)
+        require_tau(tau)
         hits = [
             BurstyEvent(event_id, float(value))
             for event_id in self._timestamps
@@ -144,7 +148,3 @@ class ExactBurstStore:
         """Eight bytes per stored timestamp."""
         return 8 * self._count
 
-
-def _check_tau(tau: float) -> None:
-    if tau <= 0:
-        raise InvalidParameterError(f"burst span tau must be > 0, got {tau}")

@@ -5,12 +5,17 @@ Subcommands
 generate
     Synthesize an `olympicrio`- or `uspolitics`-like stream to a file.
 ingest (alias: build)
-    Ingest a stream file into a CM-PBE sketch and serialize it.  The
-    stream is read and fed to the sketch in numpy record batches
+    Ingest a stream file into a burst store and serialize it.  The
+    stream is read and fed to the store in numpy record batches
     (``--batch-size``, default 8192); batching never changes the built
-    sketch, only the ingest speed.
+    store, only the ingest speed.  ``--backend`` picks any registered
+    store backend (``exact``, ``cm-pbe-1``, ``cm-pbe-2``, ``direct``,
+    ``index``) and ``--shards N`` hash-partitions event ids across N
+    copies of it; without ``--backend`` the default CM-PBE path writes
+    the legacy v1 blob, byte-identical to previous releases.
 query
-    Answer point / bursty-time queries from a serialized sketch.
+    Answer point / bursty-time queries from a serialized store (either
+    the versioned envelope or a legacy v1 blob).
 inspect
     Print a sketch's or stream's vital statistics.
 experiment
@@ -31,8 +36,13 @@ import sys
 from pathlib import Path
 
 from repro.core.cmpbe import CMPBE
-from repro.core.queries import bursty_time_intervals
-from repro.core.serialize import dump_cmpbe, load_cmpbe
+from repro.core.serialize import (
+    ENVELOPE_MAGIC,
+    dump_cmpbe,
+    load_store,
+    save_store,
+)
+from repro.core.store import create_store
 from repro.eval import harness
 from repro.eval.tables import format_table
 from repro.streams.io import (
@@ -89,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
         ingest.add_argument("--width", type=int, default=6)
         ingest.add_argument("--depth", type=int, default=3)
         ingest.add_argument("--seed", type=int, default=0)
+        ingest.add_argument(
+            "--backend",
+            choices=["exact", "cm-pbe-1", "cm-pbe-2", "direct", "index"],
+            help="store backend from the registry; omit for the legacy "
+            "CM-PBE blob (bit-identical to previous releases)",
+        )
+        ingest.add_argument(
+            "--shards",
+            type=int,
+            help="hash-partition event ids across N copies of --backend",
+        )
+        ingest.add_argument(
+            "--universe-size",
+            type=int,
+            help="event-id universe size (required by --backend index)",
+        )
         ingest.add_argument(
             "--batch-size",
             type=int,
@@ -178,56 +204,110 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_config(args: argparse.Namespace) -> dict:
+    """Registry kwargs for the chosen ``--backend``."""
+    backend = args.backend
+    if backend == "exact":
+        return {}
+    cell = "pbe1" if args.method == "cm-pbe-1" else "pbe2"
+    cfg = dict(
+        cell=cell,
+        eta=args.eta,
+        buffer_size=args.buffer_size,
+        gamma=args.gamma,
+        unit=1.0,
+    )
+    if backend == "direct":
+        return cfg
+    cfg.update(width=args.width, depth=args.depth, seed=args.seed)
+    if backend == "index":
+        cfg["universe_size"] = args.universe_size
+    elif backend in ("cm-pbe-1", "cm-pbe-2"):
+        # The grid scans the universe on bursty-event queries if known.
+        cfg["universe_size"] = args.universe_size
+        del cfg["cell"]
+    return cfg
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
-    if args.method == "cm-pbe-1":
-        sketch = CMPBE.with_pbe1(
-            eta=args.eta,
-            width=args.width,
-            depth=args.depth,
-            buffer_size=args.buffer_size,
-            seed=args.seed,
+    if args.backend is None and not args.shards:
+        # Legacy path: a bare CM-PBE serialized as the v1 blob.  Kept
+        # verbatim so existing archives and golden outputs stay
+        # bit-identical.
+        if args.method == "cm-pbe-1":
+            sketch = CMPBE.with_pbe1(
+                eta=args.eta,
+                width=args.width,
+                depth=args.depth,
+                buffer_size=args.buffer_size,
+                seed=args.seed,
+            )
+        else:
+            sketch = CMPBE.with_pbe2(
+                gamma=args.gamma,
+                width=args.width,
+                depth=args.depth,
+                seed=args.seed,
+            )
+        for event_ids, timestamps in iter_record_batches(
+            args.stream, args.batch_size
+        ):
+            sketch.extend_batch(event_ids, timestamps)
+        payload = dump_cmpbe(sketch)
+        args.out.write_bytes(payload)
+        print(
+            f"ingested {sketch.count} mentions -> {args.method} sketch, "
+            f"{len(payload)} bytes on disk "
+            f"({sketch.size_in_bytes()} logical) -> {args.out}"
         )
+        return 0
+    if args.backend is None:
+        args.backend = args.method
+    cfg = _backend_config(args)
+    if args.shards and args.shards > 1:
+        store = create_store(
+            "sharded", shards=args.shards, backend=args.backend, **cfg
+        )
+        label = f"{args.backend} x{args.shards} shards"
     else:
-        sketch = CMPBE.with_pbe2(
-            gamma=args.gamma,
-            width=args.width,
-            depth=args.depth,
-            seed=args.seed,
-        )
+        store = create_store(args.backend, **cfg)
+        label = args.backend
     for event_ids, timestamps in iter_record_batches(
         args.stream, args.batch_size
     ):
-        sketch.extend_batch(event_ids, timestamps)
-    payload = dump_cmpbe(sketch)
+        store.extend_batch(event_ids, timestamps)
+    store.finalize()
+    payload = save_store(store)
     args.out.write_bytes(payload)
     print(
-        f"ingested {sketch.count} mentions -> {args.method} sketch, "
+        f"ingested {store.count} mentions -> {label} store, "
         f"{len(payload)} bytes on disk "
-        f"({sketch.size_in_bytes()} logical) -> {args.out}"
+        f"({store.size_in_bytes()} logical) -> {args.out}"
     )
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    sketch = load_cmpbe(args.sketch.read_bytes())
+    store = load_store(args.sketch.read_bytes())
     if args.kind == "point":
         if args.t is None:
             print("error: point queries need --t", file=sys.stderr)
             return 2
-        value = sketch.burstiness(args.event, args.t, args.tau)
+        value = store.point_query(args.event, args.t, args.tau)
         print(f"b({args.event}, t={args.t}, tau={args.tau}) = {value}")
         return 0
     if args.theta is None:
         print("error: bursty-times needs --theta", file=sys.stderr)
         return 2
-    knots = sketch.segment_starts(args.event)
+    knots = store.segment_starts(args.event)
     if not knots:
         print("(no data for this event)")
         return 0
     t_end = args.t_end if args.t_end is not None else max(knots) + 2 * args.tau
-    intervals = bursty_time_intervals(
-        sketch.curve(args.event),
-        knots,
+    # Breakpoint scan mode, regardless of cell type, matching the
+    # historical CLI behaviour.
+    intervals = store.bursty_time_query(
+        args.event,
         args.theta,
         args.tau,
         t_end=t_end,
@@ -243,11 +323,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     data = args.path.read_bytes()
     if data[:4] == b"CMPB":
-        sketch = load_cmpbe(data)
+        sketch = load_store(data).inner
         print(
             f"CM-PBE sketch: {sketch.depth}x{sketch.width} grid, "
             f"combiner={sketch.combiner}, count={sketch.count}, "
             f"{sketch.size_in_bytes()} bytes logical"
+        )
+        return 0
+    if data[:4] == ENVELOPE_MAGIC:
+        store = load_store(data)
+        print(
+            f"burst store: backend={store.backend_key}, "
+            f"count={store.count}, "
+            f"{store.memory_elements()} elements retained, "
+            f"{store.size_in_bytes()} bytes logical"
         )
         return 0
     from repro.workloads.stats import describe_stream
@@ -295,7 +384,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.eval.validation import validate_sketch
 
-    sketch = load_cmpbe(args.sketch.read_bytes())
+    sketch = load_store(args.sketch.read_bytes())
     stream = _read_stream(args.stream)
     report = validate_sketch(
         sketch, stream, tau=args.tau, n_times=args.times

@@ -14,7 +14,9 @@ from repro.core.errors import (
     InvalidParameterError,
     NotFinalizedError,
     ReproError,
+    SerializationError,
     StreamOrderError,
+    UnknownBackendError,
 )
 from repro.core.pbe1 import (
     PBE1,
@@ -27,8 +29,10 @@ from repro.core.monitor import BurstAlert, BurstMonitor, MonitoredAnalyzer
 from repro.core.parallel import (
     build_pbe1_chunked,
     build_pbe2_chunked,
+    build_store_chunked,
     merge_pbe1,
     merge_pbe2,
+    merge_stores,
 )
 from repro.core.pbe2 import PBE2, LineSegment
 from repro.core.queries import (
@@ -43,6 +47,15 @@ from repro.core.serialize import (
     load_cmpbe,
     load_pbe1,
     load_pbe2,
+    load_store,
+    save_store,
+)
+from repro.core.store import (
+    BurstStore,
+    ShardedBurstStore,
+    backend_keys,
+    create_store,
+    register_backend,
 )
 
 __all__ = [
@@ -58,7 +71,9 @@ __all__ = [
     "InvalidParameterError",
     "NotFinalizedError",
     "ReproError",
+    "SerializationError",
     "StreamOrderError",
+    "UnknownBackendError",
     "PBE1",
     "StaircaseApproximation",
     "approximate_staircase",
@@ -74,12 +89,21 @@ __all__ = [
     "MonitoredAnalyzer",
     "build_pbe1_chunked",
     "build_pbe2_chunked",
+    "build_store_chunked",
     "merge_pbe1",
     "merge_pbe2",
+    "merge_stores",
     "dump_cmpbe",
     "dump_pbe1",
     "dump_pbe2",
     "load_cmpbe",
     "load_pbe1",
     "load_pbe2",
+    "load_store",
+    "save_store",
+    "BurstStore",
+    "ShardedBurstStore",
+    "backend_keys",
+    "create_store",
+    "register_backend",
 ]

@@ -22,7 +22,11 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.core.errors import (
+    InvalidParameterError,
+    StreamOrderError,
+    require_count,
+)
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
 from repro.sketch.countmin import dimensions_for

@@ -24,7 +24,11 @@ from typing import Callable
 import numpy as np
 
 from repro.core.cmpbe import CMPBE, DirectPBEMap, PersistentSketchCell
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import (
+    InvalidParameterError,
+    require_tau,
+    require_theta,
+)
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
 from repro.sketch.dyadic_ranges import DyadicDecomposition
@@ -189,8 +193,8 @@ class BurstyEventIndex:
         Returns events whose *estimated* burstiness reaches ``theta``,
         sorted by decreasing burstiness.
         """
-        if theta < 0:
-            raise InvalidParameterError("theta must be >= 0")
+        require_theta(theta)
+        require_tau(tau)
         results: list[BurstyEvent] = []
         top = self.decomposition.n_levels
         self._descend(top, 0, t, theta, tau, results)

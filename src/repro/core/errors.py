@@ -36,3 +36,55 @@ class InvalidParameterError(ReproError, ValueError):
 
 class EmptySketchError(ReproError):
     """A query requires data but the sketch has ingested no elements."""
+
+
+class UnknownBackendError(ReproError, KeyError):
+    """A backend key was requested that is not in the store registry."""
+
+
+class SerializationError(ReproError):
+    """A store payload is malformed, truncated, or of an unknown version."""
+
+
+# ----------------------------------------------------------------------
+# Shared parameter validation
+#
+# The three query parameters of the paper (burst span ``tau``, threshold
+# ``theta``, and a time range) are validated identically by every store,
+# sketch and query helper; these functions are the single home for those
+# checks so each call site carries one line instead of a copied branch.
+# ----------------------------------------------------------------------
+def require_tau(tau: float) -> float:
+    """Validate the burst span ``tau`` (must be strictly positive)."""
+    if tau <= 0:
+        raise InvalidParameterError(f"burst span tau must be > 0, got {tau}")
+    return tau
+
+
+def require_theta(theta: float, positive: bool = False) -> float:
+    """Validate the burstiness threshold ``theta``.
+
+    By default ``theta`` may be zero (a bursty-event query with
+    ``theta = 0`` is well defined); pass ``positive=True`` for contexts
+    such as live alerting where a non-positive threshold is meaningless.
+    """
+    if positive:
+        if theta <= 0:
+            raise InvalidParameterError(f"theta must be > 0, got {theta}")
+    elif theta < 0:
+        raise InvalidParameterError(f"theta must be >= 0, got {theta}")
+    return theta
+
+
+def require_time_range(t_start: float, t_end: float) -> tuple[float, float]:
+    """Validate a query time range (``t_end`` must exceed ``t_start``)."""
+    if t_end <= t_start:
+        raise InvalidParameterError("t_end must exceed t_start")
+    return t_start, t_end
+
+
+def require_count(count: int) -> int:
+    """Validate an occurrence count (must be strictly positive)."""
+    if count <= 0:
+        raise InvalidParameterError("count must be positive")
+    return count

@@ -9,8 +9,8 @@ live detection and historical queries can run off the same ingest path:
   evicted — that is the whole point: a monitor needs no history), and
   emits a :class:`BurstAlert` whenever an event's *current* burstiness
   crosses the threshold,
-* pairing it with a CM-PBE in :class:`MonitoredAnalyzer` gives live
-  alerts plus full historical queryability at sketch cost.
+* pairing it with any historical store in :class:`MonitoredAnalyzer`
+  gives live alerts plus full historical queryability at sketch cost.
 """
 
 from __future__ import annotations
@@ -19,8 +19,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.core.cmpbe import CMPBE
-from repro.core.errors import InvalidParameterError, StreamOrderError
+from repro.core.errors import (
+    InvalidParameterError,
+    StreamOrderError,
+    require_tau,
+    require_theta,
+)
 
 __all__ = ["BurstAlert", "BurstMonitor", "MonitoredAnalyzer"]
 
@@ -53,10 +57,8 @@ class BurstMonitor:
     def __init__(
         self, tau: float, theta: float, cooldown: float | None = None
     ) -> None:
-        if tau <= 0:
-            raise InvalidParameterError(f"tau must be > 0, got {tau}")
-        if theta <= 0:
-            raise InvalidParameterError(f"theta must be > 0, got {theta}")
+        require_tau(tau)
+        require_theta(theta, positive=True)
         self.tau = tau
         self.theta = theta
         self.cooldown = cooldown if cooldown is not None else tau
@@ -147,18 +149,34 @@ class MonitoredAnalyzer:
     """Live alerts + historical queries off one ingest path.
 
     Wraps a :class:`BurstMonitor` (current bursts, exact over the last
-    ``2 tau``) and a :class:`~repro.core.cmpbe.CMPBE` (any point in
-    history, approximate): each incoming element feeds both.
+    ``2 tau``) and any historical store (any point in history): each
+    incoming element feeds both.  The store may be anything with an
+    ``update``/``burstiness`` surface — a raw
+    :class:`~repro.core.cmpbe.CMPBE`, any
+    :class:`~repro.core.store.BurstStore` backend from the registry
+    (sharded composites included), or the exact baseline.
     """
 
-    def __init__(self, monitor: BurstMonitor, sketch: CMPBE) -> None:
+    def __init__(
+        self, monitor: BurstMonitor, store=None, *, sketch=None
+    ) -> None:
+        if (store is None) == (sketch is None):
+            raise InvalidParameterError(
+                "pass exactly one historical store (the 'sketch' alias "
+                "is kept for backward compatibility)"
+            )
         self.monitor = monitor
-        self.sketch = sketch
+        self.store = store if store is not None else sketch
         self.alerts: list[BurstAlert] = []
+
+    @property
+    def sketch(self):
+        """Backward-compatible alias of :attr:`store`."""
+        return self.store
 
     def update(self, event_id: int, timestamp: float) -> BurstAlert | None:
         """Feed one element to both sides; return any live alert."""
-        self.sketch.update(event_id, timestamp)
+        self.store.update(event_id, timestamp)
         alert = self.monitor.update(event_id, timestamp)
         if alert is not None:
             self.alerts.append(alert)
@@ -172,5 +190,8 @@ class MonitoredAnalyzer:
     def historical_burstiness(
         self, event_id: int, t: float, tau: float
     ) -> float:
-        """Historical point query, answered by the sketch."""
-        return self.sketch.burstiness(event_id, t, tau)
+        """Historical point query, answered by the store."""
+        query = getattr(self.store, "point_query", None)
+        if query is not None:
+            return float(query(event_id, t, tau))
+        return float(self.store.burstiness(event_id, t, tau))

@@ -40,6 +40,7 @@ from repro.core.errors import (
     EmptySketchError,
     InvalidParameterError,
     StreamOrderError,
+    require_count,
 )
 from repro.streams.frequency import (
     BYTES_PER_FLOAT,
@@ -283,8 +284,7 @@ class PBE1:
     # ------------------------------------------------------------------
     def update(self, timestamp: float, count: int = 1) -> None:
         """Ingest ``count`` occurrences at ``timestamp`` (non-decreasing)."""
-        if count <= 0:
-            raise InvalidParameterError("count must be positive")
+        require_count(count)
         last = (
             self._buffer_xs[-1]
             if self._buffer_xs

@@ -37,6 +37,7 @@ from repro.core.errors import (
     EmptySketchError,
     InvalidParameterError,
     StreamOrderError,
+    require_count,
 )
 from repro.sketch.geometry import (
     ConvexPolygon,
@@ -119,8 +120,7 @@ class PBE2:
     # ------------------------------------------------------------------
     def update(self, timestamp: float, count: int = 1) -> None:
         """Ingest ``count`` occurrences at ``timestamp`` (non-decreasing)."""
-        if count <= 0:
-            raise InvalidParameterError("count must be positive")
+        require_count(count)
         timestamp = float(timestamp)
         if self._pending_t is not None:
             if timestamp < self._pending_t:

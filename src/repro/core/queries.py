@@ -15,12 +15,12 @@ from __future__ import annotations
 
 from typing import Iterable, Literal
 
-from repro.baselines.exact import ExactBurstStore
-from repro.core.cmpbe import CMPBE
-from repro.core.dyadic import BurstyEvent, BurstyEventIndex
-from repro.core.errors import InvalidParameterError
-from repro.core.pbe1 import PBE1
-from repro.core.pbe2 import PBE2
+from repro.core.dyadic import BurstyEvent
+from repro.core.errors import (
+    InvalidParameterError,
+    require_tau,
+    require_time_range,
+)
 from repro.streams.frequency import CumulativeCurve, burstiness_from_curve
 
 __all__ = [
@@ -48,10 +48,8 @@ def max_burstiness(
 
     Returns ``(t_star, b_star)``; raises if the range is empty.
     """
-    if tau <= 0:
-        raise InvalidParameterError(f"tau must be > 0, got {tau}")
-    if t_end <= t_start:
-        raise InvalidParameterError("t_end must exceed t_start")
+    require_tau(tau)
+    require_time_range(t_start, t_end)
     candidates = {t_start, t_end}
     for knot in knots:
         for shifted in (knot, knot + tau, knot + 2 * tau):
@@ -102,8 +100,7 @@ def bursty_time_intervals(
         to suppress sliver gaps where the estimate briefly dips below
         ``theta`` at a breakpoint).
     """
-    if tau <= 0:
-        raise InvalidParameterError(f"tau must be > 0, got {tau}")
+    require_tau(tau)
     knot_list = sorted(knots)
     if not knot_list:
         return []
@@ -199,24 +196,16 @@ def _merge_intervals(
     return merged
 
 
-class _ExactCurveView:
-    """Adapter exposing the exact store's per-event F as a curve."""
-
-    __slots__ = ("_store", "_event_id")
-
-    def __init__(self, store: ExactBurstStore, event_id: int) -> None:
-        self._store = store
-        self._event_id = event_id
-
-    def value(self, t: float) -> float:
-        return float(self._store.cumulative_frequency(self._event_id, t))
-
-    def size_in_bytes(self) -> int:
-        return self._store.size_in_bytes()
-
-
 class HistoricalBurstAnalyzer:
     """User-facing facade over the three historical burst queries.
+
+    A thin veneer over the pluggable store layer
+    (:mod:`repro.core.store`): the ``method`` string picks a registered
+    backend and every query delegates to it, so the facade carries no
+    backend-specific branching.  Pass ``store=`` to wrap any
+    already-built :class:`~repro.core.store.BurstStore` (a sharded
+    composite, a custom registered backend, a store loaded with
+    :func:`~repro.core.serialize.load_store`) behind the same surface.
 
     Parameters
     ----------
@@ -235,6 +224,9 @@ class HistoricalBurstAnalyzer:
         Build the dyadic index for fast bursty event queries (doubles as
         the leaf-level point-query sketch).  When ``False`` a single
         leaf-level CM-PBE is kept and bursty event queries scan all ids.
+    store:
+        An existing :class:`~repro.core.store.BurstStore` to wrap; every
+        other parameter is ignored when given.
     """
 
     _METHODS = ("exact", "cm-pbe-1", "cm-pbe-2")
@@ -252,80 +244,79 @@ class HistoricalBurstAnalyzer:
         combiner: str = "median",
         with_index: bool = True,
         seed: int = 0,
+        store=None,
     ) -> None:
+        from repro.core.store import create_store
+
+        if store is not None:
+            self._store = store
+            self.method = getattr(store, "backend_key", "custom")
+            self.universe_size = getattr(
+                store, "universe_size", universe_size
+            )
+            return
         if method not in self._METHODS:
             raise InvalidParameterError(
                 f"method must be one of {self._METHODS}, got {method!r}"
             )
         self.method = method
         self.universe_size = universe_size
-        self._t_end = float("-inf")
-        self._exact: ExactBurstStore | None = None
-        self._index: BurstyEventIndex | None = None
-        self._leaf: CMPBE | None = None
-        self._piecewise: Literal["constant", "linear"] = "constant"
         if method == "exact":
-            self._exact = ExactBurstStore()
+            self._store = create_store("exact")
             return
         if universe_size is None:
             raise InvalidParameterError(
                 "universe_size is required for sketch methods"
             )
-        if method == "cm-pbe-1":
-            def cell_factory():
-                return PBE1(eta=eta, buffer_size=buffer_size)
-            self._piecewise = "constant"
-        else:
-            def cell_factory():
-                return PBE2(gamma=gamma, unit=unit)
-            self._piecewise = "linear"
+        cell = "pbe1" if method == "cm-pbe-1" else "pbe2"
+        cell_cfg = dict(
+            cell=cell,
+            eta=eta,
+            buffer_size=buffer_size,
+            gamma=gamma,
+            unit=unit,
+            width=width,
+            depth=depth,
+            combiner=combiner,
+            seed=seed,
+        )
         if with_index:
-            self._index = BurstyEventIndex(
-                universe_size,
-                cell_factory=cell_factory,
-                width=width,
-                depth=depth,
-                combiner=combiner,
-                seed=seed,
+            self._store = create_store(
+                "index", universe_size=universe_size, **cell_cfg
             )
-            self._leaf = self._index.level_sketch(0)
         else:
-            self._leaf = CMPBE(
-                cell_factory=cell_factory,
-                width=width,
-                depth=depth,
-                combiner=combiner,
-                seed=seed,
+            del cell_cfg["cell"]
+            self._store = create_store(
+                method, universe_size=universe_size, **cell_cfg
             )
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The underlying :class:`~repro.core.store.BurstStore`."""
+        return self._store
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def update(self, event_id: int, timestamp: float, count: int = 1) -> None:
         """Ingest one stream element."""
-        self._t_end = max(self._t_end, timestamp)
-        if self._exact is not None:
-            self._exact.update(event_id, timestamp, count)
-        elif self._index is not None:
-            self._index.update(event_id, timestamp, count)
-        else:
-            assert self._leaf is not None
-            self._leaf.update(event_id, timestamp, count)
+        self._store.update(event_id, timestamp, count)
 
     def ingest(self, stream: Iterable[tuple[int, float]]) -> None:
         """Ingest a whole timestamp-ordered stream."""
-        for event_id, timestamp in stream:
-            self.update(event_id, timestamp)
+        self._store.extend(stream)
+
+    def extend_batch(self, event_ids, timestamps, counts=None) -> None:
+        """Vectorized ingest of a columnar record batch."""
+        self._store.extend_batch(event_ids, timestamps, counts)
 
     # ------------------------------------------------------------------
     # The three queries (§II-A)
     # ------------------------------------------------------------------
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         """POINT QUERY ``q(e, t, tau)`` → ``b_e(t)``."""
-        if self._exact is not None:
-            return float(self._exact.burstiness(event_id, t, tau))
-        assert self._leaf is not None
-        return self._leaf.burstiness(event_id, t, tau)
+        return self._store.point_query(event_id, t, tau)
 
     def bursty_times(
         self,
@@ -337,19 +328,8 @@ class HistoricalBurstAnalyzer:
     ) -> list[tuple[float, float]]:
         """BURSTY TIME QUERY ``q(e, theta, tau)`` → intervals with
         ``b_e(t) >= theta``."""
-        end = t_end if t_end is not None else self._t_end + 2 * tau
-        if self._exact is not None:
-            return self._exact.bursty_times(event_id, theta, tau, t_end=end)
-        assert self._leaf is not None
-        knots = self._leaf.segment_starts(event_id)
-        return bursty_time_intervals(
-            self._leaf.curve(event_id),
-            knots,
-            theta,
-            tau,
-            t_end=end,
-            piecewise=self._piecewise,
-            merge_gap=merge_gap,
+        return self._store.bursty_time_query(
+            event_id, theta, tau, t_end=t_end, merge_gap=merge_gap
         )
 
     def bursty_events(
@@ -357,20 +337,7 @@ class HistoricalBurstAnalyzer:
     ) -> list[BurstyEvent]:
         """BURSTY EVENT QUERY ``q(t, theta, tau)`` → events with
         ``b_e(t) >= theta``."""
-        if self._exact is not None:
-            return self._exact.bursty_events(t, theta, tau)
-        if self._index is not None:
-            return self._index.bursty_events(t, theta, tau)
-        assert self._leaf is not None
-        if self.universe_size is None:
-            raise InvalidParameterError("universe_size unknown")
-        hits = []
-        for event_id in range(self.universe_size):
-            value = self._leaf.burstiness(event_id, t, tau)
-            if value >= theta:
-                hits.append(BurstyEvent(event_id, value))
-        hits.sort(key=lambda hit: -hit.burstiness)
-        return hits
+        return self._store.bursty_event_query(t, theta, tau)
 
     def peak_burstiness(
         self,
@@ -380,46 +347,17 @@ class HistoricalBurstAnalyzer:
         tau: float,
     ) -> tuple[float, float]:
         """``(t_star, b_star)``: the event's burstiest moment in a range."""
-        if self._exact is not None:
-            times = self._exact.timestamps_of(event_id)
-            knots = [t for t in times if t_start - 2 * tau <= t <= t_end]
-            return max_burstiness(
-                _ExactCurveView(self._exact, event_id),
-                knots,
-                tau,
-                t_start,
-                t_end,
-            )
-        assert self._leaf is not None
-        return max_burstiness(
-            self._leaf.curve(event_id),
-            self._leaf.segment_starts(event_id),
-            tau,
-            t_start,
-            t_end,
-            piecewise=self._piecewise,
-        )
+        return self._store.peak_query(event_id, t_start, t_end, tau)
 
     # ------------------------------------------------------------------
     def cumulative_frequency(self, event_id: int, t: float) -> float:
         """Estimated (or exact) ``F_e(t)``."""
-        if self._exact is not None:
-            return float(self._exact.cumulative_frequency(event_id, t))
-        assert self._leaf is not None
-        return self._leaf.cumulative_frequency(event_id, t)
+        return self._store.cumulative_frequency(event_id, t)
 
     def finalize(self) -> None:
         """Flush sketch buffers (no-op for the exact baseline)."""
-        if self._index is not None:
-            self._index.finalize()
-        elif self._leaf is not None:
-            self._leaf.finalize()
+        self._store.finalize()
 
     def size_in_bytes(self) -> int:
         """Storage footprint of the chosen backend."""
-        if self._exact is not None:
-            return self._exact.size_in_bytes()
-        if self._index is not None:
-            return self._index.size_in_bytes()
-        assert self._leaf is not None
-        return self._leaf.size_in_bytes()
+        return self._store.size_in_bytes()

@@ -11,6 +11,15 @@ small tagged binary format (little-endian, float64 payloads):
 Sketches are flushed/finalized on dump; loading returns a sketch that
 answers queries exactly as the original did (ingesting *more* data into a
 loaded PBE-1/PBE-2 is supported and continues from the stored state).
+
+On top of these per-type codecs sits the **versioned store envelope**
+(:func:`save_store` / :func:`load_store`): any backend registered in
+:mod:`repro.core.store` — sharded composites included — round-trips
+through a single pair of functions.  The envelope is ``magic (BEDS) +
+format version + backend key + payload``; :func:`load_store` also
+recognises the bare v1 magics (``CMPB``, ``DMAP``, ``BIDX``) and wraps
+those legacy blobs in their store adapters, so archives written before
+the envelope existed keep loading.
 """
 
 from __future__ import annotations
@@ -21,11 +30,15 @@ import struct
 import numpy as np
 
 from repro.core.cmpbe import CMPBE
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, SerializationError
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2, LineSegment
 
 __all__ = [
+    "ENVELOPE_MAGIC",
+    "STORE_FORMAT_VERSION",
+    "save_store",
+    "load_store",
     "dump_direct_map",
     "load_direct_map",
     "dump_index",
@@ -335,3 +348,93 @@ def load_index(data: bytes):
             raise InvalidParameterError("unknown index level kind")
     index._levels = levels
     return index
+
+
+# ----------------------------------------------------------------------
+# Versioned store envelope
+# ----------------------------------------------------------------------
+ENVELOPE_MAGIC = b"BEDS"  # Bursty Event Detection Store
+STORE_FORMAT_VERSION = 2  # v1 = the bare dump_* blobs above
+_ENVELOPE_HEADER = struct.Struct("<4sHH")  # magic, version, key length
+_V1_MAGICS = {_CMPBE_MAGIC, _DIRECT_MAGIC, _INDEX_MAGIC}
+
+
+def save_store(store) -> bytes:
+    """Freeze any registered burst store into one self-describing blob.
+
+    Layout: ``magic | u16 format version | u16 key length | backend key
+    (utf-8) | u64 payload length | payload`` where the payload is the
+    backend's own ``to_bytes``.  The backend key is read back by
+    :func:`load_store` to pick the right loader from the registry, so a
+    single archive format covers every backend — sharded composites
+    included.
+    """
+    key = getattr(store, "backend_key", None)
+    if not key:
+        raise SerializationError(
+            "store has no backend_key; build it via repro.core.store"
+        )
+    payload = store.to_bytes()
+    encoded_key = key.encode("utf-8")
+    return (
+        _ENVELOPE_HEADER.pack(
+            ENVELOPE_MAGIC, STORE_FORMAT_VERSION, len(encoded_key)
+        )
+        + encoded_key
+        + struct.pack("<Q", len(payload))
+        + payload
+    )
+
+
+def load_store(data: bytes):
+    """Load any store saved with :func:`save_store`.
+
+    Bare v1 blobs (``CMPB``/``DMAP``/``BIDX`` magics, written by the
+    ``dump_*`` functions before the envelope existed) are recognised and
+    wrapped in their store adapters, so old archives stay readable.
+    """
+    if len(data) >= 4 and data[:4] in _V1_MAGICS:
+        return _load_v1_blob(data)
+    if len(data) < _ENVELOPE_HEADER.size:
+        raise SerializationError("truncated store envelope")
+    magic, version, key_length = _ENVELOPE_HEADER.unpack_from(data)
+    if magic != ENVELOPE_MAGIC:
+        if magic in (_PBE1_MAGIC, _PBE2_MAGIC):
+            raise SerializationError(
+                "bare PBE payload; use load_pbe1/load_pbe2 for single "
+                "curves, or save whole stores with save_store"
+            )
+        raise SerializationError("not a burst-store payload")
+    if version > STORE_FORMAT_VERSION:
+        raise SerializationError(
+            f"store format v{version} is newer than supported "
+            f"v{STORE_FORMAT_VERSION}"
+        )
+    offset = _ENVELOPE_HEADER.size
+    if len(data) < offset + key_length + 8:
+        raise SerializationError("truncated store envelope")
+    key = data[offset : offset + key_length].decode("utf-8")
+    offset += key_length
+    (payload_length,) = struct.unpack_from("<Q", data, offset)
+    offset += 8
+    if len(data) < offset + payload_length:
+        raise SerializationError("truncated store payload")
+    from repro.core.store import load_backend
+
+    return load_backend(key, data[offset : offset + payload_length])
+
+
+def _load_v1_blob(data: bytes):
+    """Wrap a pre-envelope blob in its store adapter (magic-dispatched)."""
+    from repro.core.store import (
+        CMPBEStore,
+        DirectMapStore,
+        DyadicIndexStore,
+    )
+
+    magic = data[:4]
+    if magic == _CMPBE_MAGIC:
+        return CMPBEStore.from_legacy(load_cmpbe(data))
+    if magic == _DIRECT_MAGIC:
+        return DirectMapStore.from_legacy(load_direct_map(data))
+    return DyadicIndexStore.from_legacy(load_index(data))

@@ -16,10 +16,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.exact import ExactBurstStore
-from repro.core.cmpbe import CMPBE
 from repro.core.dyadic import BurstyEventIndex
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
+from repro.core.store import create_store
 from repro.eval.metrics import mean_absolute_error, precision_recall
 from repro.streams.events import EventStream, SingleEventStream
 from repro.streams.frequency import StaircaseCurve
@@ -294,7 +294,7 @@ def single_stream_n_vs_error(
 # Fig. 11 — CM-PBE accuracy vs space on mixed streams
 # ----------------------------------------------------------------------
 def _cmpbe_error(
-    sketch: CMPBE,
+    sketch,
     exact: ExactBurstStore,
     event_ids: Sequence[int],
     tau: float,
@@ -345,11 +345,11 @@ def cmpbe_space_accuracy(
     t_end = float(stream.timestamps[-1])
     rows = []
     for eta in etas:
-        sketch = CMPBE.with_pbe1(
-            eta=eta, width=width, depth=depth, buffer_size=buffer_size,
-            seed=seed,
+        sketch = create_store(
+            "cm-pbe-1", eta=eta, width=width, depth=depth,
+            buffer_size=buffer_size, seed=seed,
         )
-        sketch.extend(stream)
+        sketch.extend_batch(stream.event_ids, stream.timestamps)
         sketch.finalize()
         rng = np.random.default_rng(seed)
         rows.append(
@@ -363,10 +363,11 @@ def cmpbe_space_accuracy(
             }
         )
     for gamma in gammas:
-        sketch = CMPBE.with_pbe2(
-            gamma=gamma, width=width, depth=depth, unit=unit, seed=seed
+        sketch = create_store(
+            "cm-pbe-2", gamma=gamma, width=width, depth=depth, unit=unit,
+            seed=seed,
         )
-        sketch.extend(stream)
+        sketch.extend_batch(stream.event_ids, stream.timestamps)
         sketch.finalize()
         rng = np.random.default_rng(seed)
         rows.append(
@@ -426,7 +427,7 @@ def bursty_event_detection_study(
     query_times = [float(candidates[i]) for i in keep]
     exact_values = [candidate_values[i] for i in keep]
 
-    def evaluate(index: BurstyEventIndex, label: str, parameter) -> dict:
+    def evaluate(store, label: str, parameter) -> dict:
         precisions = []
         recalls = []
         for t, values in zip(query_times, exact_values):
@@ -440,7 +441,7 @@ def bursty_event_detection_study(
                 truth = {e for e, v in values.items() if v >= theta}
                 hits = {
                     hit.event_id
-                    for hit in index.bursty_events(t, theta, tau)
+                    for hit in store.bursty_event_query(t, theta, tau)
                 }
                 result = precision_recall(hits, truth)
                 precisions.append(result.precision)
@@ -448,28 +449,28 @@ def bursty_event_detection_study(
         return {
             "sketch": label,
             "parameter": parameter,
-            "space_mb": index.size_in_bytes() / (1024 * 1024),
+            "space_mb": store.size_in_bytes() / (1024 * 1024),
             "precision": float(np.mean(precisions)) if precisions else 1.0,
             "recall": float(np.mean(recalls)) if recalls else 1.0,
         }
 
     rows = []
     for eta in etas:
-        index = BurstyEventIndex.with_pbe1(
-            universe_size, eta=eta, width=width, depth=depth,
-            buffer_size=buffer_size, seed=seed,
+        store = create_store(
+            "index", universe_size=universe_size, cell="pbe1", eta=eta,
+            width=width, depth=depth, buffer_size=buffer_size, seed=seed,
         )
-        index.extend(stream)
-        index.finalize()
-        rows.append(evaluate(index, "CM-PBE-1", eta))
+        store.extend_batch(stream.event_ids, stream.timestamps)
+        store.finalize()
+        rows.append(evaluate(store, "CM-PBE-1", eta))
     for gamma in gammas:
-        index = BurstyEventIndex.with_pbe2(
-            universe_size, gamma=gamma, width=width, depth=depth,
-            unit=unit, seed=seed,
+        store = create_store(
+            "index", universe_size=universe_size, cell="pbe2",
+            gamma=gamma, width=width, depth=depth, unit=unit, seed=seed,
         )
-        index.extend(stream)
-        index.finalize()
-        rows.append(evaluate(index, "CM-PBE-2", gamma))
+        store.extend_batch(stream.event_ids, stream.timestamps)
+        store.finalize()
+        rows.append(evaluate(store, "CM-PBE-2", gamma))
     return rows
 
 
@@ -587,11 +588,11 @@ def combiner_ablation(
     t_end = float(stream.timestamps[-1])
     rows = []
     for combiner in ("median", "min"):
-        sketch = CMPBE.with_pbe1(
-            eta=eta, width=width, depth=depth, buffer_size=buffer_size,
-            combiner=combiner, seed=seed,
+        sketch = create_store(
+            "cm-pbe-1", eta=eta, width=width, depth=depth,
+            buffer_size=buffer_size, combiner=combiner, seed=seed,
         )
-        sketch.extend(stream)
+        sketch.extend_batch(stream.event_ids, stream.timestamps)
         sketch.finalize()
         rng = np.random.default_rng(seed)
         rows.append(
@@ -620,12 +621,12 @@ def pruning_ablation(
     """Point queries issued by the pruned descent vs the naive scan."""
     exact = ExactBurstStore.from_stream(stream)
     t_end = float(stream.timestamps[-1])
-    index = BurstyEventIndex.with_pbe1(
-        universe_size, eta=eta, width=width, depth=depth,
-        buffer_size=buffer_size, seed=seed,
+    store = create_store(
+        "index", universe_size=universe_size, cell="pbe1", eta=eta,
+        width=width, depth=depth, buffer_size=buffer_size, seed=seed,
     )
-    index.extend(stream)
-    index.finalize()
+    store.extend_batch(stream.event_ids, stream.timestamps)
+    store.finalize()
     rng = np.random.default_rng(seed)
     rows = []
     for t in rng.uniform(2 * tau, t_end, size=n_times):
@@ -639,13 +640,15 @@ def pruning_ablation(
         theta = theta_fraction * float(max(values))
         if theta <= 0:
             continue
-        index.reset_query_counter()
-        hits = index.bursty_events(t, theta, tau)
+        # The instrumentation lives on the raw index, not the BurstStore
+        # surface — reach through the adapter for the counter.
+        store.inner.reset_query_counter()
+        hits = store.bursty_event_query(t, theta, tau)
         rows.append(
             {
                 "t_day": t / DAY,
                 "theta": theta,
-                "queries_pruned": index.point_queries_issued,
+                "queries_pruned": store.inner.point_queries_issued,
                 "queries_naive": universe_size,
                 "n_hits": len(hits),
             }

@@ -29,7 +29,7 @@ from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, require_tau
 
 __all__ = [
     "CumulativeCurve",
@@ -61,8 +61,7 @@ def burstiness_from_curve(
     curve: CumulativeCurve, t: float, tau: float
 ) -> float:
     """Burstiness ``b(t) = F(t) - 2 F(t-tau) + F(t-2tau)`` from any curve."""
-    if tau <= 0:
-        raise InvalidParameterError(f"burst span tau must be > 0, got {tau}")
+    require_tau(tau)
     return (
         curve.value(t) - 2.0 * curve.value(t - tau) + curve.value(t - 2 * tau)
     )

@@ -34,9 +34,15 @@ import numpy as np
 import pytest
 
 from repro.baselines.exact import ExactBurstStore
-from repro.core.cmpbe import CMPBE
+from repro.core.cmpbe import CMPBE, DirectPBEMap
+from repro.core.dyadic import BurstyEventIndex
+from repro.core.pbe1 import PBE1
+from repro.core.pbe2 import PBE2
+from repro.core.store import create_store
 from repro.workloads.generator import build_event_stream
 from repro.workloads.rates import ConstantRate, GaussianBurst, SumRate
+
+from tests.backends import BACKEND_IDS, BACKEND_MATRIX, EXACT_LABELS
 
 SEEDS = [11, 23, 47]
 N_EVENTS = 48
@@ -237,3 +243,171 @@ class TestCmPbe2Differential:
             for t in np.linspace(0.0, HORIZON, 9).tolist():
                 exact = bisect.bisect_right(collided, t)
                 assert cell.value(t) <= exact + 1e-6
+
+# ----------------------------------------------------------------------
+# The pluggable store layer: every registered backend, one harness
+# ----------------------------------------------------------------------
+def _build_backend(label: str, ids: np.ndarray, ts: np.ndarray):
+    """Ingest the workload into the matrix entry named ``label``."""
+    _, backend, cfg = next(
+        row for row in BACKEND_MATRIX if row[0] == label
+    )
+    store = create_store(backend, **cfg)
+    store.extend_batch(ids, ts)
+    store.finalize()
+    return store
+
+
+def _raw_reference(label: str, cfg: dict, ids: np.ndarray, ts: np.ndarray):
+    """The raw structure a matrix entry wraps, built outside the store
+    layer with identical knobs.  Returns ``(point_query_fn, obj)``."""
+    if label == "cm-pbe-1":
+        raw = CMPBE.with_pbe1(
+            eta=cfg["eta"], width=cfg["width"], depth=cfg["depth"],
+            buffer_size=cfg["buffer_size"], seed=cfg["seed"],
+        )
+    elif label == "cm-pbe-2":
+        raw = CMPBE.with_pbe2(
+            gamma=cfg["gamma"], width=cfg["width"], depth=cfg["depth"],
+            unit=cfg["unit"], seed=cfg["seed"],
+        )
+    elif label == "direct-pbe1":
+        raw = DirectPBEMap(
+            cell_factory=lambda: PBE1(
+                eta=cfg["eta"], buffer_size=cfg["buffer_size"]
+            )
+        )
+    elif label == "direct-pbe2":
+        raw = DirectPBEMap(
+            cell_factory=lambda: PBE2(gamma=cfg["gamma"], unit=cfg["unit"])
+        )
+    elif label == "index-pbe1":
+        index = BurstyEventIndex.with_pbe1(
+            cfg["universe_size"], eta=cfg["eta"], width=cfg["width"],
+            depth=cfg["depth"], buffer_size=cfg["buffer_size"],
+            seed=cfg["seed"],
+        )
+        index.extend_batch(ids, ts)
+        index.finalize()
+        leaf = index.level_sketch(0)
+        return leaf.burstiness, index
+    elif label == "index-pbe2":
+        index = BurstyEventIndex.with_pbe2(
+            cfg["universe_size"], gamma=cfg["gamma"], width=cfg["width"],
+            depth=cfg["depth"], unit=cfg["unit"], seed=cfg["seed"],
+        )
+        index.extend_batch(ids, ts)
+        index.finalize()
+        leaf = index.level_sketch(0)
+        return leaf.burstiness, index
+    else:
+        raise AssertionError(f"no raw reference for {label}")
+    raw.extend_batch(ids, ts)
+    raw.finalize()
+    return raw.burstiness, raw
+
+
+class TestBackendMatrixDifferential:
+    """Every registered backend through one harness: the exact family
+    must match the oracle bit-for-bit; every sketch adapter must match
+    the raw structure it wraps, built with identical knobs."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_workload(11)
+
+    @pytest.fixture(scope="class")
+    def oracle(self, workload):
+        ids, ts = workload
+        oracle = ExactBurstStore()
+        for event_id, timestamp in zip(ids.tolist(), ts.tolist()):
+            oracle.update(event_id, timestamp)
+        return oracle
+
+    @pytest.mark.parametrize(
+        "label,backend,cfg", BACKEND_MATRIX, ids=BACKEND_IDS
+    )
+    def test_ingest_and_canonical_order(self, workload, label, backend, cfg):
+        ids, ts = workload
+        store = _build_backend(label, ids, ts)
+        assert store.count == ids.size
+        hits = store.bursty_event_query(0.42 * HORIZON, 1.0, 50.0)
+        keys = [(-hit.burstiness, hit.event_id) for hit in hits]
+        assert keys == sorted(keys), "hits must be in canonical order"
+
+    @pytest.mark.parametrize("label", sorted(EXACT_LABELS))
+    def test_exact_family_matches_oracle(self, workload, oracle, label):
+        ids, ts = workload
+        store = _build_backend(label, ids, ts)
+        events, times = query_panel()
+        tau = 50.0
+        for event_id in events:
+            for t in times.tolist():
+                assert store.point_query(event_id, t, tau) == oracle.burstiness(
+                    event_id, t, tau
+                )
+        for t in (0.42 * HORIZON, 0.8 * HORIZON):
+            got = {
+                (hit.event_id, hit.burstiness)
+                for hit in store.bursty_event_query(t, 2.0, tau)
+            }
+            want = {
+                (hit.event_id, hit.burstiness)
+                for hit in oracle.bursty_events(t, 2.0, tau)
+            }
+            assert got == want
+        assert store.bursty_time_query(0, 3.0, tau) == oracle.bursty_times(
+            0, 3.0, tau, t_end=float(ts[-1]) + 2 * tau
+        )
+
+    @pytest.mark.parametrize(
+        "label",
+        [
+            "cm-pbe-1",
+            "cm-pbe-2",
+            "direct-pbe1",
+            "direct-pbe2",
+            "index-pbe1",
+            "index-pbe2",
+        ],
+    )
+    def test_sketch_adapter_matches_raw_structure(self, workload, label):
+        ids, ts = workload
+        _, _, cfg = next(row for row in BACKEND_MATRIX if row[0] == label)
+        store = _build_backend(label, ids, ts)
+        raw_query, _ = _raw_reference(label, cfg, ids, ts)
+        events, times = query_panel()
+        for tau in (50.0, 150.0):
+            for event_id in events:
+                for t in times.tolist():
+                    got = store.point_query(event_id, t, tau)
+                    want = raw_query(event_id, t, tau)
+                    assert got == pytest.approx(want, abs=1e-9)
+
+    def test_sharded_sketch_equals_manual_partition(self, workload):
+        """A sharded CM-PBE answers exactly like per-shard raw CM-PBEs
+        built over the hash-partitioned substreams."""
+        ids, ts = workload
+        label = "sharded-x3-cm-pbe-1"
+        _, _, cfg = next(row for row in BACKEND_MATRIX if row[0] == label)
+        store = _build_backend(label, ids, ts)
+        raws = []
+        for shard in range(cfg["shards"]):
+            raw = CMPBE.with_pbe1(
+                eta=cfg["eta"], width=cfg["width"], depth=cfg["depth"],
+                buffer_size=cfg["buffer_size"], seed=cfg["seed"],
+            )
+            mask = np.array(
+                [store.shard_of(i) == shard for i in ids.tolist()]
+            )
+            raw.extend_batch(ids[mask], ts[mask])
+            raw.finalize()
+            raws.append(raw)
+        events, times = query_panel()
+        tau = 50.0
+        for event_id in events:
+            owner = raws[store.shard_of(event_id)]
+            for t in times.tolist():
+                assert store.point_query(event_id, t, tau) == pytest.approx(
+                    owner.burstiness(event_id, t, tau), abs=1e-9
+                )

@@ -122,3 +122,97 @@ class TestMonitoredAnalyzer:
         analyzer.ingest((1, float(t)) for t in range(0, 400, 20))
         analyzer.ingest((2, 500.0 + i * 0.5) for i in range(100))
         assert len(analyzer.alerts) >= 1
+
+
+class TestMonitorEvictionPaths:
+    def test_warmup_suppresses_early_alerts(self):
+        monitor = BurstMonitor(tau=50.0, theta=1.0)
+        # A violent surge right at the start: burstiness would trip the
+        # threshold, but less than 2*tau of history has elapsed.
+        alerts = monitor.consume((1, 0.5 * i) for i in range(100))
+        assert alerts == []
+
+    def test_eviction_is_exactly_two_tau(self):
+        monitor = BurstMonitor(tau=10.0, theta=1e9)
+        for t in (0.0, 5.0, 19.9, 20.5, 25.0):
+            monitor.update(1, t)
+        # Clock is 25.0; horizon is 5.0 — the 0.0 element must be gone,
+        # the 5.0 element (== horizon boundary) retained.
+        monitor.current_burstiness(1)
+        assert monitor.memory_elements() == 4
+
+    def test_eviction_after_long_silence(self):
+        monitor = BurstMonitor(tau=5.0, theta=1e9)
+        for t in range(10):
+            monitor.update(1, float(t))
+        monitor.update(2, 1_000.0)
+        assert monitor.current_burstiness(1) == 0.0
+        # Touching event 1's window evicted its stale elements.
+        assert monitor.memory_elements() == 1
+
+    def test_alert_carries_live_value(self):
+        monitor = BurstMonitor(tau=20.0, theta=5.0)
+        alerts = monitor.consume(
+            [(1, float(t)) for t in range(0, 80, 8)]
+            + [(1, 80.0 + 0.2 * i) for i in range(60)]
+        )
+        assert alerts
+        for alert in alerts:
+            assert alert.burstiness >= 5.0
+            assert alert.event_id == 1
+
+
+class TestMonitoredAnalyzerWithBurstStore:
+    """The analyzer must accept any registry backend, not just a raw
+    CM-PBE."""
+
+    def _records(self):
+        return surge_stream(onset=500.0)
+
+    @pytest.mark.parametrize(
+        "backend,cfg",
+        [
+            ("exact", {}),
+            ("cm-pbe-2", dict(gamma=5.0, width=4, depth=3)),
+            ("sharded", dict(shards=2, backend="exact")),
+        ],
+    )
+    def test_any_backend_store(self, backend, cfg):
+        from repro.core.store import create_store
+
+        analyzer = MonitoredAnalyzer(
+            monitor=BurstMonitor(tau=50.0, theta=10.0),
+            store=create_store(backend, **cfg),
+        )
+        analyzer.ingest(self._records())
+        assert analyzer.alerts
+        first = analyzer.alerts[0]
+        value = analyzer.historical_burstiness(
+            first.event_id, first.timestamp, 50.0
+        )
+        assert value >= first.burstiness / 3
+        assert analyzer.sketch is analyzer.store
+
+    def test_requires_exactly_one_store(self):
+        from repro.core.store import create_store
+
+        monitor = BurstMonitor(tau=10.0, theta=5.0)
+        with pytest.raises(InvalidParameterError):
+            MonitoredAnalyzer(monitor)
+        with pytest.raises(InvalidParameterError):
+            MonitoredAnalyzer(
+                monitor,
+                store=create_store("exact"),
+                sketch=CMPBE.with_pbe2(gamma=5.0, width=4, depth=2),
+            )
+
+    def test_raw_sketch_still_works_via_fallback(self):
+        """A raw CMPBE has burstiness but no point_query; the analyzer
+        must fall back."""
+        analyzer = MonitoredAnalyzer(
+            monitor=BurstMonitor(tau=20.0, theta=1e9),
+            sketch=CMPBE.with_pbe2(gamma=2.0, width=4, depth=2),
+        )
+        analyzer.ingest((1, float(t)) for t in range(200))
+        value = analyzer.historical_burstiness(1, 150.0, 20.0)
+        assert isinstance(value, float)

@@ -1,0 +1,77 @@
+"""Registry completeness: the CI gate that keeps the backend registry
+and the parametrized test matrix in lockstep.
+
+CI runs this module as its own named step; a backend registered in
+``repro.core.store`` but absent from ``tests/backends.BACKEND_MATRIX``
+fails the build here, before any other suite runs, with a message naming
+the missing key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serialize import load_store, save_store
+from repro.core.store import backend_keys, create_store
+
+from tests.backends import (
+    BACKEND_MATRIX,
+    EXACT_LABELS,
+    covered_keys,
+    sharded_shard_counts,
+)
+
+
+class TestRegistryCompleteness:
+    def test_every_registered_backend_is_in_the_matrix(self):
+        missing = set(backend_keys()) - covered_keys()
+        assert not missing, (
+            f"backend(s) {sorted(missing)} are registered in "
+            "repro.core.store but missing from tests/backends.py: add a "
+            "matrix entry so the differential and round-trip suites "
+            "cover them"
+        )
+
+    def test_matrix_names_only_registered_backends(self):
+        unknown = covered_keys() - set(backend_keys())
+        assert not unknown, (
+            f"matrix entries reference unregistered backend(s) "
+            f"{sorted(unknown)}"
+        )
+
+    def test_sharded_runs_at_multiple_shard_counts(self):
+        counts = sharded_shard_counts()
+        assert len(counts) >= 2, (
+            "the matrix must exercise ShardedBurstStore at two or more "
+            f"shard counts, got {sorted(counts)}"
+        )
+
+    def test_matrix_labels_are_unique(self):
+        labels = [label for label, _, _ in BACKEND_MATRIX]
+        assert len(labels) == len(set(labels))
+
+    def test_exact_labels_exist_in_matrix(self):
+        labels = {label for label, _, _ in BACKEND_MATRIX}
+        assert EXACT_LABELS <= labels
+
+    @pytest.mark.parametrize(
+        "label,backend,cfg",
+        BACKEND_MATRIX,
+        ids=[label for label, _, _ in BACKEND_MATRIX],
+    )
+    def test_every_matrix_entry_constructs_and_round_trips(
+        self, label, backend, cfg
+    ):
+        """The whole lifecycle must work solely through the registry:
+        create, ingest, query, serialize, reload."""
+        store = create_store(backend, **cfg)
+        for t in range(1, 30):
+            store.update(t % 5, float(t))
+        store.finalize()
+        assert store.count == 29
+        again = load_store(save_store(store))
+        assert again.backend_key == backend
+        assert again.count == 29
+        assert again.point_query(1, 20.0, 5.0) == pytest.approx(
+            store.point_query(1, 20.0, 5.0), abs=1e-9
+        )
