@@ -1,0 +1,233 @@
+"""Scalar-vs-batched historical read benchmark (BENCH_query.json).
+
+PR 1 gave the write side a vectorized batch path; this suite measures
+the read side: every registered backend answers the same point-query
+workload twice — once as a scalar ``point_query`` loop, once through
+``point_query_batch`` — and the results must be bit-identical before
+any timing is reported.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_query.py [--smoke] [--check]
+
+``--smoke`` shrinks the workload and query counts for a CI run;
+``--check`` exits nonzero if the batched path ever diverges from the
+scalar loop or the CM-PBE grids fall below the vectorization floor at
+10k+ queries.
+
+The batched wins are structural, not incidental: one ``searchsorted``
+over each PBE's corners replaces a bisect per query, the CM-PBE row
+combiner becomes one ``np.median`` over a matrix, per-id hash columns
+are computed once per batch, and the sharded composite fans shard
+batches out on a thread pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.store import create_store
+from repro.workloads.olympics import make_olympicrio
+from repro.workloads.profiles import DAY
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+UNIVERSE = 128
+
+_SKETCH = dict(eta=60, buffer_size=400, width=16, depth=5, seed=0)
+
+#: (label, registry key, create_store config) — one row per read engine.
+BACKENDS: list[tuple[str, str, dict]] = [
+    ("exact", "exact", {}),
+    ("cm-pbe-1", "cm-pbe-1", dict(universe_size=UNIVERSE, **_SKETCH)),
+    (
+        "cm-pbe-2",
+        "cm-pbe-2",
+        dict(universe_size=UNIVERSE, gamma=12.0, unit=1.0, width=16,
+             depth=5, seed=0),
+    ),
+    ("direct", "direct", dict(cell="pbe1", eta=60, buffer_size=400)),
+    (
+        "index",
+        "index",
+        dict(universe_size=UNIVERSE, cell="pbe1", **_SKETCH),
+    ),
+    (
+        "sharded-x3-cm-pbe-1",
+        "sharded",
+        dict(shards=3, backend="cm-pbe-1", universe_size=UNIVERSE,
+             **_SKETCH),
+    ),
+]
+
+#: Backends whose batched point path is fully vectorized and must clear
+#: this multiple over the scalar loop at VECTORIZED_AT queries or more.
+VECTORIZED_FLOOR = 5.0
+VECTORIZED_AT = 10_000
+VECTORIZED_LABELS = {"cm-pbe-1", "cm-pbe-2"}
+
+FULL_SIZES = [1_000, 10_000, 100_000]
+SMOKE_SIZES = [500, 2_000]
+
+#: Best-of repeats per query-count tier; large tiers run once.
+def _repeats(n_queries: int) -> int:
+    if n_queries <= 1_000:
+        return 3
+    if n_queries <= 10_000:
+        return 2
+    return 1
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    """Best-of-N wall time; one untimed warmup absorbs cold caches."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_query_comparison(
+    smoke: bool = False, out_path: Path | None = None
+) -> dict:
+    """Time scalar vs batched point queries per backend; write the JSON."""
+    n_mentions = 4_000 if smoke else 30_000
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    stream = make_olympicrio(n_events=UNIVERSE, total_mentions=n_mentions)
+    ids_column, ts_column = stream.as_columns()
+    t_end = float(ts_column[-1])
+    tau = DAY
+
+    rng = np.random.default_rng(2016)
+    workloads = {
+        n: (
+            rng.integers(0, UNIVERSE, n).astype(np.int64),
+            rng.uniform(0.0, t_end + 2 * tau, n),
+        )
+        for n in sizes
+    }
+
+    rows = []
+    for label, backend, cfg in BACKENDS:
+        store = create_store(backend, **cfg)
+        store.extend_batch(ids_column, ts_column)
+        store.finalize()
+        for n in sizes:
+            query_ids, query_ts = workloads[n]
+            id_list = query_ids.tolist()
+            ts_list = query_ts.tolist()
+
+            def scalar():
+                return [
+                    store.point_query(event_id, t, tau)
+                    for event_id, t in zip(id_list, ts_list)
+                ]
+
+            def batch():
+                return store.point_query_batch(query_ids, query_ts, tau)
+
+            identical = bool(
+                np.array_equal(
+                    np.asarray(scalar(), dtype=np.float64), batch()
+                )
+            )
+            repeats = _repeats(n)
+            scalar_s = _best_seconds(scalar, repeats)
+            batch_s = _best_seconds(batch, repeats)
+            rows.append(
+                {
+                    "backend": label,
+                    "n_queries": int(n),
+                    "identical": identical,
+                    "scalar_seconds": scalar_s,
+                    "batch_seconds": batch_s,
+                    "scalar_queries_per_s": n / scalar_s,
+                    "batch_queries_per_s": n / batch_s,
+                    "speedup": scalar_s / batch_s,
+                }
+            )
+
+    payload = {
+        "workload": {
+            "stream": f"olympicrio ({UNIVERSE} events)",
+            "n_mentions": int(ids_column.size),
+            "query_sizes": [int(n) for n in sizes],
+            "tau": tau,
+            "smoke": smoke,
+        },
+        "rows": rows,
+        "max_speedup": max(r["speedup"] for r in rows),
+    }
+    target = out_path or RESULTS_DIR / "BENCH_query.json"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_query_results(payload: dict) -> list[str]:
+    """Regression gate over a BENCH_query.json payload."""
+    failures = []
+    for row in payload["rows"]:
+        tag = f"{row['backend']} @ {row['n_queries']}"
+        if not row["identical"]:
+            failures.append(f"{tag}: batched result differs from scalar")
+        if (
+            row["backend"] in VECTORIZED_LABELS
+            and row["n_queries"] >= VECTORIZED_AT
+            and row["speedup"] < VECTORIZED_FLOOR
+        ):
+            failures.append(
+                f"{tag}: below {VECTORIZED_FLOOR:.0f}x vectorization "
+                f"floor (got {row['speedup']:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scalar-vs-batched point query comparison"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small workload (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero on divergence or a speedup regression",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    payload = run_query_comparison(smoke=args.smoke, out_path=args.out)
+    header = (
+        f"{'backend':<20} {'queries':>8} {'scalar q/s':>13} "
+        f"{'batch q/s':>13} {'speedup':>8} {'identical':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in payload["rows"]:
+        print(
+            f"{row['backend']:<20} {row['n_queries']:>8} "
+            f"{row['scalar_queries_per_s']:>13,.0f} "
+            f"{row['batch_queries_per_s']:>13,.0f} "
+            f"{row['speedup']:>7.2f}x {str(row['identical']):>10}"
+        )
+    print(f"\nmax speedup: {payload['max_speedup']:.1f}x")
+    if args.check:
+        failures = check_query_results(payload)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ import bisect
 from collections import defaultdict
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.core.cmpbe import _validated_query_batch
 from repro.core.dyadic import BurstyEvent
 from repro.core.errors import (
     InvalidParameterError,
@@ -81,6 +84,30 @@ class ExactBurstStore:
             - 2 * self.cumulative_frequency(event_id, t - tau)
             + self.cumulative_frequency(event_id, t - 2 * tau)
         )
+
+    def burstiness_many(self, event_ids, ts, tau: float) -> np.ndarray:
+        """Vectorized :meth:`burstiness` over ``(event_id, t)`` pairs.
+
+        One ``np.searchsorted`` per distinct event id and lag replaces
+        three bisects per query.  Counts are exact integers, so the
+        float64 result is bit-identical to the scalar path.
+        """
+        require_tau(tau)
+        ids, times = _validated_query_batch(event_ids, ts)
+        counts = np.zeros(ids.size, dtype=np.int64)
+        for event_id in np.unique(ids).tolist():
+            stored = self._timestamps.get(int(event_id))
+            if not stored:
+                continue
+            arr = np.asarray(stored, dtype=np.float64)
+            mask = ids == event_id
+            queried = times[mask]
+            counts[mask] = (
+                np.searchsorted(arr, queried, side="right")
+                - 2 * np.searchsorted(arr, queried - tau, side="right")
+                + np.searchsorted(arr, queried - 2 * tau, side="right")
+            )
+        return counts.astype(np.float64)
 
     def bursty_times(
         self,

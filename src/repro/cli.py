@@ -129,12 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
         "kind", choices=["point", "bursty-times"],
     )
     query.add_argument("--sketch", required=True, type=Path)
-    query.add_argument("--event", required=True, type=int)
+    query.add_argument("--event", type=int, help="event id (scalar queries)")
     query.add_argument("--t", type=float, help="query time (point)")
     query.add_argument("--theta", type=float, help="threshold")
     query.add_argument("--tau", type=float, default=DAY)
     query.add_argument(
         "--t-end", type=float, help="history end for bursty-times"
+    )
+    query.add_argument(
+        "--batch-file",
+        type=Path,
+        help="CSV or JSONL file of event_id,t pairs; answers every pair "
+        "as one point-query batch through the vectorized read path",
     )
 
     inspect = commands.add_parser(
@@ -287,8 +293,52 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_query_batch(path: Path) -> tuple[list[int], list[float]]:
+    """Parse a ``--batch-file`` of ``event_id,t`` pairs.
+
+    Lines starting with ``{`` are JSONL records with ``event_id`` and
+    ``t`` keys; anything else is CSV (an ``event_id,t`` header line is
+    skipped).  Blank lines are ignored.
+    """
+    import json
+
+    event_ids: list[int] = []
+    times: list[float] = []
+    for raw_line in path.read_text().splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("{"):
+            record = json.loads(line)
+            event_ids.append(int(record["event_id"]))
+            times.append(float(record["t"]))
+            continue
+        first, _, second = line.partition(",")
+        try:
+            event_ids.append(int(first))
+        except ValueError:
+            continue  # header line
+        times.append(float(second))
+    return event_ids, times
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     store = load_store(args.sketch.read_bytes())
+    if args.batch_file is not None:
+        if args.kind != "point":
+            print(
+                "error: --batch-file only supports point queries",
+                file=sys.stderr,
+            )
+            return 2
+        event_ids, times = _read_query_batch(args.batch_file)
+        values = store.point_query_batch(event_ids, times, args.tau)
+        for event_id, t, value in zip(event_ids, times, values):
+            print(f"b({event_id}, t={t}, tau={args.tau}) = {float(value)}")
+        return 0
+    if args.event is None:
+        print("error: scalar queries need --event", file=sys.stderr)
+        return 2
     if args.kind == "point":
         if args.t is None:
             print("error: point queries need --t", file=sys.stderr)

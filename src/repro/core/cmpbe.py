@@ -17,7 +17,7 @@ as an ablation).  Theorem 1:
 
 from __future__ import annotations
 
-import statistics
+from collections import OrderedDict
 from typing import Callable, Protocol
 
 import numpy as np
@@ -26,6 +26,7 @@ from repro.core.errors import (
     InvalidParameterError,
     StreamOrderError,
     require_count,
+    require_tau,
 )
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
@@ -45,7 +46,26 @@ class PersistentSketchCell(Protocol):
 
     def value(self, t: float) -> float: ...
 
+    def value_many(self, ts) -> np.ndarray: ...
+
     def size_in_bytes(self) -> int: ...
+
+
+#: Hot-id hash columns remembered per sketch before eviction kicks in.
+HASH_CACHE_SIZE = 1024
+
+
+def _validated_query_batch(
+    event_ids, timestamps
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate parallel ``(event_ids, ts)`` query columns."""
+    ids = np.asarray(event_ids, dtype=np.int64)
+    ts = np.asarray(timestamps, dtype=np.float64)
+    if ids.ndim != 1 or ts.ndim != 1 or ids.shape != ts.shape:
+        raise InvalidParameterError(
+            "query event_ids and ts must be 1-d arrays of equal length"
+        )
+    return ids, ts
 
 
 def _validated_record_batch(
@@ -143,6 +163,8 @@ class CMPBE:
             [cell_factory() for _ in range(width)] for _ in range(depth)
         ]
         self._count = 0
+        self._row_buffer = np.empty(depth, dtype=np.float64)
+        self._column_cache: OrderedDict[int, list[int]] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Named constructors
@@ -197,6 +219,7 @@ class CMPBE:
     # ------------------------------------------------------------------
     def update(self, event_id: int, timestamp: float, count: int = 1) -> None:
         """Ingest ``count`` mentions of ``event_id`` at ``timestamp``."""
+        self._column_cache.clear()
         for row, column in enumerate(self._hashes.hash_all(event_id)):
             self._cells[row][column].update(timestamp, count)
         self._count += count
@@ -227,6 +250,7 @@ class CMPBE:
         )
         if ids.size == 0:
             return
+        self._column_cache.clear()
         unique_ids, inverse = np.unique(ids, return_inverse=True)
         columns = self._hashes.hash_many(unique_ids)[inverse]
         for row in range(self.depth):
@@ -243,21 +267,123 @@ class CMPBE:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _hash_columns(self, event_id: int) -> list[int]:
+        """The event's per-row columns, LRU-cached for hot ids.
+
+        Ingest clears the cache (the columns themselves never change,
+        but clearing keeps the invariant simple should a future cache
+        ever hold value state too).
+        """
+        cache = self._column_cache
+        columns = cache.get(event_id)
+        if columns is not None:
+            cache.move_to_end(event_id)
+            return columns
+        columns = self._hashes.hash_all(event_id)
+        cache[event_id] = columns
+        if len(cache) > HASH_CACHE_SIZE:
+            cache.popitem(last=False)
+        return columns
+
+    def _hash_columns_many(self, unique_ids: np.ndarray) -> np.ndarray:
+        """``(n, depth)`` column matrix for unique ids, via the LRU."""
+        cache = self._column_cache
+        matrix = np.empty((unique_ids.size, self.depth), dtype=np.int64)
+        miss = []
+        for i, event_id in enumerate(unique_ids.tolist()):
+            columns = cache.get(event_id)
+            if columns is not None:
+                cache.move_to_end(event_id)
+                matrix[i] = columns
+            else:
+                miss.append(i)
+        if miss:
+            missing = unique_ids[miss]
+            hashed = self._hashes.hash_many(missing)
+            matrix[miss] = hashed
+            for event_id, row in zip(missing.tolist(), hashed.tolist()):
+                cache[event_id] = row
+            while len(cache) > HASH_CACHE_SIZE:
+                cache.popitem(last=False)
+        return matrix
+
+    def _combine_rows(self, columns: list[int], t: float) -> float:
+        """One ``F~_e(t)`` estimate from pre-hashed columns."""
+        buffer = self._row_buffer
+        for row, column in enumerate(columns):
+            buffer[row] = self._cells[row][column].value(t)
+        if self.combiner == "median":
+            return float(np.median(buffer))
+        return float(buffer.min())
+
     def cumulative_frequency(self, event_id: int, t: float) -> float:
         """Estimate ``F_e(t)`` by combining the ``d`` row estimates."""
-        estimates = [
-            self._cells[row][column].value(t)
-            for row, column in enumerate(self._hashes.hash_all(event_id))
-        ]
+        return self._combine_rows(self._hash_columns(event_id), t)
+
+    def cumulative_frequency_many(self, event_id: int, ts) -> np.ndarray:
+        """Vectorized ``F~_e`` over an array of query times.
+
+        Hashes the id once and evaluates each row's cell with one
+        :meth:`~repro.core.pbe1.PBE1.value_many` call; the combiner runs
+        as a single ``np.median``/``np.min`` over the ``(depth, n)``
+        estimate matrix.  Bit-identical to per-call
+        :meth:`cumulative_frequency`.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        rows = np.empty((self.depth, ts.size), dtype=np.float64)
+        for row, column in enumerate(self._hash_columns(event_id)):
+            rows[row] = self._cells[row][column].value_many(ts)
         if self.combiner == "median":
-            return float(statistics.median(estimates))
-        return float(min(estimates))
+            return np.median(rows, axis=0)
+        return rows.min(axis=0)
 
     def burstiness(self, event_id: int, t: float, tau: float) -> float:
-        """Point query ``q(e, t, tau)``: estimated ``b_e(t)`` (Eq. 2)."""
-        return burstiness_from_curve(
-            _EventCurveView(self, event_id), t, tau
+        """Point query ``q(e, t, tau)``: estimated ``b_e(t)`` (Eq. 2).
+
+        The three curve lookups (``t``, ``t - tau``, ``t - 2 tau``)
+        share one hash evaluation instead of rehashing per lookup.
+        """
+        require_tau(tau)
+        columns = self._hash_columns(event_id)
+        return (
+            self._combine_rows(columns, t)
+            - 2.0 * self._combine_rows(columns, t - tau)
+            + self._combine_rows(columns, t - 2 * tau)
         )
+
+    def burstiness_many(self, event_ids, ts, tau: float) -> np.ndarray:
+        """Batched point queries: estimated ``b_e(t)`` per ``(e, t)`` pair.
+
+        Hash columns are computed once per *unique* event id (through
+        the LRU); each ``(row, column)`` cell then evaluates its share of
+        the ``3 n`` curve lookups in one ``value_many`` call, and the row
+        combiner is a single ``np.median``/``np.min`` over the
+        ``(depth, 3 n)`` estimate matrix.  Bit-identical to per-call
+        :meth:`burstiness`.
+        """
+        require_tau(tau)
+        ids, ts = _validated_query_batch(event_ids, ts)
+        n = ids.size
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        times = np.concatenate([ts, ts - tau, ts - 2 * tau])
+        unique_ids, inverse = np.unique(ids, return_inverse=True)
+        columns = self._hash_columns_many(unique_ids)
+        rows = np.empty((self.depth, 3 * n), dtype=np.float64)
+        for row in range(self.depth):
+            per_query = columns[inverse, row]
+            tiled = np.tile(per_query, 3)
+            cells = self._cells[row]
+            for column in np.unique(per_query).tolist():
+                selected = tiled == column
+                rows[row, selected] = cells[column].value_many(
+                    times[selected]
+                )
+        if self.combiner == "median":
+            combined = np.median(rows, axis=0)
+        else:
+            combined = rows.min(axis=0)
+        return combined[:n] - 2.0 * combined[n : 2 * n] + combined[2 * n :]
 
     def curve(self, event_id: int) -> _EventCurveView:
         """A :class:`CumulativeCurve` view of one event's estimate."""
@@ -357,9 +483,36 @@ class DirectPBEMap:
         cell = self._cells.get(event_id)
         return cell.value(t) if cell is not None else 0.0
 
+    def cumulative_frequency_many(self, event_id: int, ts) -> np.ndarray:
+        """Vectorized ``F~_e`` over an array of query times."""
+        ts = np.asarray(ts, dtype=np.float64)
+        cell = self._cells.get(event_id)
+        if cell is None:
+            return np.zeros(ts.shape, dtype=np.float64)
+        return cell.value_many(ts)
+
     def burstiness(self, event_id: int, t: float, tau: float) -> float:
         """Estimated ``b_e(t)`` from the id's own PBE."""
         return burstiness_from_curve(_EventCurveView(self, event_id), t, tau)
+
+    def burstiness_many(self, event_ids, ts, tau: float) -> np.ndarray:
+        """Batched point queries: each id's PBE evaluates its share of
+        the ``3 n`` curve lookups in one ``value_many`` call.
+        Bit-identical to per-call :meth:`burstiness`."""
+        require_tau(tau)
+        ids, ts = _validated_query_batch(event_ids, ts)
+        n = ids.size
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        times = np.concatenate([ts, ts - tau, ts - 2 * tau])
+        values = np.zeros(3 * n, dtype=np.float64)
+        for event_id in np.unique(ids).tolist():
+            cell = self._cells.get(event_id)
+            if cell is None:
+                continue
+            selected = np.tile(ids == event_id, 3)
+            values[selected] = cell.value_many(times[selected])
+        return values[:n] - 2.0 * values[n : 2 * n] + values[2 * n :]
 
     def curve(self, event_id: int) -> "_EventCurveView":
         """A cumulative-curve view of one id's estimate."""

@@ -326,6 +326,44 @@ class PBE2:
             return 0.0
         return max(0.0, self._segments[idx].value(t))
 
+    def value_many(self, ts) -> np.ndarray:
+        """Vectorized :meth:`value` over an array of query times.
+
+        Finalized segments are evaluated with one ``np.searchsorted``
+        over the segment-start array plus a gathered
+        ``a * clamp(t) + b``; the (at most two) live pieces override the
+        finalized answer with the same precedence the scalar path uses
+        (pending corner first, then the provisional polygon segment).
+        Bit-identical to per-call :meth:`value`.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        out = np.zeros(ts.shape, dtype=np.float64)
+        if self._segments:
+            starts = np.asarray(self._segment_starts, dtype=np.float64)
+            idx = np.searchsorted(starts, ts, side="right") - 1
+            safe = np.maximum(idx, 0)
+            a = np.asarray([s.a for s in self._segments])
+            b = np.asarray([s.b for s in self._segments])
+            t0 = np.asarray([s.t_start for s in self._segments])
+            t1 = np.asarray([s.t_end for s in self._segments])
+            clamped = np.minimum(np.maximum(ts, t0[safe]), t1[safe])
+            values = np.maximum(0.0, a[safe] * clamped + b[safe])
+            out = np.where(idx >= 0, values, 0.0)
+        # Live pieces in scalar precedence order: the provisional polygon
+        # segment, then (overriding it) the pending duplicate-delay corner.
+        for segment in (self._provisional_segment(), self._pending_segment()):
+            if segment is None:
+                continue
+            clamped = np.minimum(
+                np.maximum(ts, segment.t_start), segment.t_end
+            )
+            out = np.where(
+                ts >= segment.t_start,
+                np.maximum(0.0, segment.a * clamped + segment.b),
+                out,
+            )
+        return out
+
     def burstiness(self, t: float, tau: float) -> float:
         """Point query ``q(e, t, tau)``: estimated ``b(t)``."""
         if self._count == 0:

@@ -318,6 +318,10 @@ class HistoricalBurstAnalyzer:
         """POINT QUERY ``q(e, t, tau)`` → ``b_e(t)``."""
         return self._store.point_query(event_id, t, tau)
 
+    def point_query_batch(self, event_ids, ts, tau: float):
+        """Batched POINT QUERY: one ``b_e(t)`` per ``(e, t)`` pair."""
+        return self._store.point_query_batch(event_ids, ts, tau)
+
     def bursty_times(
         self,
         event_id: int,

@@ -32,6 +32,7 @@ from __future__ import annotations
 import io
 import json
 import struct
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Literal, NamedTuple, Protocol, runtime_checkable
 
 import numpy as np
@@ -41,12 +42,14 @@ from repro.core.cmpbe import (
     CMPBE,
     DirectPBEMap,
     _iter_groups,
+    _validated_query_batch,
     _validated_record_batch,
 )
 from repro.core.dyadic import BurstyEvent, BurstyEventIndex
 from repro.core.errors import (
     InvalidParameterError,
     SerializationError,
+    StreamOrderError,
     UnknownBackendError,
     require_tau,
     require_theta,
@@ -55,6 +58,12 @@ from repro.core.errors import (
 from repro.core.parallel import merge_pbe1, merge_pbe2
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
+from repro.core.queries import (
+    _merge_intervals,
+    bursty_time_intervals,
+    max_burstiness,
+)
+from repro.streams.frequency import burstiness_from_curve
 
 __all__ = [
     "BurstStore",
@@ -93,6 +102,8 @@ class BurstStore(Protocol):
     def extend_batch(self, event_ids, timestamps, counts=None) -> None: ...
 
     def point_query(self, event_id: int, t: float, tau: float) -> float: ...
+
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray: ...
 
     def bursty_time_query(
         self,
@@ -354,8 +365,6 @@ class _StoreBase:
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         """POINT QUERY ``q(e, t, tau)`` → estimated ``b_e(t)``."""
         require_tau(tau)
-        from repro.streams.frequency import burstiness_from_curve
-
         return float(
             burstiness_from_curve(_CurveView(self, event_id), t, tau)
         )
@@ -364,6 +373,21 @@ class _StoreBase:
     def burstiness(self, event_id: int, t: float, tau: float) -> float:
         """Alias of :meth:`point_query` (sketch-compatible spelling)."""
         return self.point_query(event_id, t, tau)
+
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
+        """Batched POINT QUERY: estimated ``b_e(t)`` per ``(e, t)`` pair.
+
+        The base implementation is a scalar loop (correct for any
+        backend); engines with a vectorized read path override it.
+        Results are bit-identical to calling :meth:`point_query` per
+        pair.
+        """
+        require_tau(tau)
+        ids, times = _validated_query_batch(event_ids, ts)
+        out = np.empty(ids.size, dtype=np.float64)
+        for i in range(ids.size):
+            out[i] = self.point_query(int(ids[i]), float(times[i]), tau)
+        return out
 
     def bursty_time_query(
         self,
@@ -377,8 +401,6 @@ class _StoreBase:
         """BURSTY TIME QUERY ``q(e, theta, tau)`` → maximal intervals with
         ``b_e(t) >= theta``."""
         require_tau(tau)
-        from repro.core.queries import bursty_time_intervals
-
         knots = self.segment_starts(event_id)
         if not knots:
             return []
@@ -398,8 +420,6 @@ class _StoreBase:
     ) -> tuple[float, float]:
         """``(t_star, b_star)``: the event's burstiest moment in a range."""
         require_time_range(t_start, t_end)
-        from repro.core.queries import max_burstiness
-
         return max_burstiness(
             self.curve(event_id),
             self.segment_starts(event_id),
@@ -481,8 +501,6 @@ class ExactStore(_StoreBase):
             store._last_timestamp is not None
             and first < store._last_timestamp
         ):
-            from repro.core.errors import StreamOrderError
-
             raise StreamOrderError(
                 f"timestamp {first} arrived after {store._last_timestamp}"
             )
@@ -499,6 +517,9 @@ class ExactStore(_StoreBase):
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         return float(self.inner.burstiness(event_id, t, tau))
 
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
+        return self.inner.burstiness_many(event_ids, ts, tau)
+
     def bursty_time_query(
         self,
         event_id: int,
@@ -514,8 +535,6 @@ class ExactStore(_StoreBase):
         end = t_end if t_end is not None else self._t_end + 2 * tau
         intervals = self.inner.bursty_times(event_id, theta, tau, t_end=end)
         if merge_gap > 0.0:
-            from repro.core.queries import _merge_intervals
-
             intervals = _merge_intervals(intervals, merge_gap)
         return intervals
 
@@ -529,8 +548,6 @@ class ExactStore(_StoreBase):
         self, event_id: int, t_start: float, t_end: float, tau: float
     ) -> tuple[float, float]:
         require_time_range(t_start, t_end)
-        from repro.core.queries import max_burstiness
-
         times = self.inner.timestamps_of(event_id)
         knots = [x for x in times if t_start - 2 * tau <= x <= t_end]
         return max_burstiness(
@@ -681,6 +698,9 @@ class CMPBEStore(_StoreBase):
     # -- queries -------------------------------------------------------
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         return float(self.inner.burstiness(event_id, t, tau))
+
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
+        return self.inner.burstiness_many(event_ids, ts, tau)
 
     def bursty_event_query(
         self, t: float, theta: float, tau: float
@@ -869,6 +889,9 @@ class DirectMapStore(_StoreBase):
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         return float(self.inner.burstiness(event_id, t, tau))
 
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
+        return self.inner.burstiness_many(event_ids, ts, tau)
+
     def bursty_event_query(
         self, t: float, theta: float, tau: float
     ) -> list[BurstyEvent]:
@@ -1019,6 +1042,9 @@ class DyadicIndexStore(_StoreBase):
 
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         return float(self._leaf.burstiness(event_id, t, tau))
+
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
+        return self._leaf.burstiness_many(event_ids, ts, tau)
 
     def bursty_event_query(
         self, t: float, theta: float, tau: float
@@ -1196,6 +1222,42 @@ class ShardedBurstStore(_StoreBase):
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         return self._owner(event_id).point_query(event_id, t, tau)
 
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
+        """Route each pair to its owning shard, one batch per shard.
+
+        Shard batches run concurrently on a thread pool (each shard is an
+        independent store, so there is no shared mutable query state) and
+        scatter back into stream order.
+        """
+        require_tau(tau)
+        ids, times = _validated_query_batch(event_ids, ts)
+        out = np.empty(ids.size, dtype=np.float64)
+        if ids.size == 0:
+            return out
+        groups = list(_iter_groups(self._shards_of(ids)))
+        if len(groups) == 1:
+            shard_index, order = groups[0]
+            out[order] = self.shards[shard_index].point_query_batch(
+                ids[order], times[order], tau
+            )
+            return out
+        with ThreadPoolExecutor(max_workers=len(groups)) as pool:
+            futures = [
+                (
+                    order,
+                    pool.submit(
+                        self.shards[shard_index].point_query_batch,
+                        ids[order],
+                        times[order],
+                        tau,
+                    ),
+                )
+                for shard_index, order in groups
+            ]
+            for order, future in futures:
+                out[order] = future.result()
+        return out
+
     def bursty_time_query(
         self,
         event_id: int,
@@ -1215,14 +1277,30 @@ class ShardedBurstStore(_StoreBase):
     def bursty_event_query(
         self, t: float, theta: float, tau: float
     ) -> list[BurstyEvent]:
-        """Fan out to every shard, keep each shard's owned ids only."""
-        hits: list[BurstyEvent] = []
-        for index, shard in enumerate(self.shards):
-            hits.extend(
-                hit
-                for hit in shard.bursty_event_query(t, theta, tau)
-                if self.shard_of(hit.event_id) == index
-            )
+        """Fan out to every shard, keep each shard's owned ids only.
+
+        Shards are queried concurrently on a thread pool; per-shard hit
+        lists are collected in shard order before the ownership filter,
+        so results match the sequential fan-out exactly.
+        """
+        if self.n_shards == 1:
+            shard_hits = [self.shards[0].bursty_event_query(t, theta, tau)]
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_shards) as pool:
+                shard_hits = list(
+                    pool.map(
+                        lambda shard: shard.bursty_event_query(
+                            t, theta, tau
+                        ),
+                        self.shards,
+                    )
+                )
+        hits = [
+            hit
+            for index, per_shard in enumerate(shard_hits)
+            for hit in per_shard
+            if self.shard_of(hit.event_id) == index
+        ]
         return _canonical_hits(hits)
 
     def peak_query(

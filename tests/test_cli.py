@@ -101,6 +101,67 @@ class TestQuery:
         ])
         assert code == 0
 
+    def test_scalar_requires_event(self, sketch_file, capsys):
+        code = main([
+            "query", "point", "--sketch", str(sketch_file),
+            "--t", str(29 * DAY),
+        ])
+        assert code == 2
+
+
+class TestQueryBatchFile:
+    PAIRS = [(0, 29 * DAY), (3, 10 * DAY), (0, 30 * DAY), (9999, 5 * DAY)]
+
+    def _scalar_lines(self, sketch_file, capsys):
+        lines = []
+        for event_id, t in self.PAIRS:
+            assert main([
+                "query", "point", "--sketch", str(sketch_file),
+                "--event", str(event_id), "--t", str(float(t)),
+                "--tau", str(DAY),
+            ]) == 0
+            lines.append(capsys.readouterr().out)
+        return "".join(lines)
+
+    def test_csv_matches_scalar_queries(self, sketch_file, tmp_path, capsys):
+        batch = tmp_path / "queries.csv"
+        batch.write_text(
+            "event_id,t\n"
+            + "".join(f"{e},{float(t)}\n" for e, t in self.PAIRS)
+        )
+        expected = self._scalar_lines(sketch_file, capsys)
+        code = main([
+            "query", "point", "--sketch", str(sketch_file),
+            "--batch-file", str(batch), "--tau", str(DAY),
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == expected
+
+    def test_jsonl_matches_scalar_queries(self, sketch_file, tmp_path, capsys):
+        batch = tmp_path / "queries.jsonl"
+        batch.write_text(
+            "".join(
+                '{"event_id": %d, "t": %s}\n' % (e, float(t))
+                for e, t in self.PAIRS
+            )
+        )
+        expected = self._scalar_lines(sketch_file, capsys)
+        code = main([
+            "query", "point", "--sketch", str(sketch_file),
+            "--batch-file", str(batch), "--tau", str(DAY),
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == expected
+
+    def test_rejected_for_bursty_times(self, sketch_file, tmp_path, capsys):
+        batch = tmp_path / "queries.csv"
+        batch.write_text("0,1.0\n")
+        code = main([
+            "query", "bursty-times", "--sketch", str(sketch_file),
+            "--batch-file", str(batch), "--theta", "1",
+        ])
+        assert code == 2
+
 
 class TestInspect:
     def test_stream(self, stream_file, capsys):

@@ -25,6 +25,7 @@ import pytest
 from repro.cli import main
 
 DATA = Path(__file__).parent / "data" / "golden_stream.csv"
+QUERIES = Path(__file__).parent / "data" / "golden_queries.csv"
 GOLDEN = Path(__file__).parent / "golden"
 
 #: Every scenario ingests the fixture stream, then queries the built
@@ -61,6 +62,17 @@ SCENARIOS: dict[str, list[list[str]]] = {
             "--event", "3", "--theta", "20.0", "--tau", "60.0",
         ],
         ["inspect", "<SKETCH>"],
+    ],
+    "batch": [
+        [
+            "ingest", str(DATA), "--out", "<SKETCH>",
+            "--method", "cm-pbe-1", "--eta", "24",
+            "--buffer-size", "64", "--width", "8", "--depth", "3",
+        ],
+        [
+            "query", "point", "--sketch", "<SKETCH>",
+            "--batch-file", str(QUERIES), "--tau", "60.0",
+        ],
     ],
 }
 
