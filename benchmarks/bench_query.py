@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.metrics import global_registry
 from repro.core.store import create_store
 from repro.workloads.olympics import make_olympicrio
 from repro.workloads.profiles import DAY
@@ -165,6 +166,10 @@ def run_query_comparison(
         },
         "rows": rows,
         "max_speedup": max(r["speedup"] for r in rows),
+        # Operational counters accumulated over the run (LRU hit rates,
+        # shard fan-out latencies, ...), so a regression in the serving
+        # path shows up next to the wall-clock numbers.
+        "metrics": global_registry().snapshot(),
     }
     target = out_path or RESULTS_DIR / "BENCH_query.json"
     target.parent.mkdir(exist_ok=True)

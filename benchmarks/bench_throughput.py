@@ -37,6 +37,7 @@ import pytest
 
 from repro.core.cmpbe import CMPBE
 from repro.core.dyadic import BurstyEventIndex
+from repro.core.metrics import global_registry
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
 from repro.sketch.countmin import CountMinSketch
@@ -324,6 +325,7 @@ def run_ingest_comparison(
         },
         "rows": rows,
         "max_speedup": max(r["speedup"] for r in rows),
+        "metrics": global_registry().snapshot(),
     }
     target = out_path or RESULTS_DIR / "BENCH_ingest.json"
     target.parent.mkdir(exist_ok=True)

@@ -18,6 +18,9 @@ query
     the versioned envelope or a legacy v1 blob).
 inspect
     Print a sketch's or stream's vital statistics.
+stats
+    Render a metrics snapshot written by ``--metrics-json`` (human text
+    or Prometheus exposition with ``--prometheus``).
 experiment
     Run one of the paper's figures at a chosen scale and print the table.
 validate
@@ -36,6 +39,13 @@ import sys
 from pathlib import Path
 
 from repro.core.cmpbe import CMPBE
+from repro.core.metrics import (
+    InstrumentedStore,
+    dump_snapshot_json,
+    global_registry,
+    prometheus_exposition,
+    render_snapshot,
+)
 from repro.core.serialize import (
     ENVELOPE_MAGIC,
     dump_cmpbe,
@@ -121,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=DEFAULT_BATCH_SIZE,
             help="records per ingest batch (never affects the result)",
         )
+        ingest.add_argument(
+            "--metrics-json",
+            type=Path,
+            help="write a metrics snapshot (JSON) of the ingest run here; "
+            "never affects the serialized store",
+        )
 
     query = commands.add_parser(
         "query", help="answer a historical burst query from a sketch"
@@ -142,11 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="CSV or JSONL file of event_id,t pairs; answers every pair "
         "as one point-query batch through the vectorized read path",
     )
+    query.add_argument(
+        "--metrics-json",
+        type=Path,
+        help="write a metrics snapshot (JSON) of the query run here",
+    )
 
     inspect = commands.add_parser(
         "inspect", help="print statistics of a stream or sketch file"
     )
     inspect.add_argument("path", type=Path)
+
+    stats = commands.add_parser(
+        "stats",
+        help="render a metrics snapshot written by --metrics-json",
+    )
+    stats.add_argument("metrics", type=Path)
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition instead of the summary",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="run one of the paper's figures"
@@ -235,6 +267,19 @@ def _backend_config(args: argparse.Namespace) -> dict:
     return cfg
 
 
+def _write_metrics_json(
+    path: Path, store: InstrumentedStore | None = None
+) -> None:
+    """Dump the run's metrics: the process registry plus, when the run
+    went through an instrumented store, its per-store registry."""
+    snapshot = {
+        "global": global_registry().snapshot(),
+        "store": None if store is None else store.metrics.snapshot(),
+    }
+    path.write_text(dump_snapshot_json(snapshot))
+    print(f"metrics -> {path}")
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     if args.backend is None and not args.shards:
         # Legacy path: a bare CM-PBE serialized as the v1 blob.  Kept
@@ -266,6 +311,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"{len(payload)} bytes on disk "
             f"({sketch.size_in_bytes()} logical) -> {args.out}"
         )
+        if args.metrics_json is not None:
+            _write_metrics_json(args.metrics_json)
         return 0
     if args.backend is None:
         args.backend = args.method
@@ -278,10 +325,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
     else:
         store = create_store(args.backend, **cfg)
         label = args.backend
+    # Ingest through the instrumented wrapper when a snapshot was asked
+    # for; the serialized artifact is always the bare store, so the flag
+    # never changes what lands on disk.
+    instrumented = None
+    if args.metrics_json is not None:
+        instrumented = InstrumentedStore(store)
+    target = instrumented if instrumented is not None else store
     for event_ids, timestamps in iter_record_batches(
         args.stream, args.batch_size
     ):
-        store.extend_batch(event_ids, timestamps)
+        target.extend_batch(event_ids, timestamps)
     store.finalize()
     payload = save_store(store)
     args.out.write_bytes(payload)
@@ -290,6 +344,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"{len(payload)} bytes on disk "
         f"({store.size_in_bytes()} logical) -> {args.out}"
     )
+    if args.metrics_json is not None:
+        _write_metrics_json(args.metrics_json, instrumented)
     return 0
 
 
@@ -324,6 +380,20 @@ def _read_query_batch(path: Path) -> tuple[list[int], list[float]]:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     store = load_store(args.sketch.read_bytes())
+    instrumented = None
+    if args.metrics_json is not None:
+        if isinstance(store, InstrumentedStore):
+            instrumented = store
+        else:
+            instrumented = InstrumentedStore(store)
+        store = instrumented
+    code = _run_query(args, store)
+    if instrumented is not None and code == 0:
+        _write_metrics_json(args.metrics_json, instrumented)
+    return code
+
+
+def _run_query(args: argparse.Namespace, store) -> int:
     if args.batch_file is not None:
         if args.kind != "point":
             print(
@@ -397,6 +467,32 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        payload = json.loads(args.metrics.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read metrics file: {error}", file=sys.stderr)
+        return 2
+    global_section = payload.get("global", {})
+    store_section = payload.get("store")
+    if args.prometheus:
+        # Metric namespaces are disjoint (store_* vs the first-party
+        # cmpbe_*/sharded_*/monitor_*/stream_* families), so the two
+        # sections concatenate without collisions.
+        sys.stdout.write(prometheus_exposition(global_section))
+        if store_section:
+            sys.stdout.write(prometheus_exposition(store_section))
+        return 0
+    print("== global ==")
+    print(render_snapshot(global_section))
+    if store_section is not None:
+        print("== store ==")
+        print(render_snapshot(store_section))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     soccer = make_soccer_stream(total_mentions=args.mentions)
     if args.figure == "fig7":
@@ -457,6 +553,7 @@ _HANDLERS = {
     "build": _cmd_build,
     "query": _cmd_query,
     "inspect": _cmd_inspect,
+    "stats": _cmd_stats,
     "experiment": _cmd_experiment,
     "validate": _cmd_validate,
     "report": _cmd_report,
@@ -465,6 +562,10 @@ _HANDLERS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    # Scope the process-wide registry to this invocation: one CLI run is
+    # one measurement window (and in-process callers, e.g. the golden
+    # tests, stay order-independent).
+    global_registry().reset()
     parser = build_parser()
     args = parser.parse_args(argv)
     return _HANDLERS[args.command](args)

@@ -28,6 +28,7 @@ from repro.core.errors import (
     require_count,
     require_tau,
 )
+from repro.core.metrics import global_registry
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
 from repro.sketch.countmin import dimensions_for
@@ -165,6 +166,16 @@ class CMPBE:
         self._count = 0
         self._row_buffer = np.empty(depth, dtype=np.float64)
         self._column_cache: OrderedDict[int, list[int]] = OrderedDict()
+        metrics = global_registry()
+        self._cache_hits = metrics.counter(
+            "cmpbe_hash_cache_hits_total", "hash-column LRU hits"
+        )
+        self._cache_misses = metrics.counter(
+            "cmpbe_hash_cache_misses_total", "hash-column LRU misses"
+        )
+        self._cache_evictions = metrics.counter(
+            "cmpbe_hash_cache_evictions_total", "hash-column LRU evictions"
+        )
 
     # ------------------------------------------------------------------
     # Named constructors
@@ -267,6 +278,14 @@ class CMPBE:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _evict_cache(self) -> None:
+        """Trim the LRU back to ``HASH_CACHE_SIZE`` (single shared path
+        for scalar and batched fills)."""
+        cache = self._column_cache
+        while len(cache) > HASH_CACHE_SIZE:
+            cache.popitem(last=False)
+            self._cache_evictions.inc()
+
     def _hash_columns(self, event_id: int) -> list[int]:
         """The event's per-row columns, LRU-cached for hot ids.
 
@@ -278,11 +297,12 @@ class CMPBE:
         columns = cache.get(event_id)
         if columns is not None:
             cache.move_to_end(event_id)
+            self._cache_hits.inc()
             return columns
         columns = self._hashes.hash_all(event_id)
         cache[event_id] = columns
-        if len(cache) > HASH_CACHE_SIZE:
-            cache.popitem(last=False)
+        self._cache_misses.inc()
+        self._evict_cache()
         return columns
 
     def _hash_columns_many(self, unique_ids: np.ndarray) -> np.ndarray:
@@ -297,14 +317,15 @@ class CMPBE:
                 matrix[i] = columns
             else:
                 miss.append(i)
+        self._cache_hits.inc(unique_ids.size - len(miss))
         if miss:
             missing = unique_ids[miss]
             hashed = self._hashes.hash_many(missing)
             matrix[miss] = hashed
             for event_id, row in zip(missing.tolist(), hashed.tolist()):
                 cache[event_id] = row
-            while len(cache) > HASH_CACHE_SIZE:
-                cache.popitem(last=False)
+            self._cache_misses.inc(len(miss))
+            self._evict_cache()
         return matrix
 
     def _combine_rows(self, columns: list[int], t: float) -> float:

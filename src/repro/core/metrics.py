@@ -1,0 +1,606 @@
+"""Lightweight, dependency-free operational metrics.
+
+A system serving heavy traffic is only trustworthy if its operators can
+see what it is doing — Hokusai ships its sketch store with exactly this
+kind of operational accounting, and the OEDP line of work stresses that
+reporting is part of the system, not an afterthought.  This module is
+the whole observability substrate:
+
+* three instruments — :class:`Counter`, :class:`Gauge` and
+  :class:`Histogram` (fixed cumulative buckets plus count/sum/min/max,
+  with a :meth:`Histogram.time` context manager for latencies),
+* :class:`MetricsRegistry` — a named, thread-safe, get-or-create home
+  for instruments with a JSON-ready :meth:`~MetricsRegistry.snapshot`
+  and a Prometheus-style text :meth:`~MetricsRegistry.exposition`,
+* a process-wide default registry (:func:`global_registry`) that the
+  first-party hot paths (CM-PBE hash-column LRU, sharded fan-out, the
+  live monitor, the batched stream readers) report into,
+* :class:`InstrumentedStore` — a :class:`~repro.core.store.BurstStore`
+  wrapper, registered in the backend registry under ``instrumented``,
+  that transparently accounts ingest volume, query counts, batch sizes,
+  per-call latency and serialized size for any backend while returning
+  bit-identical results.
+
+Everything here is stdlib-only and cheap enough for hot paths: an
+instrument update is one lock acquisition and one float add.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Iterable, Sequence
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "InstrumentedStore",
+    "global_registry",
+    "LATENCY_BUCKETS_SECONDS",
+    "BATCH_SIZE_BUCKETS",
+    "render_snapshot",
+    "prometheus_exposition",
+]
+
+#: Default latency buckets (seconds) — decades from 1 microsecond to 10 s.
+LATENCY_BUCKETS_SECONDS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: Default buckets for record/query batch sizes.
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (
+    1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0, 262144.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (Prometheus ``counter``)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (Prometheus ``gauge``)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class _Timer:
+    """Context manager observing its elapsed wall time into a histogram."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+class Histogram:
+    """A fixed-bucket distribution (Prometheus ``histogram``).
+
+    Buckets are *cumulative*: ``bucket_counts[i]`` is the number of
+    observations ``<= bounds[i]``; observations above the last bound are
+    only visible in ``count`` (the implicit ``+Inf`` bucket).
+    """
+
+    __slots__ = (
+        "name", "help", "bounds", "_lock",
+        "_bucket_counts", "_count", "_sum", "_min", "_max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise InvalidParameterError(
+                "histogram buckets must be a non-empty increasing sequence"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._lock = lock
+        self._bucket_counts = [0] * len(bounds)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+
+    def time(self) -> _Timer:
+        """A context manager that observes its elapsed seconds."""
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._bucket_counts = [0] * len(self.bounds)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+    def _snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "help": self.help,
+                "count": self._count,
+                "sum": self._sum,
+                "min": None if self._count == 0 else self._min,
+                "max": None if self._count == 0 else self._max,
+                "buckets": [
+                    [bound, count]
+                    for bound, count in zip(
+                        self.bounds, self._bucket_counts
+                    )
+                ],
+            }
+
+
+class MetricsRegistry:
+    """A named set of instruments with get-or-create semantics.
+
+    The same name always returns the same instrument object (so hot
+    paths can hold a direct reference), and asking for an existing name
+    as a different instrument kind is an error.  :meth:`reset` forgets
+    every instrument (zeroing them for any held references), so one CLI
+    invocation scopes the process-wide registry to itself and a
+    snapshot lists exactly the instruments that invocation created.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, kind, name: str, **kwargs):
+        if not name or not isinstance(name, str):
+            raise InvalidParameterError(
+                "metric name must be a non-empty string"
+            )
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, lock=threading.Lock(), **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise InvalidParameterError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__.lower()}, not "
+                    f"{kind.__name__.lower()}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS_SECONDS,
+    ) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get_or_create(
+            Histogram, name, help=help, buckets=buckets
+        )
+
+    def reset(self) -> None:
+        """Forget every instrument.
+
+        Dropped instruments are zeroed too, so objects holding a direct
+        reference keep a working (but detached) instrument; asking the
+        registry for the name again creates a fresh one.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+            self._instruments.clear()
+        for instrument in instruments:
+            instrument._reset()
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable snapshot of every instrument's state."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = {
+                    "value": instrument.value, "help": instrument.help,
+                }
+            elif isinstance(instrument, Gauge):
+                gauges[name] = {
+                    "value": instrument.value, "help": instrument.help,
+                }
+            else:
+                histograms[name] = instrument._snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def exposition(self) -> str:
+        """Prometheus-style text exposition of the current state."""
+        return prometheus_exposition(self.snapshot())
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry used by first-party hot paths."""
+    return _GLOBAL
+
+
+# ----------------------------------------------------------------------
+# Snapshot rendering (shared by the registry and the `repro stats` CLI)
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`.
+
+    Histograms are summarized as ``count`` and ``sum`` only — bucket
+    detail is for the Prometheus exposition, not for eyeballs.
+    """
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(
+                f"  {name} {_format_value(counters[name]['value'])}"
+            )
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(
+                f"  {name} {_format_value(gauges[name]['value'])}"
+            )
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            data = histograms[name]
+            lines.append(
+                f"  {name} count={data['count']} "
+                f"sum={_format_value(data['sum'])}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def _prometheus_name(name: str) -> str:
+    return "repro_" + name if not name.startswith("repro_") else name
+
+
+def prometheus_exposition(snapshot: dict) -> str:
+    """Prometheus text-format exposition of a snapshot dict."""
+    lines: list[str] = []
+
+    def emit_scalar(section: dict, kind: str) -> None:
+        for name in sorted(section):
+            data = section[name]
+            full = _prometheus_name(name)
+            if data.get("help"):
+                lines.append(f"# HELP {full} {data['help']}")
+            lines.append(f"# TYPE {full} {kind}")
+            lines.append(f"{full} {_format_value(data['value'])}")
+
+    emit_scalar(snapshot.get("counters", {}), "counter")
+    emit_scalar(snapshot.get("gauges", {}), "gauge")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        full = _prometheus_name(name)
+        if data.get("help"):
+            lines.append(f"# HELP {full} {data['help']}")
+        lines.append(f"# TYPE {full} histogram")
+        for bound, count in data["buckets"]:
+            lines.append(
+                f'{full}_bucket{{le="{_format_value(bound)}"}} {count}'
+            )
+        lines.append(f'{full}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{full}_sum {_format_value(data['sum'])}")
+        lines.append(f"{full}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# InstrumentedStore: transparent accounting around any BurstStore
+# ----------------------------------------------------------------------
+class InstrumentedStore:
+    """Wraps any burst store with per-store operational accounting.
+
+    Every call is delegated verbatim to the wrapped backend — results
+    are bit-identical — while a private :class:`MetricsRegistry`
+    (exposed as :attr:`metrics`) accounts elements ingested, batch
+    sizes, per-kind query counts, per-call latency and serialized size.
+
+    Registered in the backend registry as ``instrumented``:
+    ``create_store("instrumented", backend="cm-pbe-1", **cfg)`` builds
+    and wraps the child in one call.  Serialization stores the child's
+    backend key alongside its payload, so instrumented stores round-trip
+    through the standard envelope (metrics are runtime state and are
+    not persisted).
+    """
+
+    backend_key = "instrumented"
+
+    def __init__(
+        self,
+        store=None,
+        *,
+        backend: str | None = None,
+        registry: MetricsRegistry | None = None,
+        **child_cfg,
+    ) -> None:
+        if (store is None) == (backend is None):
+            raise InvalidParameterError(
+                "pass exactly one of a prebuilt store or backend=<key>"
+            )
+        if store is None:
+            if backend == "instrumented":
+                raise InvalidParameterError(
+                    "instrumented stores cannot wrap themselves"
+                )
+            from repro.core.store import create_store
+
+            store = create_store(backend, **child_cfg)
+        self.inner = store
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        m = self.metrics
+        self._elements = m.counter(
+            "store_elements_ingested_total", "stream elements ingested"
+        )
+        self._ingest_batches = m.counter(
+            "store_ingest_batches_total", "extend_batch calls"
+        )
+        self._ingest_batch_size = m.histogram(
+            "store_ingest_batch_size",
+            "records per ingest batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._point_queries = m.counter(
+            "store_point_queries_total", "scalar point queries served"
+        )
+        self._point_batches = m.counter(
+            "store_point_query_batches_total", "batched point-query calls"
+        )
+        self._point_batch_size = m.histogram(
+            "store_point_query_batch_size",
+            "pairs per point-query batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._bursty_time_queries = m.counter(
+            "store_bursty_time_queries_total", "bursty-time queries served"
+        )
+        self._bursty_event_queries = m.counter(
+            "store_bursty_event_queries_total",
+            "bursty-event queries served",
+        )
+        self._peak_queries = m.counter(
+            "store_peak_queries_total", "peak queries served"
+        )
+        self._query_seconds = m.histogram(
+            "store_query_seconds", "per-call query latency (seconds)"
+        )
+        self._serialized_bytes = m.gauge(
+            "store_serialized_bytes", "size of the last to_bytes() payload"
+        )
+
+    # -- ingest --------------------------------------------------------
+    def update(self, event_id: int, timestamp: float, count: int = 1) -> None:
+        self.inner.update(event_id, timestamp, count)
+        self._elements.inc(count)
+
+    def extend(self, records: Iterable[tuple[int, float]]) -> None:
+        for event_id, timestamp in records:
+            self.update(event_id, timestamp)
+
+    def extend_batch(self, event_ids, timestamps, counts=None) -> None:
+        self.inner.extend_batch(event_ids, timestamps, counts)
+        import numpy as np
+
+        n_records = int(np.asarray(event_ids).size)
+        self._ingest_batches.inc()
+        self._ingest_batch_size.observe(n_records)
+        self._elements.inc(
+            n_records if counts is None else int(np.asarray(counts).sum())
+        )
+
+    # -- queries -------------------------------------------------------
+    def point_query(self, event_id: int, t: float, tau: float) -> float:
+        with self._query_seconds.time():
+            value = self.inner.point_query(event_id, t, tau)
+        self._point_queries.inc()
+        return value
+
+    def burstiness(self, event_id: int, t: float, tau: float) -> float:
+        """Sketch-compatible alias of :meth:`point_query`."""
+        return self.point_query(event_id, t, tau)
+
+    def point_query_batch(self, event_ids, ts, tau: float):
+        with self._query_seconds.time():
+            values = self.inner.point_query_batch(event_ids, ts, tau)
+        self._point_batches.inc()
+        self._point_batch_size.observe(values.size)
+        return values
+
+    def bursty_time_query(self, event_id, theta, tau, **kwargs):
+        with self._query_seconds.time():
+            intervals = self.inner.bursty_time_query(
+                event_id, theta, tau, **kwargs
+            )
+        self._bursty_time_queries.inc()
+        return intervals
+
+    def bursty_event_query(self, t, theta, tau):
+        with self._query_seconds.time():
+            hits = self.inner.bursty_event_query(t, theta, tau)
+        self._bursty_event_queries.inc()
+        return hits
+
+    def peak_query(self, event_id, t_start, t_end, tau):
+        with self._query_seconds.time():
+            peak = self.inner.peak_query(event_id, t_start, t_end, tau)
+        self._peak_queries.inc()
+        return peak
+
+    # -- merge & codec -------------------------------------------------
+    def merge(self, other) -> "InstrumentedStore":
+        """Merge the wrapped stores; the result gets fresh metrics."""
+        inner_other = (
+            other.inner if isinstance(other, InstrumentedStore) else other
+        )
+        return InstrumentedStore(self.inner.merge(inner_other))
+
+    def to_bytes(self) -> bytes:
+        from repro.core.store import _pack_config
+
+        payload = self.inner.to_bytes()
+        blob = _pack_config(
+            {"backend": self.inner.backend_key}, payload
+        )
+        self._serialized_bytes.set(len(blob))
+        return blob
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "InstrumentedStore":
+        from repro.core.store import _unpack_config, load_backend
+
+        config, payload = _unpack_config(data)
+        return cls(load_backend(config["backend"], payload))
+
+    # -- everything else passes straight through -----------------------
+    def memory_elements(self) -> int:
+        return self.inner.memory_elements()
+
+    def size_in_bytes(self) -> int:
+        return self.inner.size_in_bytes()
+
+    def finalize(self) -> None:
+        self.inner.finalize()
+
+    def metrics_snapshot(self) -> dict:
+        """Snapshot of this store's private registry."""
+        return self.metrics.snapshot()
+
+    def __getattr__(self, name: str):
+        # Delegate the long tail (segment_starts, cumulative_frequency,
+        # count, piecewise, t_end, universe_size, shards, close, ...) so
+        # the wrapper is drop-in anywhere the backend was.
+        if name.startswith("_") or name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
+def _json_default(value):
+    if isinstance(value, float):
+        return value
+    raise TypeError(f"not JSON-serializable: {value!r}")
+
+
+def dump_snapshot_json(snapshot: dict) -> str:
+    """Stable JSON text for a snapshot (sorted keys, trailing newline)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"

@@ -15,6 +15,7 @@ live detection and historical queries can run off the same ingest path:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -25,6 +26,7 @@ from repro.core.errors import (
     require_tau,
     require_theta,
 )
+from repro.core.metrics import global_registry
 
 __all__ = ["BurstAlert", "BurstMonitor", "MonitoredAnalyzer"]
 
@@ -66,6 +68,19 @@ class BurstMonitor:
         self._last_alert: dict[int, float] = {}
         self._clock = float("-inf")
         self._started_at: float | None = None
+        self._retained = 0
+        metrics = global_registry()
+        self._alerts_total = metrics.counter(
+            "monitor_alerts_total", "burst alerts emitted"
+        )
+        self._suppressed_total = metrics.counter(
+            "monitor_cooldown_suppressed_total",
+            "alerts suppressed by the per-event cooldown",
+        )
+        self._window_elements = metrics.gauge(
+            "monitor_window_elements",
+            "elements retained across all 2-tau windows",
+        )
 
     def update(self, event_id: int, timestamp: float) -> BurstAlert | None:
         """Ingest one element; return an alert if the event is bursting."""
@@ -81,7 +96,9 @@ class BurstMonitor:
             window = deque()
             self._windows[event_id] = window
         window.append(timestamp)
+        self._retained += 1
         self._evict(window, timestamp)
+        self._window_elements.set(self._retained)
         if timestamp - self._started_at < 2 * self.tau:
             # Warm-up: with less than 2*tau of history the trailing
             # window is artificially empty, which mimics acceleration.
@@ -91,8 +108,10 @@ class BurstMonitor:
             return None
         last = self._last_alert.get(event_id)
         if last is not None and timestamp - last < self.cooldown:
+            self._suppressed_total.inc()
             return None
         self._last_alert[event_id] = timestamp
+        self._alerts_total.inc()
         return BurstAlert(event_id, timestamp, float(value))
 
     def consume(
@@ -119,21 +138,21 @@ class BurstMonitor:
         return float(self._burstiness(window, self._clock))
 
     def _evict(self, window: deque[float], now: float) -> None:
+        # Exact semantics: b_e(t) = F(t) - 2F(t-tau) + F(t-2tau) with
+        # F(x) counting elements <= x, so an element at exactly
+        # now - 2*tau cancels out and can be dropped.
         horizon = now - 2 * self.tau
-        while window and window[0] < horizon:
+        while window and window[0] <= horizon:
             window.popleft()
+            self._retained -= 1
 
     def _burstiness(self, window: deque[float], now: float) -> int:
         self._evict(window, now)
-        recent = 0
-        previous = 0
-        boundary = now - self.tau
-        for timestamp in reversed(window):
-            if timestamp > boundary:
-                recent += 1
-            else:
-                previous += 1
-        return recent - previous
+        # The window is sorted (stream order is enforced), so the
+        # recent/previous split is one bisect: elements <= now - tau
+        # belong to the trailing bucket, matching F's <= semantics.
+        previous = bisect_right(window, now - self.tau)
+        return len(window) - 2 * previous
 
     @property
     def n_tracked_events(self) -> int:

@@ -365,3 +365,19 @@ class HistoricalBurstAnalyzer:
     def size_in_bytes(self) -> int:
         """Storage footprint of the chosen backend."""
         return self._store.size_in_bytes()
+
+    def metrics_snapshot(self) -> dict:
+        """Operational metrics: the process-wide registry plus, when the
+        wrapped store is an
+        :class:`~repro.core.metrics.InstrumentedStore`, its per-store
+        registry under ``"store"`` (``None`` otherwise)."""
+        from repro.core.metrics import global_registry
+
+        store_snapshot = None
+        snapshot_fn = getattr(self._store, "metrics_snapshot", None)
+        if snapshot_fn is not None:
+            store_snapshot = snapshot_fn()
+        return {
+            "global": global_registry().snapshot(),
+            "store": store_snapshot,
+        }

@@ -24,7 +24,7 @@ query and serialization surface.  This module unifies them:
   round-trips any registered backend, sharded composites included.
 
 Registered keys: ``exact``, ``cm-pbe-1``, ``cm-pbe-2``, ``direct``,
-``index``, ``sharded``.
+``index``, ``sharded``, ``instrumented``.
 """
 
 from __future__ import annotations
@@ -55,6 +55,7 @@ from repro.core.errors import (
     require_theta,
     require_time_range,
 )
+from repro.core.metrics import InstrumentedStore, global_registry
 from repro.core.parallel import merge_pbe1, merge_pbe2
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
@@ -1188,6 +1189,57 @@ class ShardedBurstStore(_StoreBase):
                 create_store(backend, **child_cfg)
                 for _ in range(self.n_shards)
             ]
+        self._pool: ThreadPoolExecutor | None = None
+        metrics = global_registry()
+        self._point_batches_total = metrics.counter(
+            "sharded_point_query_batches_total",
+            "batched point queries fanned out across shards",
+        )
+        self._event_queries_total = metrics.counter(
+            "sharded_bursty_event_queries_total",
+            "bursty-event queries fanned out across shards",
+        )
+        self._fanout_groups = metrics.histogram(
+            "sharded_fanout_groups",
+            "shards touched per fanned-out query",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        )
+        self._shard_seconds = metrics.histogram(
+            "sharded_shard_seconds",
+            "per-shard latency inside a fan-out (seconds)",
+        )
+
+    # -- fan-out pool --------------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        """One persistent pool per store, created on first fan-out.
+
+        A fresh executor per query call costs thread spawn/teardown on
+        the hot serving path; the pool lives until :meth:`close`.
+        """
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_shards,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the fan-out pool (recreated lazily if used again)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __del__(self) -> None:
+        try:
+            pool = self.__dict__.get("_pool")
+            if pool is not None:
+                pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def _timed(self, fn, *args):
+        with self._shard_seconds.time():
+            return fn(*args)
 
     # -- routing -------------------------------------------------------
     def shard_of(self, event_id: int) -> int:
@@ -1235,27 +1287,31 @@ class ShardedBurstStore(_StoreBase):
         if ids.size == 0:
             return out
         groups = list(_iter_groups(self._shards_of(ids)))
+        self._point_batches_total.inc()
+        self._fanout_groups.observe(len(groups))
         if len(groups) == 1:
             shard_index, order = groups[0]
-            out[order] = self.shards[shard_index].point_query_batch(
-                ids[order], times[order], tau
+            out[order] = self._timed(
+                self.shards[shard_index].point_query_batch,
+                ids[order], times[order], tau,
             )
             return out
-        with ThreadPoolExecutor(max_workers=len(groups)) as pool:
-            futures = [
-                (
-                    order,
-                    pool.submit(
-                        self.shards[shard_index].point_query_batch,
-                        ids[order],
-                        times[order],
-                        tau,
-                    ),
-                )
-                for shard_index, order in groups
-            ]
-            for order, future in futures:
-                out[order] = future.result()
+        pool = self._executor()
+        futures = [
+            (
+                order,
+                pool.submit(
+                    self._timed,
+                    self.shards[shard_index].point_query_batch,
+                    ids[order],
+                    times[order],
+                    tau,
+                ),
+            )
+            for shard_index, order in groups
+        ]
+        for order, future in futures:
+            out[order] = future.result()
         return out
 
     def bursty_time_query(
@@ -1283,18 +1339,22 @@ class ShardedBurstStore(_StoreBase):
         lists are collected in shard order before the ownership filter,
         so results match the sequential fan-out exactly.
         """
+        self._event_queries_total.inc()
+        self._fanout_groups.observe(self.n_shards)
         if self.n_shards == 1:
-            shard_hits = [self.shards[0].bursty_event_query(t, theta, tau)]
+            shard_hits = [
+                self._timed(self.shards[0].bursty_event_query, t, theta, tau)
+            ]
         else:
-            with ThreadPoolExecutor(max_workers=self.n_shards) as pool:
-                shard_hits = list(
-                    pool.map(
-                        lambda shard: shard.bursty_event_query(
-                            t, theta, tau
-                        ),
-                        self.shards,
-                    )
+            pool = self._executor()
+            shard_hits = list(
+                pool.map(
+                    lambda shard: self._timed(
+                        shard.bursty_event_query, t, theta, tau
+                    ),
+                    self.shards,
                 )
+            )
         hits = [
             hit
             for index, per_shard in enumerate(shard_hits)
@@ -1430,4 +1490,8 @@ register_backend(
 register_backend(
     "sharded", ShardedBurstStore, ShardedBurstStore.from_bytes,
     "hash-partitioned composite over N child backends",
+)
+register_backend(
+    "instrumented", InstrumentedStore, InstrumentedStore.from_bytes,
+    "metrics-collecting wrapper around any child backend",
 )

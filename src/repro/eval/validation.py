@@ -9,13 +9,15 @@ the sketch's burstiness estimates on a query grid, and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Iterable
 
 import numpy as np
 
 from repro.baselines.exact import ExactBurstStore
 from repro.core.errors import InvalidParameterError
+from repro.core.metrics import global_registry
 
 __all__ = ["ValidationReport", "WorstQuery", "validate_sketch"]
 
@@ -46,6 +48,10 @@ class ValidationReport:
     rmse: float
     truth_scale: float  # max |exact burstiness| seen on the grid
     worst: list[WorstQuery] = field(default_factory=list)
+    #: Operational metrics snapshot taken when the run finished
+    #: (process registry plus the sketch's own registry when it is an
+    #: :class:`~repro.core.metrics.InstrumentedStore`).
+    metrics: dict | None = None
 
     @property
     def relative_mean_error(self) -> float:
@@ -69,6 +75,10 @@ class ValidationReport:
                 f"estimate {bad.estimate:.1f} vs truth {bad.truth:.1f}"
             )
         return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """The full report — metrics snapshot included — as JSON."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
 
 
 def validate_sketch(
@@ -122,6 +132,11 @@ def validate_sketch(
 
     errors_arr = np.asarray(errors)
     queries.sort(key=lambda q: -q.error)
+    snapshot_fn = getattr(sketch, "metrics_snapshot", None)
+    metrics = {
+        "global": global_registry().snapshot(),
+        "store": None if snapshot_fn is None else snapshot_fn(),
+    }
     return ValidationReport(
         n_queries=int(errors_arr.size),
         mean_abs_error=float(errors_arr.mean()),
@@ -130,4 +145,5 @@ def validate_sketch(
         rmse=float(np.sqrt(np.mean(errors_arr**2))),
         truth_scale=truth_scale,
         worst=queries[:n_worst],
+        metrics=metrics,
     )

@@ -7,7 +7,9 @@ Event streams are exchanged as either:
   record array with a small magic header, for fast round-trips of large
   streams.
 
-Both formats preserve order and duplicates exactly.
+Both formats preserve order and duplicates exactly.  The batched readers
+account batches, records and bytes read into the process metrics
+registry (:mod:`repro.core.metrics`).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.core.metrics import global_registry
 from repro.streams.events import EventStream
 
 __all__ = [
@@ -37,10 +40,28 @@ __all__ = [
 _MAGIC = b"REPROEV1"
 _HEADER = struct.Struct("<8sQ")
 
+#: The binary format stores ids as uint32.
+_MAX_BINARY_ID = 2**32 - 1
+
 #: Default record-batch size for the batched readers and the CLI ingest
 #: path — large enough to amortize numpy dispatch, small enough to keep
 #: memory bounded on arbitrarily long streams.
 DEFAULT_BATCH_SIZE = 8192
+
+
+def _reader_metrics():
+    metrics = global_registry()
+    return (
+        metrics.counter(
+            "stream_read_batches_total", "record batches read from disk"
+        ),
+        metrics.counter(
+            "stream_read_records_total", "stream records read from disk"
+        ),
+        metrics.counter(
+            "stream_read_bytes_total", "stream payload bytes read from disk"
+        ),
+    )
 
 
 def write_csv(stream: EventStream, path: str | Path) -> None:
@@ -53,7 +74,12 @@ def write_csv(stream: EventStream, path: str | Path) -> None:
 
 
 def iter_csv(path: str | Path) -> Iterator[tuple[int, float]]:
-    """Lazily yield ``(event_id, timestamp)`` pairs from a CSV file."""
+    """Lazily yield ``(event_id, timestamp)`` pairs from a CSV file.
+
+    A malformed row (missing column, non-numeric field) raises
+    :class:`InvalidParameterError` naming the 1-based line number and the
+    offending row, instead of a bare ``IndexError``/``ValueError``.
+    """
     with open(path, newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
@@ -61,13 +87,27 @@ def iter_csv(path: str | Path) -> Iterator[tuple[int, float]]:
             raise InvalidParameterError(
                 f"not a repro event CSV (header was {header!r})"
             )
-        for row in reader:
-            yield int(row[0]), float(row[1])
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                yield int(row[0]), float(row[1])
+            except (IndexError, ValueError):
+                raise InvalidParameterError(
+                    f"malformed CSV row at line {line_number}: {row!r} "
+                    "(expected 'event_id,timestamp' with an integer id "
+                    "and a numeric timestamp)"
+                ) from None
 
 
 def read_csv(path: str | Path) -> EventStream:
     """Read a stream previously written by :func:`write_csv`."""
     return EventStream(iter_csv(path))
+
+
+def _csv_payload_bytes(ids: list[int], ts: list[float]) -> int:
+    # Approximate on-disk size of the decoded rows: digits + separator
+    # + newline.  Exact enough for throughput accounting without a
+    # second pass over the raw text.
+    return sum(len(str(i)) + len(repr(t)) + 2 for i, t in zip(ids, ts))
 
 
 def iter_csv_batches(
@@ -83,18 +123,25 @@ def iter_csv_batches(
         raise InvalidParameterError(
             f"batch_size must be > 0, got {batch_size}"
         )
+    batches_total, records_total, bytes_total = _reader_metrics()
     ids: list[int] = []
     ts: list[float] = []
     for event_id, timestamp in iter_csv(path):
         ids.append(event_id)
         ts.append(timestamp)
         if len(ids) >= batch_size:
+            batches_total.inc()
+            records_total.inc(len(ids))
+            bytes_total.inc(_csv_payload_bytes(ids, ts))
             yield (
                 np.asarray(ids, dtype=np.int64),
                 np.asarray(ts, dtype=np.float64),
             )
             ids, ts = [], []
     if ids:
+        batches_total.inc()
+        records_total.inc(len(ids))
+        bytes_total.inc(_csv_payload_bytes(ids, ts))
         yield (
             np.asarray(ids, dtype=np.int64),
             np.asarray(ts, dtype=np.float64),
@@ -102,8 +149,24 @@ def iter_csv_batches(
 
 
 def write_binary(stream: EventStream, path: str | Path) -> None:
-    """Write a stream in the packed binary format."""
-    ids = np.asarray(stream.event_ids, dtype="<u4")
+    """Write a stream in the packed binary format.
+
+    Ids outside ``[0, 2**32)`` cannot be represented by the uint32
+    column and raise :class:`InvalidParameterError` naming the offending
+    id (a silent cast would wrap them onto other events' ids).
+    """
+    try:
+        raw_ids = np.asarray(stream.event_ids, dtype=np.int64)
+    except OverflowError:
+        raw_ids = np.asarray(stream.event_ids, dtype=object)
+    bad = np.nonzero((raw_ids < 0) | (raw_ids > _MAX_BINARY_ID))[0]
+    if bad.size:
+        index = int(bad[0])
+        raise InvalidParameterError(
+            f"event id {raw_ids[index]} at record {index} does not fit "
+            f"the binary format's uint32 id column [0, {_MAX_BINARY_ID}]"
+        )
+    ids = raw_ids.astype("<u4")
     ts = np.asarray(stream.timestamps, dtype="<f8")
     with open(path, "wb") as fh:
         fh.write(_HEADER.pack(_MAGIC, len(ids)))
@@ -145,6 +208,7 @@ def iter_binary_batches(
         raise InvalidParameterError(
             f"batch_size must be > 0, got {batch_size}"
         )
+    batches_total, records_total, bytes_total = _reader_metrics()
     with open(path, "rb") as fh:
         header = fh.read(_HEADER.size)
         if len(header) != _HEADER.size:
@@ -162,6 +226,9 @@ def iter_binary_batches(
             ts_bytes = fh.read(8 * size)
             if len(id_bytes) != 4 * size or len(ts_bytes) != 8 * size:
                 raise InvalidParameterError("truncated binary stream file")
+            batches_total.inc()
+            records_total.inc(size)
+            bytes_total.inc(len(id_bytes) + len(ts_bytes))
             yield (
                 np.frombuffer(id_bytes, dtype="<u4").astype(np.int64),
                 np.frombuffer(ts_bytes, dtype="<f8").astype(np.float64),

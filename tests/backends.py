@@ -33,13 +33,24 @@ BACKEND_MATRIX: list[tuple[str, str, dict]] = [
         "sharded",
         dict(shards=3, backend="cm-pbe-1", universe_size=UNIVERSE, **_PBE1),
     ),
+    ("instrumented-exact", "instrumented", dict(backend="exact")),
+    (
+        "instrumented-cm-pbe-1",
+        "instrumented",
+        dict(backend="cm-pbe-1", universe_size=UNIVERSE, **_PBE1),
+    ),
 ]
 
 BACKEND_IDS = [label for label, _, _ in BACKEND_MATRIX]
 
 # Labels whose answers must match the exact oracle bit-for-bit (no
 # sketching anywhere in the stack).
-EXACT_LABELS = {"exact", "sharded-x2-exact", "sharded-x4-exact"}
+EXACT_LABELS = {
+    "exact",
+    "sharded-x2-exact",
+    "sharded-x4-exact",
+    "instrumented-exact",
+}
 
 
 def covered_keys() -> set[str]:

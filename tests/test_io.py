@@ -53,12 +53,76 @@ class TestCsv:
         assert list(read_csv(path)) == list(stream)
 
 
+class TestMalformedCsvRows:
+    """Regression: malformed rows used to surface as bare IndexError /
+    ValueError with no hint of where in the file they were."""
+
+    def _write(self, tmp_path, body: str):
+        path = tmp_path / "rows.csv"
+        path.write_text("event_id,timestamp\n" + body)
+        return path
+
+    def test_missing_column_names_line(self, tmp_path):
+        path = self._write(tmp_path, "1,0.5\n7\n2,1.5\n")
+        with pytest.raises(InvalidParameterError, match="line 3"):
+            list(iter_csv(path))
+
+    def test_non_numeric_field_names_line_and_row(self, tmp_path):
+        path = self._write(tmp_path, "1,0.5\n2,abc\n")
+        with pytest.raises(
+            InvalidParameterError, match=r"line 3.*'abc'"
+        ):
+            list(iter_csv(path))
+
+    def test_non_integer_id_rejected(self, tmp_path):
+        path = self._write(tmp_path, "x,0.5\n")
+        with pytest.raises(InvalidParameterError, match="line 2"):
+            list(iter_csv(path))
+
+    def test_good_rows_before_the_bad_one_still_yield(self, tmp_path):
+        path = self._write(tmp_path, "1,0.5\n2,1.0\nbad\n")
+        iterator = iter_csv(path)
+        assert next(iterator) == (1, 0.5)
+        assert next(iterator) == (2, 1.0)
+        with pytest.raises(InvalidParameterError):
+            next(iterator)
+
+
 class TestBinary:
     def test_round_trip(self, tmp_path, sample_stream):
         path = tmp_path / "stream.bin"
         write_binary(sample_stream, path)
         loaded = read_binary(path)
         assert list(loaded) == list(sample_stream)
+
+    def test_large_id_round_trips(self, tmp_path):
+        """Regression: ids near the uint32 ceiling must survive the
+        binary round-trip bit-exactly (they used to be silently cast)."""
+        stream = EventStream([(2**32 - 1, 0.0), (2**31, 1.0)])
+        path = tmp_path / "large.bin"
+        write_binary(stream, path)
+        assert list(read_binary(path)) == list(stream)
+
+    def test_out_of_range_id_rejected_not_truncated(self, tmp_path):
+        """Regression: an id >= 2**32 used to wrap modulo 2**32 and land
+        on another event's id; now the writer refuses, naming it."""
+        stream = EventStream([(1, 0.0), (2**32 + 7, 1.0)])
+        path = tmp_path / "wide.bin"
+        with pytest.raises(
+            InvalidParameterError, match=str(2**32 + 7)
+        ):
+            write_binary(stream, path)
+        assert not path.exists()
+
+    def test_negative_id_rejected(self, tmp_path):
+        stream = EventStream([(-3, 0.0)])
+        with pytest.raises(InvalidParameterError, match="-3"):
+            write_binary(stream, tmp_path / "neg.bin")
+
+    def test_id_beyond_int64_rejected(self, tmp_path):
+        stream = EventStream([(2**70, 0.0)])
+        with pytest.raises(InvalidParameterError):
+            write_binary(stream, tmp_path / "huge.bin")
 
     def test_empty_stream(self, tmp_path):
         path = tmp_path / "empty.bin"

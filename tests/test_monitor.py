@@ -97,6 +97,61 @@ class TestBurstMonitor:
         assert all(alert.burstiness >= 10.0 for alert in seen)
 
 
+class TestMonitorMatchesExactStore:
+    """Differential regression for the window-boundary off-by-one: the
+    live monitor must agree with the exact oracle's
+    ``b_e(t) = F(t) - 2F(t-tau) + F(t-2tau)`` everywhere, including at
+    timestamps sitting exactly on the ``t - tau`` / ``t - 2 tau``
+    boundaries (pre-fix, an element at exactly ``t - 2 tau`` was
+    retained and miscounted into the previous bucket)."""
+
+    TAU = 10.0
+
+    def _assert_agrees(self, records):
+        from repro.baselines.exact import ExactBurstStore
+
+        monitor = BurstMonitor(tau=self.TAU, theta=1e9)
+        exact = ExactBurstStore()
+        for event_id, t in records:
+            monitor.update(event_id, t)
+            exact.update(event_id, t)
+            live = monitor.current_burstiness(event_id)
+            truth = float(exact.burstiness(event_id, t, self.TAU))
+            assert live == truth, (event_id, t)
+
+    def test_boundary_aligned_timestamps(self):
+        # Every gap is a multiple of tau, so each query time lands
+        # elements exactly on both window boundaries.
+        records = [
+            (1, t)
+            for t in (0.0, 10.0, 10.0, 20.0, 30.0, 30.0, 40.0, 60.0)
+        ]
+        self._assert_agrees(records)
+
+    def test_element_exactly_two_tau_back_contributes_zero(self):
+        from repro.baselines.exact import ExactBurstStore
+
+        monitor = BurstMonitor(tau=self.TAU, theta=1e9)
+        exact = ExactBurstStore()
+        for t in (5.0, 20.0, 25.0):
+            monitor.update(1, t)
+            exact.update(1, t)
+        # At t=25 the 5.0 element sits exactly at t - 2*tau: F-terms
+        # cancel it, so both sides must report 2 - 0 = 2.
+        assert exact.burstiness(1, 25.0, self.TAU) == 2
+        assert monitor.current_burstiness(1) == 2.0
+
+    def test_random_stream_snapped_to_boundaries(self):
+        rng = np.random.default_rng(23)
+        # Half-tau grid timestamps: boundary collisions are the norm,
+        # not the exception.
+        ts = np.sort(
+            rng.integers(0, 40, 300).astype(np.float64) * (self.TAU / 2)
+        )
+        ids = rng.integers(0, 4, 300)
+        self._assert_agrees(list(zip(ids.tolist(), ts.tolist())))
+
+
 class TestMonitoredAnalyzer:
     def test_live_and_historical_agree(self):
         records = surge_stream(onset=500.0)
@@ -137,9 +192,11 @@ class TestMonitorEvictionPaths:
         for t in (0.0, 5.0, 19.9, 20.5, 25.0):
             monitor.update(1, t)
         # Clock is 25.0; horizon is 5.0 — the 0.0 element must be gone,
-        # the 5.0 element (== horizon boundary) retained.
+        # and the 5.0 element sitting exactly on the horizon too: in
+        # b_e(t) = F(t) - 2F(t-tau) + F(t-2tau) an element at exactly
+        # t - 2*tau cancels out, so retaining it would skew the count.
         monitor.current_burstiness(1)
-        assert monitor.memory_elements() == 4
+        assert monitor.memory_elements() == 3
 
     def test_eviction_after_long_silence(self):
         monitor = BurstMonitor(tau=5.0, theta=1e9)

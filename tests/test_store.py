@@ -45,6 +45,7 @@ class TestRegistry:
             "direct",
             "index",
             "sharded",
+            "instrumented",
         }
 
     def test_unknown_backend_raises_with_listing(self):
@@ -198,6 +199,53 @@ class TestShardedRouting:
         store = create_store("sharded", shards=3, backend="exact")
         assert len(store.shards) == 3
         assert all(child.backend_key == "exact" for child in store.shards)
+
+
+class TestShardedExecutorLifecycle:
+    """Regression: every fan-out used to spin up (and tear down) a fresh
+    ThreadPoolExecutor; the pool is now created lazily once per store."""
+
+    def _loaded_store(self):
+        ids, ts = drip_and_surge(300)
+        store = create_store("sharded", shards=3, backend="exact")
+        store.extend_batch(ids, ts)
+        return store, ids, ts
+
+    def test_pool_is_lazy_and_persistent(self):
+        store, ids, ts = self._loaded_store()
+        assert store._pool is None  # nothing until the first fan-out
+        store.point_query_batch(ids[:50], ts[:50] + 10.0, 25.0)
+        pool = store._pool
+        assert pool is not None
+        store.point_query_batch(ids[:50], ts[:50] + 10.0, 25.0)
+        store.bursty_event_query(420.0, 5.0, 50.0)
+        assert store._pool is pool  # reused, not respawned
+        store.close()
+
+    def test_close_shuts_down_and_allows_reuse(self):
+        store, ids, ts = self._loaded_store()
+        before = store.bursty_event_query(420.0, 5.0, 50.0)
+        store.close()
+        assert store._pool is None
+        # A store used after close() lazily recreates its pool.
+        assert store.bursty_event_query(420.0, 5.0, 50.0) == before
+        store.close()
+
+    def test_results_identical_across_pool_lifecycles(self):
+        store, ids, ts = self._loaded_store()
+        query_ids, query_ts = ids[:80], ts[:80] + 5.0
+        first = store.point_query_batch(query_ids, query_ts, 25.0)
+        store.close()
+        second = store.point_query_batch(query_ids, query_ts, 25.0)
+        assert np.array_equal(first, second)
+        store.close()
+
+    def test_del_with_unused_pool_is_safe(self):
+        store = create_store("sharded", shards=2, backend="exact")
+        store.__del__()  # never fanned out; nothing to shut down
+        store2, ids, ts = self._loaded_store()
+        store2.point_query_batch(ids[:20], ts[:20] + 1.0, 25.0)
+        store2.__del__()
 
 
 class TestMerge:
