@@ -1,0 +1,34 @@
+"""Optional-acceleration plumbing shared by the PBE cores.
+
+numba is an *optional* extra (``pip install .[numba]``).  The compiled
+kernels are opt-in twice over: the package must be importable **and** the
+caller must ask for it, either per sketch (``use_numba=True``) or
+globally (``REPRO_NUMBA=1`` in the environment).  When either condition
+fails the cores silently use their numpy paths, which are bit-identical
+to the compiled kernels by construction — the flag can change throughput
+but never an answer.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["numba_available", "resolve_use_numba"]
+
+
+def numba_available() -> bool:
+    """Whether the optional numba extra is importable."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_use_numba(use_numba: bool | None) -> bool:
+    """Resolve the opt-in: the kwarg wins, then ``REPRO_NUMBA``; absent
+    numba always falls back cleanly to the numpy path."""
+    if use_numba is None:
+        flag = os.environ.get("REPRO_NUMBA", "").strip().lower()
+        use_numba = flag in ("1", "true", "yes", "on")
+    return bool(use_numba) and numba_available()

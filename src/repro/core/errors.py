@@ -46,6 +46,16 @@ class SerializationError(ReproError):
     """A store payload is malformed, truncated, or of an unknown version."""
 
 
+class CorruptOffsetTableError(SerializationError):
+    """The envelope's blob offset table is truncated, out of bounds, or
+    disagrees with the payload it indexes.
+
+    Lazy (mmap) loading trusts the offset table to locate PBE cell
+    payloads without walking them, so any inconsistency must be a hard
+    error at open time — never a garbage answer at query time.
+    """
+
+
 # ----------------------------------------------------------------------
 # Shared parameter validation
 #

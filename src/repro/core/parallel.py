@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.errors import InvalidParameterError
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2, LineSegment
+from repro.core.serialize import LazyPBE1, LazyPBE2
 
 __all__ = [
     "merge_pbe1",
@@ -45,18 +46,28 @@ def merge_pbe1(parts: Sequence[PBE1]) -> PBE1:
     last_x = float("-inf")
     for part in parts:
         part.flush()
-        # Copy the part's corner columns: the merged sketch must own its
-        # state outright, so that a caller reusing (and mutating) a part
-        # after the merge cannot corrupt the merged corners — and vice
-        # versa.
-        xs = list(part._kept_xs)
-        ys = list(part._kept_ys)
+        if isinstance(part, LazyPBE1) and not part.is_materialized:
+            # Lazy operand: read its corner columns straight off the
+            # serialized blob instead of forcing a full hydration into
+            # Python lists the part itself will never use.  The offset
+            # shift is one IEEE add either way, so the merged corners
+            # are bit-identical to the eager path.
+            xs_view, ys_view = part._lazy_arrays()
+            xs = xs_view.tolist()
+            ys = (ys_view + offset).tolist()
+        else:
+            # Copy the part's corner columns: the merged sketch must
+            # own its state outright, so that a caller reusing (and
+            # mutating) a part after the merge cannot corrupt the
+            # merged corners — and vice versa.
+            xs = list(part._kept_xs)
+            ys = [y + offset for y in part._kept_ys]
         if xs and xs[0] < last_x:
             raise InvalidParameterError(
                 "parts must cover consecutive disjoint time ranges"
             )
         merged._kept_xs.extend(xs)
-        merged._kept_ys.extend(y + offset for y in ys)
+        merged._kept_ys.extend(ys)
         if xs:
             last_x = xs[-1]
         offset += part.count
@@ -78,8 +89,16 @@ def merge_pbe2(parts: Sequence[PBE2]) -> PBE2:
     last_end = float("-inf")
     for part in parts:
         part.finalize()
-        for segment in part.segments:
-            t_start = segment.t_start
+        if isinstance(part, LazyPBE2) and not part.is_materialized:
+            # Lazy operand: decode segment rows straight off the
+            # serialized blob; the part itself stays unmaterialized.
+            rows = part._lazy_segment_rows()
+        else:
+            rows = [
+                (s.a, s.b, s.t_start, s.t_end) for s in part.segments
+            ]
+        for a, b, seg_t_start, seg_t_end in rows:
+            t_start = seg_t_start
             if t_start < last_end:
                 # A part's first committed corner also constrains the
                 # point one clock unit earlier, so its opening segment
@@ -93,10 +112,10 @@ def merge_pbe2(parts: Sequence[PBE2]) -> PBE2:
                     )
                 t_start = last_end
             shifted = LineSegment(
-                segment.a,
-                segment.b + offset,
+                a,
+                b + offset,
                 t_start,
-                max(segment.t_end, t_start),
+                max(seg_t_end, t_start),
             )
             merged._segments.append(shifted)
             merged._segment_starts.append(shifted.t_start)

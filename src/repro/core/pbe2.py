@@ -30,9 +30,11 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from itertools import chain
 
 import numpy as np
 
+from repro.core.accel import resolve_use_numba
 from repro.core.errors import (
     EmptySketchError,
     InvalidParameterError,
@@ -40,8 +42,10 @@ from repro.core.errors import (
     require_count,
 )
 from repro.sketch.geometry import (
+    _EPS as _GEOM_EPS,
+    _INF,
     ConvexPolygon,
-    HalfPlane,
+    clip_strip,
     strip_parallelogram,
 )
 from repro.streams.frequency import BYTES_PER_FLOAT, burstiness_from_curve
@@ -84,6 +88,12 @@ class PBE2:
         Optional hard cap on the feasibility polygon's complexity; when
         exceeded the current segment is finalized early (the paper's
         space-constraint escape hatch).
+    use_numba:
+        Route range clipping through the compiled numba kernel.  ``None``
+        (default) defers to the ``REPRO_NUMBA`` environment flag; either
+        way the pure-python fused clip is used when numba is not
+        installed.  Runtime-only knob — never serialized, never affects
+        results.
     """
 
     def __init__(
@@ -91,6 +101,7 @@ class PBE2:
         gamma: float,
         unit: float = 1.0,
         max_polygon_vertices: int | None = None,
+        use_numba: bool | None = None,
     ) -> None:
         if gamma <= 0:
             raise InvalidParameterError(f"gamma must be > 0, got {gamma}")
@@ -101,6 +112,8 @@ class PBE2:
         self.gamma = float(gamma)
         self.unit = float(unit)
         self.max_polygon_vertices = max_polygon_vertices
+        self.use_numba = use_numba
+        self._use_compiled = resolve_use_numba(use_numba)
         self._segments: list[LineSegment] = []
         self._segment_starts: list[float] = []
         # One-element delay for duplicate timestamps.
@@ -108,8 +121,10 @@ class PBE2:
         self._pending_y = 0.0
         self._last_committed_t: float | None = None
         self._last_committed_y = 0.0
-        # Live polygon state.
-        self._polygon: ConvexPolygon | None = None
+        # Live polygon state: the feasibility region's vertex cycle as
+        # parallel coordinate lists (``None`` = no polygon yet).
+        self._poly_x: list[float] | None = None
+        self._poly_y: list[float] | None = None
         self._open_ranges: list[tuple[float, float, float]] = []
         self._group_start: float | None = None
         self._group_last_t: float | None = None
@@ -189,8 +204,9 @@ class PBE2:
             total = int(running[-1])
         base = self._count
         self._count += total
+        heights = (cumulative + base).astype(np.float64)
         xs = uniq.tolist()
-        ys = (cumulative + base).astype(np.float64).tolist()
+        ys = heights.tolist()
         start = 0
         if self._pending_t is not None:
             if xs[0] == self._pending_t:
@@ -200,8 +216,8 @@ class PBE2:
                 # A strictly later timestamp proves the pending corner's
                 # final height, exactly as in the scalar path.
                 self._commit_pending()
-        for t, y in zip(xs[start:-1], ys[start:-1]):
-            self._commit_corner(t, y)
+        if len(xs) - start > 1:
+            self._commit_corners_batch(uniq[start:-1], heights[start:-1])
         if len(xs) > start:
             self._pending_t = xs[-1]
             self._pending_y = ys[-1]
@@ -224,36 +240,343 @@ class PBE2:
         self._last_committed_t = t
         self._last_committed_y = y
 
+    def _commit_corners_batch(self, cts: np.ndarray, cys: np.ndarray) -> None:
+        """Commit a run of final corners with vectorized range preparation.
+
+        Bit-identical to calling :meth:`_commit_corner` per corner: the
+        pre-corner times, inclusion mask and range bounds are computed with
+        the same float operations, just elementwise, and the clip loop
+        below mirrors :meth:`_add_range` statement for statement with the
+        polygon state held in locals.
+        """
+        k = int(cts.size)
+        pre_ts = cts - self.unit
+        prev_ts = np.empty(k, dtype=np.float64)
+        prev_ts[1:] = cts[:-1]
+        prev_ts[0] = (
+            -np.inf
+            if self._last_committed_t is None
+            else self._last_committed_t
+        )
+        prev_ys = np.empty(k, dtype=np.float64)
+        prev_ys[1:] = cys[:-1]
+        prev_ys[0] = self._last_committed_y
+        # Interleave pre-corner / corner ranges, masking pre-corners that
+        # fall at or before the previously committed corner.
+        valid = np.empty(2 * k, dtype=bool)
+        valid[0::2] = pre_ts > prev_ts
+        valid[1::2] = True
+        rt = np.empty(2 * k, dtype=np.float64)
+        rt[0::2] = pre_ts
+        rt[1::2] = cts
+        rf = np.empty(2 * k, dtype=np.float64)
+        rf[0::2] = prev_ys
+        rf[1::2] = cys
+        rtv = rt[valid]
+        rfv = rf[valid]
+        rtl = rtv.tolist()
+        rfl = rfv.tolist()
+        if self._use_compiled:
+            # Compiled path: the numba kernel dominates each clip, so the
+            # plain per-range commit keeps a single kernel hand-off.
+            for t, f in zip(rtl, rfl):
+                self._add_range(t, f)
+            self._last_committed_t = rtl[-1]
+            self._last_committed_y = rfl[-1]
+            return
+        gamma = self.gamma
+        # Same IEEE subtraction ``lo = hi - gamma`` as _add_range, done
+        # once as a column instead of per range.
+        rll = (rfv - gamma).tolist()
+        maxv = self.max_polygon_vertices
+        E = _GEOM_EPS
+        inf = _INF
+        ab = abs
+        # Fused-dedupe output invariant: consecutive (non-cyclic) vertices
+        # of any polygon produced by a clip pass differ by more than E in
+        # x or y — so when the previous emission was the input-consecutive
+        # predecessor vertex, the dedupe compare must pass and is skipped
+        # (``adj`` below, which folds in the per-pass eligibility flag
+        # ``pass_ok``).  ``consec_ok`` tracks whether the *current*
+        # polygon is such an output; it starts pessimistic (the entry
+        # polygon's provenance is unknown) and resets on parallelogram
+        # creation, whose corners carry no such guarantee.
+        consec_ok = False
+        poly_x = self._poly_x
+        poly_y = self._poly_y
+        open_ranges = self._open_ranges
+        group_start = self._group_start
+        group_last = self._group_last_t
+        for t, lo, hi in zip(rtl, rll, rfl):
+            if poly_x is None:
+                open_ranges.append((t, lo, hi))
+                if len(open_ranges) == 2:
+                    (t1, lo1, hi1), (t2, lo2, hi2) = open_ranges
+                    verts = strip_parallelogram(
+                        t1, lo1, hi1, t2, lo2, hi2
+                    ).vertices
+                    poly_x = [v[0] for v in verts]
+                    poly_y = [v[1] for v in verts]
+                    consec_ok = False
+                    group_start = t1
+                    group_last = t2
+                else:
+                    group_start = t
+                    group_last = t
+                continue
+            # Inlined clip_strip: an exact float-for-float mirror of
+            # repro.sketch.geometry.clip_strip, saving one function
+            # call per range on the hot path.  The batch == scalar
+            # property wall (tests/test_batch_properties.py) holds
+            # this mirror to bit-identity with the scalar route.
+            nx = poly_x
+            ny = poly_y
+            s = [t * x + y for x, y in zip(nx, ny)]
+            q = sorted(s)
+            smin = q[0]
+            smax = q[-1]
+            pass_ok = consec_ok
+            if lo > smin:
+                eps = E * max(1.0, ab(lo - smin), ab(lo - smax))
+                if lo - smin > eps:
+                    neps = -eps
+                    ox = []
+                    oy = []
+                    os_ = []
+                    oxa = ox.append
+                    oya = oy.append
+                    osa = os_.append
+                    lastx = lasty = inf
+                    adj = False
+                    it = zip(nx, ny, s)
+                    head = next(it)
+                    x0, y0, s0 = head
+                    fp = lo - s0
+                    for x1, y1, s1 in chain(it, (head,)):
+                        fq = lo - s1
+                        if fp <= eps:
+                            if adj:
+                                oxa(x0)
+                                oya(y0)
+                                osa(s0)
+                                lastx = x0
+                                lasty = y0
+                            elif (
+                                ab(x0 - lastx) > E
+                                or ab(y0 - lasty) > E
+                            ):
+                                oxa(x0)
+                                oya(y0)
+                                osa(s0)
+                                lastx = x0
+                                lasty = y0
+                                adj = pass_ok
+                            else:
+                                adj = False
+                            if fp < neps and fq > eps:
+                                adj = False
+                                ratio = fp / (fp - fq)
+                                x = x0 + ratio * (x1 - x0)
+                                y = y0 + ratio * (y1 - y0)
+                                if (
+                                    ab(x - lastx) > E
+                                    or ab(y - lasty) > E
+                                ):
+                                    oxa(x)
+                                    oya(y)
+                                    osa(t * x + y)
+                                    lastx = x
+                                    lasty = y
+                        elif fq < neps:
+                            adj = False
+                            ratio = fp / (fp - fq)
+                            x = x0 + ratio * (x1 - x0)
+                            y = y0 + ratio * (y1 - y0)
+                            if (
+                                ab(x - lastx) > E
+                                or ab(y - lasty) > E
+                            ):
+                                oxa(x)
+                                oya(y)
+                                osa(t * x + y)
+                                lastx = x
+                                lasty = y
+                        else:
+                            adj = False
+                        x0 = x1
+                        y0 = y1
+                        s0 = s1
+                        fp = fq
+                    if len(ox) > 1 and ab(ox[0] - lastx) <= E and ab(
+                        oy[0] - lasty
+                    ) <= E:
+                        ox.pop()
+                        oy.pop()
+                        os_.pop()
+                    nx = ox
+                    ny = oy
+                    pass_ok = True
+                    consec_ok = True
+                    if nx:
+                        s = os_
+                        q = sorted(s)
+                        smin = q[0]
+                        smax = q[-1]
+            if nx and smax > hi:
+                eps = E * max(1.0, ab(smin - hi), ab(smax - hi))
+                if smax - hi > eps:
+                    neps = -eps
+                    ox = []
+                    oy = []
+                    oxa = ox.append
+                    oya = oy.append
+                    lastx = lasty = inf
+                    adj = False
+                    it = zip(nx, ny, s)
+                    head = next(it)
+                    x0, y0, s0 = head
+                    fp = s0 - hi
+                    for x1, y1, s1 in chain(it, (head,)):
+                        fq = s1 - hi
+                        if fp <= eps:
+                            if adj:
+                                oxa(x0)
+                                oya(y0)
+                                lastx = x0
+                                lasty = y0
+                            elif (
+                                ab(x0 - lastx) > E
+                                or ab(y0 - lasty) > E
+                            ):
+                                oxa(x0)
+                                oya(y0)
+                                lastx = x0
+                                lasty = y0
+                                adj = pass_ok
+                            else:
+                                adj = False
+                            if fp < neps and fq > eps:
+                                adj = False
+                                ratio = fp / (fp - fq)
+                                x = x0 + ratio * (x1 - x0)
+                                y = y0 + ratio * (y1 - y0)
+                                if (
+                                    ab(x - lastx) > E
+                                    or ab(y - lasty) > E
+                                ):
+                                    oxa(x)
+                                    oya(y)
+                                    lastx = x
+                                    lasty = y
+                        elif fq < neps:
+                            adj = False
+                            ratio = fp / (fp - fq)
+                            x = x0 + ratio * (x1 - x0)
+                            y = y0 + ratio * (y1 - y0)
+                            if (
+                                ab(x - lastx) > E
+                                or ab(y - lasty) > E
+                            ):
+                                oxa(x)
+                                oya(y)
+                                lastx = x
+                                lasty = y
+                        else:
+                            adj = False
+                        x0 = x1
+                        y0 = y1
+                        fp = fq
+                    if len(ox) > 1 and ab(ox[0] - lastx) <= E and ab(
+                        oy[0] - lasty
+                    ) <= E:
+                        ox.pop()
+                        oy.pop()
+                    nx = ox
+                    ny = oy
+                    consec_ok = True
+            if not nx:
+                self._poly_x = poly_x
+                self._poly_y = poly_y
+                self._group_start = group_start
+                self._group_last_t = group_last
+                self._finalize_group()
+                poly_x = None
+                poly_y = None
+                open_ranges = [(t, lo, hi)]
+                group_start = t
+                group_last = t
+                continue
+            poly_x = nx
+            poly_y = ny
+            group_last = t
+            if maxv is not None and len(nx) > maxv:
+                self._poly_x = poly_x
+                self._poly_y = poly_y
+                self._group_start = group_start
+                self._group_last_t = group_last
+                self._finalize_group()
+                poly_x = None
+                poly_y = None
+                open_ranges = []
+                group_start = None
+                group_last = None
+        self._poly_x = poly_x
+        self._poly_y = poly_y
+        self._open_ranges = open_ranges
+        self._group_start = group_start
+        self._group_last_t = group_last
+        self._last_committed_t = rtl[-1]
+        self._last_committed_y = rfl[-1]
+
+    @property
+    def _polygon(self) -> ConvexPolygon | None:
+        """The live feasibility polygon as an object (``None`` when no
+        polygon is open).  Reconstructed on demand from the internal
+        coordinate lists — a debugging/test view, not the hot path."""
+        if self._poly_x is None:
+            return None
+        return ConvexPolygon(list(zip(self._poly_x, self._poly_y)))
+
     def _add_range(self, t: float, freq: float) -> None:
         """Add the timestamped frequency range ``(t, [freq - gamma, freq])``."""
         lo = freq - self.gamma
         hi = freq
-        if self._polygon is None:
+        if self._poly_x is None:
             self._open_ranges.append((t, lo, hi))
             if len(self._open_ranges) == 2:
                 (t1, lo1, hi1), (t2, lo2, hi2) = self._open_ranges
-                self._polygon = strip_parallelogram(
+                verts = strip_parallelogram(
                     t1, lo1, hi1, t2, lo2, hi2
-                )
+                ).vertices
+                self._poly_x = [v[0] for v in verts]
+                self._poly_y = [v[1] for v in verts]
                 self._group_start = t1
                 self._group_last_t = t2
             else:
                 self._group_start = t
                 self._group_last_t = t
             return
-        clipped = self._polygon.clipped(HalfPlane(-t, -1.0, -lo))
-        clipped = clipped.clipped(HalfPlane(t, 1.0, hi))
-        if clipped.is_empty():
+        if self._use_compiled:
+            from repro.sketch.geometry import _numba_clip_kernel
+
+            ax, ay = _numba_clip_kernel()(
+                np.asarray(self._poly_x), np.asarray(self._poly_y), t, lo, hi
+            )
+            nx, ny = ax.tolist(), ay.tolist()
+        else:
+            nx, ny = clip_strip(self._poly_x, self._poly_y, t, lo, hi)
+        if not nx:
             self._finalize_group()
             self._open_ranges = [(t, lo, hi)]
             self._group_start = t
             self._group_last_t = t
             return
-        self._polygon = clipped
+        self._poly_x = nx
+        self._poly_y = ny
         self._group_last_t = t
         if (
             self.max_polygon_vertices is not None
-            and clipped.n_vertices > self.max_polygon_vertices
+            and len(nx) > self.max_polygon_vertices
         ):
             self._finalize_group()
             self._open_ranges = []
@@ -266,11 +589,16 @@ class PBE2:
         if segment is not None:
             self._segments.append(segment)
             self._segment_starts.append(segment.t_start)
-        self._polygon = None
+        self._poly_x = None
+        self._poly_y = None
 
     def _provisional_segment(self) -> LineSegment | None:
-        if self._polygon is not None and not self._polygon.is_empty():
-            a, b = self._polygon.centroid()
+        if self._poly_x is not None:
+            # Centroid of the (never-empty) vertex cycle: the same
+            # left-to-right float summation ConvexPolygon.centroid uses.
+            count = len(self._poly_x)
+            a = sum(self._poly_x) / count
+            b = sum(self._poly_y) / count
             assert self._group_start is not None
             assert self._group_last_t is not None
             return LineSegment(a, b, self._group_start, self._group_last_t)
@@ -296,7 +624,7 @@ class PBE2:
         """
         if self._pending_t is not None:
             self._commit_pending()
-        if self._polygon is not None or self._open_ranges:
+        if self._poly_x is not None or self._open_ranges:
             self._finalize_group()
             self._open_ranges = []
             self._group_start = None

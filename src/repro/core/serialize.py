@@ -16,21 +16,40 @@ On top of these per-type codecs sits the **versioned store envelope**
 (:func:`save_store` / :func:`load_store`): any backend registered in
 :mod:`repro.core.store` — sharded composites included — round-trips
 through a single pair of functions.  The envelope is ``magic (BEDS) +
-format version + backend key + payload``; :func:`load_store` also
-recognises the bare v1 magics (``CMPB``, ``DMAP``, ``BIDX``) and wraps
-those legacy blobs in their store adapters, so archives written before
-the envelope existed keep loading.
+format version + backend key + blob offset table + payload``;
+:func:`load_store` also recognises the bare v1 magics (``CMPB``,
+``DMAP``, ``BIDX``) and wraps those legacy blobs in their store
+adapters, so archives written before the envelope existed keep loading.
+
+Format v3 adds the **blob offset table**: the absolute span of every
+PBE-1/PBE-2 cell payload inside the envelope, written at save time and
+re-derived (and cross-checked) at load time.  It is what makes lazy
+loading trustworthy: :func:`open_store` memory-maps an archive and
+returns a store whose cells are :class:`LazyPBE1` / :class:`LazyPBE2`
+proxies holding zero-copy views into the mapping — corner and segment
+arrays only materialize on first touch, so a multi-gigabyte sharded
+archive opens in milliseconds.  A table that is truncated, points
+outside the payload, or disagrees with the payload structure raises
+:class:`~repro.core.errors.CorruptOffsetTableError` at open time.
 """
 
 from __future__ import annotations
 
+import contextvars
 import io
+import json
+import mmap
+import os
 import struct
 
 import numpy as np
 
 from repro.core.cmpbe import CMPBE
-from repro.core.errors import InvalidParameterError, SerializationError
+from repro.core.errors import (
+    CorruptOffsetTableError,
+    InvalidParameterError,
+    SerializationError,
+)
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2, LineSegment
 
@@ -39,6 +58,11 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "save_store",
     "load_store",
+    "open_store",
+    "lazy_stats",
+    "LazySketchStats",
+    "LazyPBE1",
+    "LazyPBE2",
     "dump_direct_map",
     "load_direct_map",
     "dump_index",
@@ -56,6 +80,228 @@ _PBE2_MAGIC = b"PBE2"
 _CMPBE_MAGIC = b"CMPB"
 _HEADER_1 = struct.Struct("<4sIIQd")  # magic, eta, buffer, count, n_corners
 _HEADER_2 = struct.Struct("<4sddQd")  # magic, gamma, unit, count, n_segments
+
+
+# ----------------------------------------------------------------------
+# Lazy sketch proxies (zero-copy until first touch)
+# ----------------------------------------------------------------------
+class LazySketchStats:
+    """Materialization accounting for one lazy load.
+
+    Shared by every lazy cell produced by that load:
+
+    * ``blobs`` — lazy cells created,
+    * ``hydrations`` — cells whose arrays were materialized into Python
+      state (the expensive, once-per-cell event),
+    * ``lazy_reads`` — zero-copy array reads that did *not* hydrate the
+      cell (e.g. the merge fast path streaming a cell's columns).
+    """
+
+    __slots__ = ("blobs", "hydrations", "lazy_reads")
+
+    def __init__(self) -> None:
+        self.blobs = 0
+        self.hydrations = 0
+        self.lazy_reads = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LazySketchStats(blobs={self.blobs}, "
+            f"hydrations={self.hydrations}, lazy_reads={self.lazy_reads})"
+        )
+
+
+class LazyPBE1(PBE1):
+    """A PBE-1 whose corner columns stay in the source buffer.
+
+    Built by :func:`load_pbe1` during a lazy load: the header is parsed
+    eagerly (cheap), while the ``xs``/``ys`` corner columns remain a
+    zero-copy view of the envelope (typically an ``mmap``).  Any access
+    to ``_kept_xs``/``_kept_ys`` — a query, further ingestion, a dump —
+    hydrates the sketch transparently; until then it costs no array
+    memory and no parse time.
+    """
+
+    def __init__(
+        self,
+        eta: int,
+        buffer_size: int,
+        count: int,
+        n_corners: int,
+        blob,
+        stats: LazySketchStats,
+    ) -> None:
+        self._lazy_blob = None
+        super().__init__(eta=eta, buffer_size=buffer_size)
+        self._count = count
+        self._lazy_n = int(n_corners)
+        self._lazy_stats = stats
+        self._lazy_blob = blob
+        stats.blobs += 1
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the corner columns have been parsed into lists."""
+        return self._lazy_blob is None
+
+    def _lazy_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy float64 views of the stored corner columns.
+
+        Does **not** hydrate the sketch — the views alias the source
+        buffer and no Python-list state is built.
+        """
+        n = self._lazy_n
+        xs = np.frombuffer(self._lazy_blob, dtype="<f8", count=n)
+        ys = np.frombuffer(self._lazy_blob, dtype="<f8", count=n,
+                           offset=8 * n)
+        self._lazy_stats.lazy_reads += 1
+        return xs, ys
+
+    def _hydrate(self) -> None:
+        xs, ys = self._lazy_arrays()
+        self._lazy_stats.lazy_reads -= 1  # this read becomes a hydration
+        self._lazy_blob = None
+        self.__dict__["_kept_xs"] = xs.astype(np.float64).tolist()
+        self.__dict__["_kept_ys"] = ys.astype(np.float64).tolist()
+        self._lazy_stats.hydrations += 1
+
+    @property
+    def _kept_xs(self) -> list[float]:
+        if self._lazy_blob is not None:
+            self._hydrate()
+        return self.__dict__["_kept_xs"]
+
+    @_kept_xs.setter
+    def _kept_xs(self, value) -> None:
+        self.__dict__["_kept_xs"] = value
+
+    @property
+    def _kept_ys(self) -> list[float]:
+        if self._lazy_blob is not None:
+            self._hydrate()
+        return self.__dict__["_kept_ys"]
+
+    @_kept_ys.setter
+    def _kept_ys(self, value) -> None:
+        self.__dict__["_kept_ys"] = value
+
+    @property
+    def n_corners(self) -> int:
+        # Accounting (memory_elements) must not force materialization.
+        if self._lazy_blob is not None:
+            return self._lazy_n + len(self._buffer_xs)
+        return super().n_corners
+
+
+class LazyPBE2(PBE2):
+    """A PBE-2 whose segment records stay in the source buffer.
+
+    The resume point (``_last_committed_t``/``_last_committed_y``) is
+    restored eagerly from the final 32-byte record so ingestion can
+    continue without touching the rest; the segment list itself
+    materializes on first access to ``_segments``/``_segment_starts``.
+    """
+
+    def __init__(
+        self,
+        gamma: float,
+        unit: float,
+        count: int,
+        n_segments: int,
+        blob,
+        stats: LazySketchStats,
+    ) -> None:
+        self._lazy_blob = None
+        super().__init__(gamma=gamma, unit=unit)
+        self._count = count
+        self._lazy_n = int(n_segments)
+        self._lazy_stats = stats
+        self._lazy_blob = blob
+        stats.blobs += 1
+        if n_segments:
+            a, b, t_start, t_end = struct.unpack_from(
+                "<dddd", blob, 32 * (n_segments - 1)
+            )
+            last = LineSegment(a, b, t_start, t_end)
+            self._last_committed_t = last.t_end
+            self._last_committed_y = last.value(last.t_end)
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the segment records have been parsed into objects."""
+        return self._lazy_blob is None
+
+    def _lazy_segment_rows(self) -> list[list[float]]:
+        """The stored ``(a, b, t_start, t_end)`` rows, read zero-copy.
+
+        Does **not** hydrate the sketch: the rows are produced from a
+        view of the source buffer and no :class:`LineSegment` objects
+        are cached on this instance.
+        """
+        n = self._lazy_n
+        rows = np.frombuffer(
+            self._lazy_blob, dtype="<f8", count=4 * n
+        ).reshape(n, 4).tolist()
+        self._lazy_stats.lazy_reads += 1
+        return rows
+
+    def _hydrate(self) -> None:
+        rows = self._lazy_segment_rows()
+        self._lazy_stats.lazy_reads -= 1  # this read becomes a hydration
+        self._lazy_blob = None
+        segments = [
+            LineSegment(a, b, t_start, t_end)
+            for a, b, t_start, t_end in rows
+        ]
+        self.__dict__["_segments"] = segments
+        self.__dict__["_segment_starts"] = [s.t_start for s in segments]
+        self._lazy_stats.hydrations += 1
+
+    @property
+    def _segments(self) -> list[LineSegment]:
+        if self._lazy_blob is not None:
+            self._hydrate()
+        return self.__dict__["_segments"]
+
+    @_segments.setter
+    def _segments(self, value) -> None:
+        self.__dict__["_segments"] = value
+
+    @property
+    def _segment_starts(self) -> list[float]:
+        if self._lazy_blob is not None:
+            self._hydrate()
+        return self.__dict__["_segment_starts"]
+
+    @_segment_starts.setter
+    def _segment_starts(self, value) -> None:
+        self.__dict__["_segment_starts"] = value
+
+    @property
+    def n_segments(self) -> int:
+        # Accounting (memory_elements) must not force materialization.
+        if self._lazy_blob is not None:
+            return self._lazy_n
+        return super().n_segments
+
+
+class _LazyLoad:
+    """Ambient state of an in-progress lazy load (one per load_store)."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats: LazySketchStats) -> None:
+        self.stats = stats
+
+
+_LAZY_LOAD: contextvars.ContextVar[_LazyLoad | None] = (
+    contextvars.ContextVar("repro_lazy_load", default=None)
+)
+
+
+def lazy_stats(store) -> LazySketchStats | None:
+    """The :class:`LazySketchStats` of a lazily loaded store (else None)."""
+    return getattr(store, "_lazy_stats", None)
 
 
 def dump_pbe1(sketch: PBE1) -> bytes:
@@ -78,8 +324,16 @@ def dump_pbe1(sketch: PBE1) -> bytes:
     return out.getvalue()
 
 
-def load_pbe1(data: bytes) -> PBE1:
-    """Restore a PBE-1 dumped with :func:`dump_pbe1`."""
+def load_pbe1(
+    data, *, lazy: bool = False, stats: LazySketchStats | None = None
+) -> PBE1:
+    """Restore a PBE-1 dumped with :func:`dump_pbe1`.
+
+    With ``lazy=True`` (or inside a ``load_store(..., lazy=True)`` call)
+    the corner columns are *not* parsed: a :class:`LazyPBE1` holding a
+    zero-copy view of ``data`` is returned instead, and the columns
+    materialize on first touch.
+    """
     if len(data) < _HEADER_1.size:
         raise InvalidParameterError("truncated PBE-1 payload")
     magic, eta, buffer_size, count, n_corners_f = _HEADER_1.unpack_from(data)
@@ -90,6 +344,13 @@ def load_pbe1(data: bytes) -> PBE1:
     expected = offset + 2 * 8 * n_corners
     if len(data) < expected:
         raise InvalidParameterError("truncated PBE-1 payload")
+    ctx = _LAZY_LOAD.get()
+    if lazy or ctx is not None:
+        use_stats = ctx.stats if ctx is not None else (
+            stats if stats is not None else LazySketchStats()
+        )
+        blob = memoryview(data)[offset:expected]
+        return LazyPBE1(eta, buffer_size, count, n_corners, blob, use_stats)
     xs = np.frombuffer(data, dtype="<f8", count=n_corners, offset=offset)
     offset += 8 * n_corners
     ys = np.frombuffer(data, dtype="<f8", count=n_corners, offset=offset)
@@ -124,8 +385,16 @@ def dump_pbe2(sketch: PBE2) -> bytes:
     return out.getvalue()
 
 
-def load_pbe2(data: bytes) -> PBE2:
-    """Restore a PBE-2 dumped with :func:`dump_pbe2`."""
+def load_pbe2(
+    data, *, lazy: bool = False, stats: LazySketchStats | None = None
+) -> PBE2:
+    """Restore a PBE-2 dumped with :func:`dump_pbe2`.
+
+    With ``lazy=True`` (or inside a ``load_store(..., lazy=True)`` call)
+    the segment records are *not* parsed: a :class:`LazyPBE2` holding a
+    zero-copy view of ``data`` is returned instead, and the segments
+    materialize on first touch.
+    """
     if len(data) < _HEADER_2.size:
         raise InvalidParameterError("truncated PBE-2 payload")
     magic, gamma, unit, count, n_segments_f = _HEADER_2.unpack_from(data)
@@ -135,6 +404,13 @@ def load_pbe2(data: bytes) -> PBE2:
     expected = _HEADER_2.size + 32 * n_segments
     if len(data) < expected:
         raise InvalidParameterError("truncated PBE-2 payload")
+    ctx = _LAZY_LOAD.get()
+    if lazy or ctx is not None:
+        use_stats = ctx.stats if ctx is not None else (
+            stats if stats is not None else LazySketchStats()
+        )
+        blob = memoryview(data)[_HEADER_2.size:expected]
+        return LazyPBE2(gamma, unit, count, n_segments, blob, use_stats)
     sketch = PBE2(gamma=gamma, unit=unit)
     offset = _HEADER_2.size
     segments = []
@@ -354,20 +630,208 @@ def load_index(data: bytes):
 # Versioned store envelope
 # ----------------------------------------------------------------------
 ENVELOPE_MAGIC = b"BEDS"  # Bursty Event Detection Store
-STORE_FORMAT_VERSION = 2  # v1 = the bare dump_* blobs above
+STORE_FORMAT_VERSION = 3  # v1 bare blobs; v2 envelope; v3 adds offset table
 _ENVELOPE_HEADER = struct.Struct("<4sHH")  # magic, version, key length
 _V1_MAGICS = {_CMPBE_MAGIC, _DIRECT_MAGIC, _INDEX_MAGIC}
+_TABLE_COUNT = struct.Struct("<I")
+_TABLE_ENTRY = struct.Struct("<BQQ")  # cell kind (1=PBE1, 2=PBE2), off, len
+
+
+# ----------------------------------------------------------------------
+# Blob offset table: indexing every PBE blob inside a backend payload
+# ----------------------------------------------------------------------
+def _need(data, offset: int, size: int, what: str) -> None:
+    if offset + size > len(data):
+        raise SerializationError(f"truncated {what}")
+
+
+def _split_config(data, start: int) -> tuple[dict, int]:
+    """Parse a ``_pack_config`` prefix: (config dict, inner offset)."""
+    _need(data, start, 4, "store payload")
+    (length,) = struct.unpack_from("<I", data, start)
+    _need(data, start + 4, length, "store config")
+    try:
+        config = json.loads(bytes(data[start + 4 : start + 4 + length]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"malformed store config: {exc}") from None
+    return config, start + 4 + length
+
+
+def _index_cmpbe_blob(data, start: int) -> tuple[list, int]:
+    header = struct.Struct("<4sIIIQq")
+    _need(data, start, header.size, "CM-PBE payload")
+    magic, width, depth, _flag, _count, _seed = header.unpack_from(
+        data, start
+    )
+    if magic != _CMPBE_MAGIC:
+        raise SerializationError("not a CM-PBE payload")
+    offset = start + header.size
+    _need(data, offset, 4, "CM-PBE payload")
+    (kind,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if kind not in (1, 2):
+        raise SerializationError("unknown CM-PBE cell kind")
+    entries = []
+    for _ in range(width * depth):
+        _need(data, offset, 8, "CM-PBE cell")
+        (length,) = struct.unpack_from("<Q", data, offset)
+        offset += 8
+        _need(data, offset, length, "CM-PBE cell")
+        entries.append((kind, offset, int(length)))
+        offset += length
+    return entries, offset
+
+
+def _index_direct_blob(data, start: int) -> tuple[list, int]:
+    header = struct.Struct("<4sQQ")
+    _need(data, start, header.size, "DirectPBEMap payload")
+    magic, _count, n_cells = header.unpack_from(data, start)
+    if magic != _DIRECT_MAGIC:
+        raise SerializationError("not a DirectPBEMap payload")
+    offset = start + header.size
+    entries = []
+    for _ in range(n_cells):
+        _need(data, offset, 20, "DirectPBEMap cell")
+        _event_id, kind, length = struct.unpack_from("<QIQ", data, offset)
+        offset += 20
+        if kind not in (1, 2):
+            raise SerializationError("unknown DirectPBEMap cell kind")
+        _need(data, offset, length, "DirectPBEMap cell")
+        entries.append((kind, offset, int(length)))
+        offset += length
+    return entries, offset
+
+
+def _index_index_blob(data, start: int) -> tuple[list, int]:
+    header = struct.Struct("<4sQI")
+    _need(data, start, header.size, "index payload")
+    magic, _universe, n_levels = header.unpack_from(data, start)
+    if magic != _INDEX_MAGIC:
+        raise SerializationError("not a BurstyEventIndex payload")
+    offset = start + header.size
+    entries = []
+    for _ in range(n_levels):
+        _need(data, offset, 12, "index level")
+        kind, length = struct.unpack_from("<IQ", data, offset)
+        offset += 12
+        _need(data, offset, length, "index level")
+        if kind == 1:
+            entries.extend(_index_cmpbe_blob(data, offset)[0])
+        elif kind == 2:
+            entries.extend(_index_direct_blob(data, offset)[0])
+        else:
+            raise SerializationError("unknown index level kind")
+        offset += length
+    return entries, offset
+
+
+def _index_store_payload(key: str, data, start: int, end: int) -> list:
+    """``(kind, offset, length)`` of every PBE blob in one backend payload.
+
+    Offsets are absolute within ``data`` (the outermost envelope
+    payload), so nested structures — index levels, sharded children,
+    instrumented wrappers — flatten into a single table.  Backends with
+    no PBE cells (``exact``, custom registrations this walker does not
+    know) index as empty.
+    """
+    if key in ("cm-pbe-1", "cm-pbe-2"):
+        config, inner = _split_config(data, start)
+        return _index_cmpbe_blob(data, inner)[0]
+    if key == "direct":
+        config, inner = _split_config(data, start)
+        return _index_direct_blob(data, inner)[0]
+    if key == "index":
+        config, inner = _split_config(data, start)
+        return _index_index_blob(data, inner)[0]
+    if key == "instrumented":
+        config, inner = _split_config(data, start)
+        return _index_store_payload(config["backend"], data, inner, end)
+    if key == "sharded":
+        config, inner = _split_config(data, start)
+        child = config["backend"]
+        entries = []
+        offset = inner
+        for _ in range(int(config["shards"])):
+            _need(data, offset, 8, "sharded payload")
+            (length,) = struct.unpack_from("<Q", data, offset)
+            offset += 8
+            _need(data, offset, length, "shard payload")
+            entries.extend(
+                _index_store_payload(child, data, offset, offset + length)
+            )
+            offset += length
+        return entries
+    return []
+
+
+def _read_offset_table(data, offset: int) -> tuple[list, int]:
+    """Parse the v3 table section; (entries, offset past the table)."""
+    if len(data) < offset + _TABLE_COUNT.size:
+        raise CorruptOffsetTableError("truncated blob offset table")
+    (n_entries,) = _TABLE_COUNT.unpack_from(data, offset)
+    offset += _TABLE_COUNT.size
+    end = offset + n_entries * _TABLE_ENTRY.size
+    if len(data) < end:
+        raise CorruptOffsetTableError(
+            f"blob offset table claims {n_entries} entries but is truncated"
+        )
+    entries = [
+        _TABLE_ENTRY.unpack_from(data, offset + i * _TABLE_ENTRY.size)
+        for i in range(n_entries)
+    ]
+    return entries, end
+
+
+def _validate_offset_table(key: str, payload, entries: list) -> None:
+    """Reject a table that cannot be trusted to locate blobs.
+
+    Checks are layered: structural first (kinds, bounds, ordering, the
+    magic at every span), then a full re-derivation of the table from
+    the payload itself — any disagreement means either the table or the
+    payload was corrupted, and a lazy load built on it would hand back
+    garbage curves.
+    """
+    previous_end = 0
+    for kind, offset, length in entries:
+        if kind not in (1, 2):
+            raise CorruptOffsetTableError(
+                f"offset table entry has unknown cell kind {kind}"
+            )
+        if offset < previous_end or offset + length > len(payload):
+            raise CorruptOffsetTableError(
+                "offset table entry out of bounds or overlapping"
+            )
+        want = _PBE1_MAGIC if kind == 1 else _PBE2_MAGIC
+        if length < 4 or bytes(payload[offset : offset + 4]) != want:
+            raise CorruptOffsetTableError(
+                "offset table entry does not point at a "
+                f"{want.decode()} blob"
+            )
+        previous_end = offset + length
+    try:
+        expected = _index_store_payload(key, payload, 0, len(payload))
+    except SerializationError as exc:
+        raise CorruptOffsetTableError(
+            f"payload cannot be indexed against its offset table: {exc}"
+        ) from None
+    if [tuple(entry) for entry in entries] != expected:
+        raise CorruptOffsetTableError(
+            "offset table disagrees with the payload structure"
+        )
 
 
 def save_store(store) -> bytes:
     """Freeze any registered burst store into one self-describing blob.
 
-    Layout: ``magic | u16 format version | u16 key length | backend key
-    (utf-8) | u64 payload length | payload`` where the payload is the
-    backend's own ``to_bytes``.  The backend key is read back by
+    Layout (v3): ``magic | u16 format version | u16 key length | backend
+    key (utf-8) | u32 table entries | entries (u8 kind, u64 offset, u64
+    length) | u64 payload length | payload`` where the payload is the
+    backend's own ``to_bytes`` and the table records the span of every
+    PBE-1/PBE-2 cell blob inside it.  The backend key is read back by
     :func:`load_store` to pick the right loader from the registry, so a
     single archive format covers every backend — sharded composites
-    included.
+    included; the table is what lets :func:`open_store` map the archive
+    and materialize cells on first touch.
     """
     key = getattr(store, "backend_key", None)
     if not key:
@@ -375,25 +839,54 @@ def save_store(store) -> bytes:
             "store has no backend_key; build it via repro.core.store"
         )
     payload = store.to_bytes()
+    entries = _index_store_payload(key, payload, 0, len(payload))
     encoded_key = key.encode("utf-8")
+    table = _TABLE_COUNT.pack(len(entries)) + b"".join(
+        _TABLE_ENTRY.pack(*entry) for entry in entries
+    )
     return (
         _ENVELOPE_HEADER.pack(
             ENVELOPE_MAGIC, STORE_FORMAT_VERSION, len(encoded_key)
         )
         + encoded_key
+        + table
         + struct.pack("<Q", len(payload))
         + payload
     )
 
 
-def load_store(data: bytes):
+def load_store(data, *, lazy: bool = False):
     """Load any store saved with :func:`save_store`.
 
     Bare v1 blobs (``CMPB``/``DMAP``/``BIDX`` magics, written by the
     ``dump_*`` functions before the envelope existed) are recognised and
-    wrapped in their store adapters, so old archives stay readable.
+    wrapped in their store adapters, so old archives stay readable; v2
+    envelopes (no offset table) load as well.
+
+    With ``lazy=True`` every PBE cell in the loaded store is a
+    :class:`LazyPBE1`/:class:`LazyPBE2` proxy viewing ``data`` zero-copy
+    (pass an ``mmap``-backed buffer — or use :func:`open_store` — to
+    keep the arrays on disk until first touch).  The returned store
+    carries a :class:`LazySketchStats` retrievable via
+    :func:`lazy_stats`.  Lazy loads of v3 envelopes verify the blob
+    offset table against the payload and raise
+    :class:`~repro.core.errors.CorruptOffsetTableError` on any mismatch.
     """
-    if len(data) >= 4 and data[:4] in _V1_MAGICS:
+    if not lazy:
+        return _load_store_inner(data)
+    stats = LazySketchStats()
+    token = _LAZY_LOAD.set(_LazyLoad(stats))
+    try:
+        store = _load_store_inner(memoryview(data))
+    finally:
+        _LAZY_LOAD.reset(token)
+    store._lazy_stats = stats
+    return store
+
+
+def _load_store_inner(data):
+    head = bytes(data[:4]) if len(data) >= 4 else b""
+    if head in _V1_MAGICS:
         return _load_v1_blob(data)
     if len(data) < _ENVELOPE_HEADER.size:
         raise SerializationError("truncated store envelope")
@@ -411,17 +904,49 @@ def load_store(data: bytes):
             f"v{STORE_FORMAT_VERSION}"
         )
     offset = _ENVELOPE_HEADER.size
-    if len(data) < offset + key_length + 8:
+    if len(data) < offset + key_length:
         raise SerializationError("truncated store envelope")
-    key = data[offset : offset + key_length].decode("utf-8")
+    key = bytes(data[offset : offset + key_length]).decode("utf-8")
     offset += key_length
+    entries = None
+    if version >= 3:
+        entries, offset = _read_offset_table(data, offset)
+    if len(data) < offset + 8:
+        raise SerializationError("truncated store envelope")
     (payload_length,) = struct.unpack_from("<Q", data, offset)
     offset += 8
     if len(data) < offset + payload_length:
         raise SerializationError("truncated store payload")
+    payload = data[offset : offset + payload_length]
+    if entries is not None:
+        _validate_offset_table(key, payload, entries)
     from repro.core.store import load_backend
 
-    return load_backend(key, data[offset : offset + payload_length])
+    return load_backend(key, payload)
+
+
+def open_store(path, *, lazy: bool = True):
+    """Open a :func:`save_store` archive from disk.
+
+    With ``lazy=True`` (the default) the file is memory-mapped and
+    loaded through ``load_store(..., lazy=True)``: opening costs header
+    and offset-table parsing only, and each cell's arrays page in from
+    the mapping the first time a query (or further ingestion) touches
+    them.  The mapping stays alive for the lifetime of the returned
+    store.  With ``lazy=False`` the file is read and loaded eagerly.
+    """
+    if not lazy:
+        with open(path, "rb") as handle:
+            return load_store(handle.read())
+    with open(path, "rb") as handle:
+        if os.fstat(handle.fileno()).st_size == 0:
+            raise SerializationError("truncated store envelope")
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    store = load_store(memoryview(mapping), lazy=True)
+    # Anchor the mapping on the store: lazy cells hold views into it,
+    # and hydration-after-close would be a crash instead of an error.
+    store._lazy_source = mapping
+    return store
 
 
 def _load_v1_blob(data: bytes):

@@ -295,7 +295,7 @@ def _unpack_config(data: bytes) -> tuple[dict, bytes]:
     if len(data) < 4 + length:
         raise SerializationError("truncated store config")
     try:
-        config = json.loads(data[4 : 4 + length].decode("utf-8"))
+        config = json.loads(bytes(data[4 : 4 + length]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerializationError(f"malformed store config: {exc}") from None
     return config, data[4 + length :]

@@ -303,6 +303,148 @@ def test_direct_map_batch_matches_scalar(batch):
 
 
 # ----------------------------------------------------------------------
+# Stress shapes for the vectorized ingest cores: degenerate batches that
+# exercise the hull-pruning and polygon-clipping edge cases — duplicate
+# runs (zero-width staircase steps), monotone ramps (no pruning ever
+# fires), all-equal counts (collinear hull candidates), and single
+# elements (the vector paths' base case).
+# ----------------------------------------------------------------------
+@st.composite
+def stress_batch(draw, max_size: int = 64):
+    """A degenerate timestamp column drawn from one of the shapes the
+    vectorized kernels are most likely to get wrong."""
+    shape = draw(
+        st.sampled_from(["duplicates", "ramp", "equal_counts", "single"])
+    )
+    if shape == "single":
+        ts = [draw(st.integers(0, 40)) / 2]
+    elif shape == "duplicates":
+        # Few distinct ticks, long runs of each.
+        ticks = draw(
+            st.lists(
+                st.integers(0, 10), min_size=1, max_size=5, unique=True
+            )
+        )
+        runs = [
+            (tick, draw(st.integers(1, max_size // len(ticks) + 1)))
+            for tick in sorted(ticks)
+        ]
+        ts = [float(tick) for tick, n in runs for _ in range(n)]
+    else:
+        # Strictly increasing ramp (integer or half-integer stride).
+        start = draw(st.integers(0, 10))
+        stride = draw(st.sampled_from([1, 2]))
+        n = draw(st.integers(1, max_size))
+        ts = [(start + i * stride) / 2 for i in range(n)]
+    counts = None
+    if shape == "equal_counts":
+        counts = [draw(st.integers(1, 3))] * len(ts)
+    elif draw(st.booleans()):
+        counts = draw(
+            st.lists(st.integers(1, 3), min_size=len(ts), max_size=len(ts))
+        )
+    return ts, counts
+
+
+@given(batch=stress_batch(), eta=st.integers(2, 4), data=st.data())
+def test_pbe1_stress_batch_matches_scalar(batch, eta, data):
+    ts, counts = batch
+    buffer_size = data.draw(st.integers(2, 7))
+    scalar = PBE1(eta=eta, buffer_size=buffer_size)
+    batched = PBE1(eta=eta, buffer_size=buffer_size)
+    _feed_scalar(scalar, ts, counts)
+    batched.extend_batch(ts, counts)
+    assert pbe1_state(scalar) == pbe1_state(batched)
+
+
+@given(batch=stress_batch(), gamma=st.sampled_from([1.0, 2.5, 6.0]))
+def test_pbe2_stress_batch_matches_scalar(batch, gamma):
+    ts, counts = batch
+    scalar = PBE2(gamma=gamma)
+    batched = PBE2(gamma=gamma)
+    _feed_scalar(scalar, ts, counts)
+    batched.extend_batch(ts, counts)
+    assert pbe2_state(scalar) == pbe2_state(batched)
+
+
+# ----------------------------------------------------------------------
+# Chunk-boundary sweep: split one fixed workload at EVERY offset.
+# Hypothesis samples cut points; these deterministic sweeps leave no
+# boundary unchecked, so an off-by-one at a specific split position
+# cannot hide behind example sampling.
+# ----------------------------------------------------------------------
+_SWEEP_TS = [0.0, 0.0, 0.5, 1.0, 1.0, 1.0, 2.5, 3.0, 3.0, 4.5, 4.5, 6.0]
+_SWEEP_COUNTS = [1, 2, 1, 3, 1, 1, 2, 1, 1, 3, 1, 2]
+
+
+def test_pbe1_split_at_every_offset_matches_whole():
+    whole = PBE1(eta=3, buffer_size=4)
+    whole.extend_batch(_SWEEP_TS, _SWEEP_COUNTS)
+    expected = pbe1_state(whole)
+    for cut in range(len(_SWEEP_TS) + 1):
+        split = PBE1(eta=3, buffer_size=4)
+        split.extend_batch(_SWEEP_TS[:cut], _SWEEP_COUNTS[:cut])
+        split.extend_batch(_SWEEP_TS[cut:], _SWEEP_COUNTS[cut:])
+        assert pbe1_state(split) == expected, f"cut at {cut}"
+
+
+def test_pbe2_split_at_every_offset_matches_whole():
+    whole = PBE2(gamma=2.0)
+    whole.extend_batch(_SWEEP_TS, _SWEEP_COUNTS)
+    expected = pbe2_state(whole)
+    for cut in range(len(_SWEEP_TS) + 1):
+        split = PBE2(gamma=2.0)
+        split.extend_batch(_SWEEP_TS[:cut], _SWEEP_COUNTS[:cut])
+        split.extend_batch(_SWEEP_TS[cut:], _SWEEP_COUNTS[cut:])
+        assert pbe2_state(split) == expected, f"cut at {cut}"
+
+
+# ----------------------------------------------------------------------
+# Whole-store equivalence across the backend matrix: scalar feed, one
+# whole batch, and a two-way split must all serialize identically.
+# ----------------------------------------------------------------------
+_STORE_IDS = [0, 3, 1, 3, 7, 2, 3, 0, 5, 3, 1, 7, 4, 3, 2, 0, 6, 3, 5, 1, 3, 7, 0, 3]
+_STORE_TS = [
+    0.0, 0.0, 0.5, 1.0, 1.5, 1.5, 2.0, 3.0, 3.0, 3.5, 4.0, 5.0,
+    5.0, 5.5, 6.0, 7.5, 8.0, 8.0, 9.0, 9.5, 10.0, 10.5, 11.0, 11.0,
+]
+
+
+def _matrix_store(backend, cfg):
+    from repro.core.store import create_store
+
+    return create_store(backend, **cfg)
+
+
+def _store_matrix_params():
+    import pytest as _pytest
+
+    from tests.backends import BACKEND_IDS, BACKEND_MATRIX
+
+    return _pytest.mark.parametrize(
+        "label,backend,cfg", BACKEND_MATRIX, ids=BACKEND_IDS
+    )
+
+
+@_store_matrix_params()
+def test_store_batch_matches_scalar_across_matrix(label, backend, cfg):
+    from repro.core.serialize import save_store
+
+    scalar = _matrix_store(backend, cfg)
+    for event_id, t in zip(_STORE_IDS, _STORE_TS):
+        scalar.update(event_id, t)
+    batched = _matrix_store(backend, cfg)
+    batched.extend_batch(_STORE_IDS, _STORE_TS)
+
+    for cut in (0, 1, 5, 11, 12, 13, 23, 24):
+        split = _matrix_store(backend, cfg)
+        split.extend_batch(_STORE_IDS[:cut], _STORE_TS[:cut])
+        split.extend_batch(_STORE_IDS[cut:], _STORE_TS[cut:])
+        assert save_store(split) == save_store(batched), f"cut at {cut}"
+    assert save_store(scalar) == save_store(batched)
+
+
+# ----------------------------------------------------------------------
 # Chunk-and-merge: numpy-chunked parts == scalar-built parts, and the
 # merged sketch stays exact at its kept corners.
 # ----------------------------------------------------------------------

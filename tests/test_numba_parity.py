@@ -1,0 +1,130 @@
+"""Numba kernel parity gate: compiled paths must be bit-identical.
+
+The numba kernels (``pip install .[numba]`` + ``use_numba=True`` or
+``REPRO_NUMBA=1``) promise to change throughput and never an answer.
+This module is the gate on that promise: every compiled surface —
+staircase selection, strip clipping, whole-sketch ingestion — is checked
+for exact equality against both the numpy path and a scalar oracle.
+
+The whole module skips (with a visible reason) when numba is not
+installed; the dedicated ``numba-parity`` CI job installs the extra so
+the skip can never silently rot into zero coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accel import numba_available, resolve_use_numba
+
+if not numba_available():
+    pytest.skip(
+        "numba not installed (optional extra `.[numba]`); parity gate "
+        "runs in the numba-parity CI job",
+        allow_module_level=True,
+    )
+
+from repro.core.pbe1 import (  # noqa: E402
+    PBE1,
+    approximate_staircase,
+    approximate_staircase_cht,
+)
+from repro.core.pbe2 import PBE2  # noqa: E402
+from repro.core.serialize import dump_pbe1, dump_pbe2  # noqa: E402
+from repro.sketch.geometry import (  # noqa: E402
+    _clip_strip_kernel,
+    _numba_clip_kernel,
+)
+
+
+def _staircase_case(seed: int, n: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    xs = np.sort(rng.uniform(0.0, 500.0, size=n))
+    xs = np.unique(xs.round(1))
+    ys = np.arange(1.0, xs.size + 1.0)
+    return xs, ys
+
+
+def test_resolver_honours_kwarg_when_numba_present():
+    assert resolve_use_numba(True) is True
+    assert resolve_use_numba(False) is False
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("eta", [4, 9, 25])
+def test_staircase_numba_matches_numpy_and_oracle(seed, eta):
+    xs, ys = _staircase_case(seed, n=400)
+    compiled = approximate_staircase(xs, ys, eta, use_numba=True)
+    numpy_path = approximate_staircase(xs, ys, eta, use_numba=False)
+    oracle = approximate_staircase_cht(xs, ys, eta)
+
+    assert list(compiled.selected) == list(numpy_path.selected)
+    assert compiled.error == numpy_path.error
+    assert list(compiled.selected) == list(oracle.selected)
+    assert compiled.error == oracle.error
+
+
+@pytest.mark.parametrize("seed", [0, 5, 11])
+def test_clip_kernel_numba_matches_interpreted(seed):
+    rng = np.random.default_rng(seed)
+    # A convex polygon (CCW hull of random points) and a few strips.
+    angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=12))
+    vx = np.cos(angles) * rng.uniform(1.0, 5.0)
+    vy = np.sin(angles) * rng.uniform(1.0, 5.0)
+    interpreted = _clip_strip_kernel
+    compiled = _numba_clip_kernel()
+    for t, lo, hi in [
+        (0.5, -1.0, 1.0),
+        (2.0, 0.0, 0.5),
+        (-1.0, -3.0, 3.0),
+        (0.0, -0.1, 0.1),
+    ]:
+        ix, iy = interpreted(vx.copy(), vy.copy(), t, lo, hi)
+        cx, cy = compiled(vx.copy(), vy.copy(), t, lo, hi)
+        assert list(ix) == list(cx)
+        assert list(iy) == list(cy)
+
+
+def _bursty_timestamps(seed: int, n: int = 3000) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    quiet = rng.uniform(0.0, 1_000.0, size=n // 3)
+    burst = rng.uniform(1_000.0, 1_080.0, size=n // 2)
+    tail = rng.uniform(1_080.0, 2_000.0, size=n - n // 3 - n // 2)
+    return np.sort(np.concatenate([quiet, burst, tail]).round(1))
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_pbe1_ingest_numba_matches_numpy(seed):
+    ts = _bursty_timestamps(seed)
+    compiled = PBE1(eta=30, buffer_size=256, use_numba=True)
+    plain = PBE1(eta=30, buffer_size=256, use_numba=False)
+    compiled.extend_batch(ts)
+    plain.extend_batch(ts)
+    compiled.flush()
+    plain.flush()
+    # Serialized corners are the sketch's full observable state: byte
+    # equality is bit-identity on every corner and count.
+    assert dump_pbe1(compiled) == dump_pbe1(plain)
+    assert compiled.construction_error == plain.construction_error
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_pbe2_ingest_numba_matches_numpy(seed):
+    ts = _bursty_timestamps(seed)
+    compiled = PBE2(gamma=10.0, unit=1.0, use_numba=True)
+    plain = PBE2(gamma=10.0, unit=1.0, use_numba=False)
+    compiled.extend_batch(ts)
+    plain.extend_batch(ts)
+    compiled.finalize()
+    plain.finalize()
+    assert dump_pbe2(compiled) == dump_pbe2(plain)
+
+
+def test_env_flag_routes_to_compiled_path(monkeypatch):
+    monkeypatch.setenv("REPRO_NUMBA", "1")
+    assert resolve_use_numba(None) is True
+    sketch = PBE2(gamma=10.0, unit=1.0)
+    assert sketch._use_compiled is True
+    monkeypatch.setenv("REPRO_NUMBA", "0")
+    assert resolve_use_numba(None) is False
