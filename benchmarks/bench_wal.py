@@ -1,0 +1,221 @@
+"""WAL append-throughput and recovery-time benchmark (BENCH_wal.json).
+
+PR 7 added the durable write/read-split lifecycle; this suite measures
+its two hot paths:
+
+* **append throughput per fsync policy** — batched records/s through a
+  raw :class:`WriteAheadLog` under ``never``, ``batch`` and ``always``,
+  so the durability/throughput trade-off documented in README is a
+  measured number, not folklore;
+* **recovery time vs WAL tail length** — wall time of
+  :func:`repro.core.durable.recover` as the unsealed tail grows, with
+  the recovered record count verified against what was ingested before
+  any timing is reported.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py [--smoke] [--check]
+
+``--smoke`` shrinks the workload for a CI run; ``--check`` exits
+nonzero when the non-``always`` policies drop below the sanity floor
+or a recovery round-trips the wrong record count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.durable import create_durable, recover
+from repro.core.metrics import global_registry
+from repro.core.wal import FSYNC_POLICIES, WriteAheadLog, replay_wal
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BATCH = 1_024
+
+#: records/s the page-cache policies must clear in --check runs.  Set
+#: far below real hardware (tens of millions on a laptop) so the gate
+#: only trips on structural regressions, never on a slow CI box.
+APPEND_FLOOR = 50_000
+REPLAY_FLOOR = 50_000
+
+
+def _stream(n: int):
+    ids = (np.arange(n, dtype=np.int64) * 7) % 997
+    ts = np.arange(n, dtype=np.float64)
+    return ids, ts
+
+
+def _time_appends(policy: str, n_records: int, root: Path) -> dict:
+    ids, ts = _stream(n_records)
+    path = root / f"wal-{policy}.log"
+    wal = WriteAheadLog(path, fsync=policy)
+    start = time.perf_counter()
+    for begin in range(0, n_records, BATCH):
+        wal.append(ids[begin : begin + BATCH], ts[begin : begin + BATCH])
+    wal.flush()
+    elapsed = time.perf_counter() - start
+    wal.close()
+
+    replay_start = time.perf_counter()
+    replay = replay_wal(path)
+    replay_elapsed = time.perf_counter() - replay_start
+    return {
+        "policy": policy,
+        "n_records": int(n_records),
+        "batch": BATCH,
+        "append_seconds": elapsed,
+        "records_per_s": n_records / elapsed,
+        "wal_bytes": int(path.stat().st_size),
+        "replay_records": int(replay.records),
+        "replay_seconds": replay_elapsed,
+        "replay_records_per_s": replay.records / replay_elapsed,
+    }
+
+
+def _time_recovery(tail_records: int, root: Path) -> dict:
+    """Recovery wall time with ``tail_records`` unsealed in the WAL."""
+    ids, ts = _stream(tail_records)
+    directory = root / f"recover-{tail_records}"
+    store = create_durable(
+        directory, seal_elements=2 * tail_records + 1, fsync="never"
+    )
+    for begin in range(0, tail_records, BATCH):
+        store.extend_batch(
+            ids[begin : begin + BATCH], ts[begin : begin + BATCH]
+        )
+    store.close()
+    start = time.perf_counter()
+    recovered = recover(directory)
+    elapsed = time.perf_counter() - start
+    count = recovered.count
+    recovered.close()
+    shutil.rmtree(directory)
+    return {
+        "tail_records": int(tail_records),
+        "recover_seconds": elapsed,
+        "records_per_s": tail_records / elapsed,
+        "count_correct": count == tail_records,
+    }
+
+
+def run_wal_benchmark(
+    smoke: bool = False, out_path: Path | None = None
+) -> dict:
+    n_append = 50_000 if smoke else 400_000
+    tails = [1_000, 8_000] if smoke else [1_000, 10_000, 100_000]
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        append_rows = [
+            _time_appends(policy, n_append, root)
+            for policy in sorted(FSYNC_POLICIES)
+        ]
+        recovery_rows = [_time_recovery(tail, root) for tail in tails]
+    payload = {
+        "workload": {
+            "append_records": int(n_append),
+            "batch": BATCH,
+            "tail_lengths": [int(t) for t in tails],
+            "smoke": smoke,
+        },
+        "append": append_rows,
+        "recovery": recovery_rows,
+        "metrics": global_registry().snapshot(),
+    }
+    target = out_path or RESULTS_DIR / "BENCH_wal.json"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_wal_results(payload: dict) -> list[str]:
+    """Regression gate over a BENCH_wal.json payload."""
+    failures = []
+    for row in payload["append"]:
+        tag = f"append[{row['policy']}]"
+        if row["replay_records"] != row["n_records"]:
+            failures.append(
+                f"{tag}: replay saw {row['replay_records']} of "
+                f"{row['n_records']} records"
+            )
+        # "always" pays one fsync per append by design; no floor there.
+        if row["policy"] != "always":
+            if row["records_per_s"] < APPEND_FLOOR:
+                failures.append(
+                    f"{tag}: {row['records_per_s']:,.0f} records/s is "
+                    f"below the {APPEND_FLOOR:,} floor"
+                )
+            if row["replay_records_per_s"] < REPLAY_FLOOR:
+                failures.append(
+                    f"{tag}: replay at "
+                    f"{row['replay_records_per_s']:,.0f} records/s is "
+                    f"below the {REPLAY_FLOOR:,} floor"
+                )
+    for row in payload["recovery"]:
+        tag = f"recovery[{row['tail_records']}]"
+        if not row["count_correct"]:
+            failures.append(f"{tag}: recovered the wrong record count")
+        if row["records_per_s"] < REPLAY_FLOOR:
+            failures.append(
+                f"{tag}: {row['records_per_s']:,.0f} records/s is below "
+                f"the {REPLAY_FLOOR:,} floor"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="WAL append / recovery benchmark"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small workload (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero below the sanity floors",
+    )
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    payload = run_wal_benchmark(smoke=args.smoke, out_path=args.out)
+    header = (
+        f"{'fsync policy':<14} {'records':>9} {'append rec/s':>14} "
+        f"{'replay rec/s':>14} {'wal MiB':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in payload["append"]:
+        print(
+            f"{row['policy']:<14} {row['n_records']:>9,} "
+            f"{row['records_per_s']:>14,.0f} "
+            f"{row['replay_records_per_s']:>14,.0f} "
+            f"{row['wal_bytes'] / 2**20:>8.1f}"
+        )
+    print()
+    header = f"{'WAL tail':>9} {'recover s':>10} {'recover rec/s':>14}"
+    print(header)
+    print("-" * len(header))
+    for row in payload["recovery"]:
+        print(
+            f"{row['tail_records']:>9,} {row['recover_seconds']:>10.4f} "
+            f"{row['records_per_s']:>14,.0f}"
+        )
+    if args.check:
+        failures = check_wal_results(payload)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

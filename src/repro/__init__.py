@@ -37,24 +37,31 @@ from repro.core import (
     BurstStore,
     BurstyEvent,
     BurstyEventIndex,
+    DurableBurstStore,
     EmptySketchError,
     HistoricalBurstAnalyzer,
     InvalidParameterError,
+    RecoveryError,
     ReproError,
     SerializationError,
     ShardedBurstStore,
     StreamOrderError,
     UnknownBackendError,
+    WriteAheadLog,
+    atomic_write_bytes,
     backend_keys,
     burst_frequency,
     burstiness,
     burstiness_series,
     bursty_time_intervals,
+    create_durable,
     create_store,
     incoming_rate_series,
     load_store,
+    recover,
     register_backend,
     save_store,
+    write_store,
 )
 from repro.baselines import ExactBurstStore, KleinbergBurstDetector
 from repro.streams import EventStream, SingleEventStream, StaircaseCurve
@@ -68,24 +75,31 @@ __all__ = [
     "BurstStore",
     "BurstyEvent",
     "BurstyEventIndex",
+    "DurableBurstStore",
     "EmptySketchError",
     "HistoricalBurstAnalyzer",
     "InvalidParameterError",
+    "RecoveryError",
     "ReproError",
     "SerializationError",
     "ShardedBurstStore",
     "StreamOrderError",
     "UnknownBackendError",
+    "WriteAheadLog",
+    "atomic_write_bytes",
     "backend_keys",
     "burst_frequency",
     "burstiness",
     "burstiness_series",
     "bursty_time_intervals",
+    "create_durable",
     "create_store",
     "incoming_rate_series",
     "load_store",
+    "recover",
     "register_backend",
     "save_store",
+    "write_store",
     "ExactBurstStore",
     "KleinbergBurstDetector",
     "EventStream",

@@ -13,6 +13,14 @@ ingest (alias: build)
     ``index``) and ``--shards N`` hash-partitions event ids across N
     copies of it; without ``--backend`` the default CM-PBE path writes
     the legacy v1 blob, byte-identical to previous releases.
+    ``--durable DIR`` ingests through the write-ahead-logged durable
+    lifecycle instead: every acknowledged batch is crash-recoverable
+    from DIR (``repro recover``), ``--resume`` continues a previous
+    run, and ``--fsync``/``--seal-elements`` tune the durability/
+    throughput trade-off.
+recover
+    Recover a durable store directory: replay the WAL tail after the
+    last sealed segment and print what survived.
 query
     Answer point / bursty-time queries from a serialized store (either
     the versioned envelope or a legacy v1 blob).
@@ -39,6 +47,12 @@ import sys
 from pathlib import Path
 
 from repro.core.cmpbe import CMPBE
+from repro.core.durable import (
+    DEFAULT_SEAL_ELEMENTS,
+    create_durable,
+    recover,
+)
+from repro.core.errors import RecoveryError, StreamOrderError
 from repro.core.metrics import (
     InstrumentedStore,
     dump_snapshot_json,
@@ -48,11 +62,14 @@ from repro.core.metrics import (
 )
 from repro.core.serialize import (
     ENVELOPE_MAGIC,
+    atomic_write_bytes,
     dump_cmpbe,
     load_store,
     save_store,
+    write_store,
 )
 from repro.core.store import create_store
+from repro.core.wal import FSYNC_POLICIES
 from repro.eval import harness
 from repro.eval.tables import format_table
 from repro.streams.io import (
@@ -99,7 +116,36 @@ def build_parser() -> argparse.ArgumentParser:
             + ("" if name == "ingest" else " (alias of ingest)"),
         )
         ingest.add_argument("stream", type=Path)
-        ingest.add_argument("--out", required=True, type=Path)
+        ingest.add_argument(
+            "--out",
+            type=Path,
+            help="serialized store envelope (required unless --durable)",
+        )
+        ingest.add_argument(
+            "--durable",
+            type=Path,
+            metavar="DIR",
+            help="ingest through the WAL-backed durable lifecycle rooted "
+            "at DIR; every acknowledged batch survives a crash",
+        )
+        ingest.add_argument(
+            "--resume",
+            action="store_true",
+            help="with --durable: recover DIR and continue ingesting",
+        )
+        ingest.add_argument(
+            "--seal-elements",
+            type=int,
+            default=DEFAULT_SEAL_ELEMENTS,
+            help="with --durable: memtable size that triggers sealing a "
+            "segment (default %(default)s)",
+        )
+        ingest.add_argument(
+            "--fsync",
+            choices=sorted(FSYNC_POLICIES),
+            default="batch",
+            help="with --durable: when to fsync the WAL (default batch)",
+        )
         ingest.add_argument(
             "--method", choices=["cm-pbe-1", "cm-pbe-2"], default="cm-pbe-1"
         )
@@ -137,6 +183,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a metrics snapshot (JSON) of the ingest run here; "
             "never affects the serialized store",
         )
+
+    recover_cmd = commands.add_parser(
+        "recover",
+        help="recover a durable store directory (replays the WAL tail)",
+    )
+    recover_cmd.add_argument("directory", type=Path)
+    recover_cmd.add_argument(
+        "--out",
+        type=Path,
+        help="also write the recovered store as a serialized envelope",
+    )
+    recover_cmd.add_argument(
+        "--fsync",
+        choices=sorted(FSYNC_POLICIES),
+        default="batch",
+        help="fsync policy for the reopened WAL (default batch)",
+    )
 
     query = commands.add_parser(
         "query", help="answer a historical burst query from a sketch"
@@ -280,7 +343,87 @@ def _write_metrics_json(
     print(f"metrics -> {path}")
 
 
+def _segment_total(store) -> int:
+    """Sealed-segment count of a durable store or sharded composite."""
+    shards = getattr(store, "shards", None)
+    if shards is not None:
+        return sum(child.n_segments for child in shards)
+    return store.n_segments
+
+
+def _ingest_durable(args: argparse.Namespace) -> int:
+    if args.backend is None:
+        args.backend = args.method
+    cfg = _backend_config(args)
+    store = create_durable(
+        args.durable,
+        backend=args.backend,
+        shards=args.shards or 1,
+        seal_elements=args.seal_elements,
+        fsync=args.fsync,
+        resume=args.resume,
+        **cfg,
+    )
+    instrumented = (
+        InstrumentedStore(store) if args.metrics_json is not None else None
+    )
+    target = instrumented if instrumented is not None else store
+    with store:
+        try:
+            for event_ids, timestamps in iter_record_batches(
+                args.stream, args.batch_size
+            ):
+                target.extend_batch(event_ids, timestamps)
+        except StreamOrderError as error:
+            # Everything acknowledged so far is already durable; tell
+            # the user where the stream violated the resume horizon.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        store.flush()
+        if args.out is not None:
+            written = write_store(store, args.out)
+            print(f"snapshot: {written} bytes -> {args.out}")
+        label = f"durable {args.backend}"
+        if args.shards and args.shards > 1:
+            label += f" x{args.shards} shards"
+        print(
+            f"ingested {store.count} mentions -> {label} store, "
+            f"{_segment_total(store)} sealed segments -> {args.durable}"
+        )
+    if args.metrics_json is not None:
+        _write_metrics_json(args.metrics_json, instrumented)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    try:
+        store = recover(args.directory, fsync=args.fsync)
+    except RecoveryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    with store:
+        shards = getattr(store, "shards", None)
+        layout = f"{len(shards)} shards" if shards is not None else "1 store"
+        print(
+            f"recovered {store.count} mentions "
+            f"({_segment_total(store)} sealed segments, {layout}) "
+            f"from {args.directory}"
+        )
+        if args.out is not None:
+            written = write_store(store, args.out)
+            print(f"snapshot: {written} bytes -> {args.out}")
+    return 0
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.out is None and args.durable is None:
+        print(
+            "error: ingest needs --out and/or --durable DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.durable is not None:
+        return _ingest_durable(args)
     if args.backend is None and not args.shards:
         # Legacy path: a bare CM-PBE serialized as the v1 blob.  Kept
         # verbatim so existing archives and golden outputs stay
@@ -305,7 +448,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         ):
             sketch.extend_batch(event_ids, timestamps)
         payload = dump_cmpbe(sketch)
-        args.out.write_bytes(payload)
+        atomic_write_bytes(args.out, payload)
         print(
             f"ingested {sketch.count} mentions -> {args.method} sketch, "
             f"{len(payload)} bytes on disk "
@@ -332,13 +475,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.metrics_json is not None:
         instrumented = InstrumentedStore(store)
     target = instrumented if instrumented is not None else store
-    for event_ids, timestamps in iter_record_batches(
-        args.stream, args.batch_size
-    ):
-        target.extend_batch(event_ids, timestamps)
-    store.finalize()
-    payload = save_store(store)
-    args.out.write_bytes(payload)
+    with store:
+        for event_ids, timestamps in iter_record_batches(
+            args.stream, args.batch_size
+        ):
+            target.extend_batch(event_ids, timestamps)
+        store.finalize()
+        payload = save_store(store)
+    atomic_write_bytes(args.out, payload)
     print(
         f"ingested {store.count} mentions -> {label} store, "
         f"{len(payload)} bytes on disk "
@@ -551,6 +695,7 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "ingest": _cmd_build,
     "build": _cmd_build,
+    "recover": _cmd_recover,
     "query": _cmd_query,
     "inspect": _cmd_inspect,
     "stats": _cmd_stats,

@@ -7,12 +7,18 @@ from repro.core.burstiness import (
     incoming_rate_series,
 )
 from repro.core.cmpbe import CMPBE
+from repro.core.durable import (
+    DurableBurstStore,
+    create_durable,
+    recover,
+)
 from repro.core.dyadic import BurstyEvent, BurstyEventIndex
 from repro.core.errors import (
     EmptySketchError,
     FinalizedError,
     InvalidParameterError,
     NotFinalizedError,
+    RecoveryError,
     ReproError,
     SerializationError,
     StreamOrderError,
@@ -41,6 +47,7 @@ from repro.core.queries import (
     max_burstiness,
 )
 from repro.core.serialize import (
+    atomic_write_bytes,
     dump_cmpbe,
     dump_pbe1,
     dump_pbe2,
@@ -49,7 +56,9 @@ from repro.core.serialize import (
     load_pbe2,
     load_store,
     save_store,
+    write_store,
 )
+from repro.core.wal import WriteAheadLog, replay_wal
 from repro.core.store import (
     BurstStore,
     ShardedBurstStore,
@@ -66,10 +75,14 @@ __all__ = [
     "CMPBE",
     "BurstyEvent",
     "BurstyEventIndex",
+    "DurableBurstStore",
+    "create_durable",
+    "recover",
     "EmptySketchError",
     "FinalizedError",
     "InvalidParameterError",
     "NotFinalizedError",
+    "RecoveryError",
     "ReproError",
     "SerializationError",
     "StreamOrderError",
@@ -93,6 +106,7 @@ __all__ = [
     "merge_pbe1",
     "merge_pbe2",
     "merge_stores",
+    "atomic_write_bytes",
     "dump_cmpbe",
     "dump_pbe1",
     "dump_pbe2",
@@ -101,6 +115,9 @@ __all__ = [
     "load_pbe2",
     "load_store",
     "save_store",
+    "write_store",
+    "WriteAheadLog",
+    "replay_wal",
     "BurstStore",
     "ShardedBurstStore",
     "backend_keys",

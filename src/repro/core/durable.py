@@ -1,0 +1,810 @@
+"""Durable write/read-split store lifecycle: WAL → memtable → segments.
+
+Every other backend is build-offline/query-after: the store is one
+mutable in-memory object, persisted only by an explicit full save.
+:class:`DurableBurstStore` (registry key ``"durable"``) splits that into
+an explicit lifecycle, the shape Hokusai-style segment stores use:
+
+* **writes** are framed into a :class:`~repro.core.wal.WriteAheadLog`
+  first — an acknowledged append survives a process kill — then applied
+  to an in-memory *memtable* (any registered child backend);
+* once the memtable holds ``seal_elements`` stream elements it is
+  **sealed**: finalized, frozen into an immutable v3 envelope segment
+  file (:func:`~repro.core.serialize.save_store` written atomically),
+  the WAL is rotated, and the manifest commits the new segment list;
+* **reads** fan across the sealed segments (opened lazily via
+  :func:`~repro.core.serialize.open_store`) plus a snapshot of the live
+  memtable, folded with the backend's own ``merge`` — the §III-A
+  time-range merge contract — and cached until the next append.
+
+Crash recovery (``resume=True`` / :func:`recover`) loads the manifest's
+segments and replays the WAL tail written after the last seal; it is
+idempotent, and any torn trailing frame is discarded and truncated.
+The correctness contract, locked by the crash-injection suite: after
+recovery, every query answers bit-identically to an
+:class:`~repro.baselines.exact.ExactBurstStore` fed the same prefix of
+acknowledged events.
+
+Crash-window analysis for the seal sequence (segment file → new WAL →
+manifest → old-WAL delete, every file write atomic-rename + fsync):
+
+* crash before the manifest commit — the old manifest still pairs the
+  old WAL, which contains every sealed record; replay covers the
+  orphaned segment/WAL files, and the next seal overwrites them;
+* crash after the manifest commit — the new manifest pairs the new
+  (possibly still missing, hence empty) WAL; a leftover old WAL is
+  ignored and cleaned up on the next recovery;
+* crash mid-manifest-write — ``os.replace`` leaves the old manifest
+  intact.
+
+Concurrency: one writer thread plus any number of reader threads.
+Readers only ever touch immutable objects — sealed segments and
+memtable snapshots — so a query can never observe a half-applied batch
+(no torn reads); the lock only serializes snapshot construction with
+appends.
+
+Sharded operation: :func:`create_durable` with ``shards=N`` builds a
+:class:`~repro.core.store.ShardedBurstStore` whose children are durable
+stores in per-shard subdirectories (per-shard WALs), recorded in a
+top-level manifest so :func:`recover` can rebuild the whole composite.
+
+Note on sketch-backed memtables: snapshotting (and sealing) flushes the
+child's buffered state, exactly like calling ``finalize``/``to_bytes``
+on it directly — approximation guarantees are unaffected, but the
+resulting corner layout can differ from a never-queried build.  Exact
+children are unaffected and are what the bit-identity differential uses.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import threading
+
+import numpy as np
+
+from repro.core.errors import (
+    InvalidParameterError,
+    RecoveryError,
+    SerializationError,
+    StreamOrderError,
+)
+from repro.core.metrics import global_registry
+from repro.core.serialize import atomic_write_bytes, open_store, save_store
+from repro.core.store import (
+    ShardedBurstStore,
+    _pack_config,
+    _StoreBase,
+    _unpack_config,
+    create_store,
+    load_backend,
+    register_backend,
+)
+from repro.core.wal import (
+    WAL_HEADER_SIZE,
+    WriteAheadLog,
+    _require_policy,
+    replay_wal,
+)
+
+__all__ = [
+    "DEFAULT_SEAL_ELEMENTS",
+    "MANIFEST_NAME",
+    "DurableBurstStore",
+    "create_durable",
+    "recover",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = 1
+DEFAULT_SEAL_ELEMENTS = 100_000
+
+_NEG_INF = float("-inf")
+
+
+def _dump_manifest(manifest: dict) -> bytes:
+    return (json.dumps(manifest, sort_keys=True, indent=2) + "\n").encode()
+
+
+class DurableBurstStore(_StoreBase):
+    """WAL-backed store with an in-memory memtable and sealed segments.
+
+    With ``directory=None`` the lifecycle runs purely in memory (no WAL,
+    no files): sealing moves the memtable into the in-memory segment
+    list.  That ephemeral mode is what serialization round-trips and the
+    backend matrix exercise; it answers queries identically to the
+    durable mode minus crash safety.
+
+    With a directory, the store is crash-safe: pass ``resume=True`` to
+    attach to (and recover) an existing directory — the manifest's
+    configuration then wins over the constructor arguments, which only
+    seed a fresh directory.
+    """
+
+    backend_key = "durable"
+
+    def __init__(
+        self,
+        directory=None,
+        *,
+        backend: str = "exact",
+        seal_elements: int = DEFAULT_SEAL_ELEMENTS,
+        fsync: str = "batch",
+        resume: bool = False,
+        _segments=None,
+        _memtable=None,
+        **child_cfg,
+    ) -> None:
+        super().__init__()
+        if backend == "durable":
+            raise InvalidParameterError("durable stores cannot nest")
+        if int(seal_elements) <= 0:
+            raise InvalidParameterError(
+                f"seal_elements must be > 0, got {seal_elements}"
+            )
+        self.fsync_policy = _require_policy(fsync)
+        self.directory = None if directory is None else os.fspath(directory)
+        if self.directory is not None and (
+            _segments is not None or _memtable is not None
+        ):
+            raise InvalidParameterError(
+                "preloaded parts require an ephemeral store (directory=None)"
+            )
+        self._lock = threading.RLock()
+        self.child_backend = backend
+        self.child_cfg = dict(child_cfg)
+        self.seal_elements = int(seal_elements)
+        self._segments = list(_segments) if _segments is not None else []
+        self._segment_names: list[str] = []
+        self._memtable = (
+            _memtable
+            if _memtable is not None
+            else create_store(backend, **child_cfg)
+        )
+        self._memtable_elements = (
+            int(getattr(self._memtable, "count", 0))
+            if _memtable is not None
+            else 0
+        )
+        # Served when everything is sealed or nothing was ingested:
+        # readers must never alias the live memtable (torn reads).
+        self._empty = create_store(backend, **child_cfg)
+        self._wal: WriteAheadLog | None = None
+        self._wal_seq = 0
+        self._closed = False
+        self._version = 0
+        self._view = None
+        self._view_version = -1
+        self._sealed_view = None
+        self._sealed_folded = 0
+        metrics = global_registry()
+        self._seal_seconds = metrics.histogram(
+            "durable_seal_seconds", "memtable seal latency (seconds)"
+        )
+        self._segment_gauge = metrics.gauge(
+            "durable_segments", "sealed segments held"
+        )
+        self._seals_total = metrics.counter(
+            "durable_seals_total", "memtable seals performed"
+        )
+        self._recoveries_total = metrics.counter(
+            "durable_recoveries_total", "durable directory recoveries"
+        )
+        self._replayed_records = metrics.counter(
+            "durable_replayed_records_total",
+            "records replayed from WAL tails",
+        )
+        if self.directory is not None:
+            self._attach(resume=resume)
+
+    # -- directory lifecycle -------------------------------------------
+    def _wal_path(self, seq: int) -> str:
+        return os.path.join(self.directory, f"wal-{seq:08d}.log")
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _attach(self, *, resume: bool) -> None:
+        if os.path.exists(self._manifest_path()):
+            if not resume:
+                raise InvalidParameterError(
+                    f"{self.directory} already holds a durable store; "
+                    "open it with resume=True or recover()"
+                )
+            self._recover_directory()
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        self._wal_seq = 1
+        self._wal = WriteAheadLog(
+            self._wal_path(1), fsync=self.fsync_policy, truncate=True
+        )
+        self._write_manifest()
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self._manifest_path(), "rb") as handle:
+                manifest = json.loads(handle.read().decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RecoveryError(
+                f"unreadable durable manifest in {self.directory}: {exc}"
+            ) from None
+        if not isinstance(manifest, dict):
+            raise RecoveryError("durable manifest is not a JSON object")
+        if int(manifest.get("format", 0)) > MANIFEST_FORMAT:
+            raise RecoveryError(
+                f"durable manifest format v{manifest.get('format')} is "
+                f"newer than supported v{MANIFEST_FORMAT}"
+            )
+        if manifest.get("kind") != "durable":
+            raise RecoveryError(
+                f"{self.directory} holds a {manifest.get('kind')!r} "
+                "manifest; use recover() on the top-level directory"
+            )
+        return manifest
+
+    def _recover_directory(self) -> None:
+        manifest = self._read_manifest()
+        self.child_backend = manifest["backend"]
+        self.child_cfg = dict(manifest.get("child_cfg", {}))
+        self.seal_elements = int(manifest["seal_elements"])
+        self._memtable = create_store(self.child_backend, **self.child_cfg)
+        self._empty = create_store(self.child_backend, **self.child_cfg)
+        self._memtable_elements = 0
+        for name in manifest.get("segments", []):
+            path = os.path.join(self.directory, name)
+            try:
+                self._segments.append(open_store(path, lazy=True))
+            except FileNotFoundError:
+                raise RecoveryError(
+                    f"manifest references missing segment {name}"
+                ) from None
+            except SerializationError as exc:
+                raise RecoveryError(
+                    f"sealed segment {name} is corrupt: {exc}"
+                ) from None
+            self._segment_names.append(name)
+        self._wal_seq = int(manifest["wal_seq"])
+        t_end = manifest.get("t_end")
+        if t_end is not None:
+            self._t_end = float(t_end)
+        replay = replay_wal(self._wal_path(self._wal_seq))
+        for ids, ts, counts in replay:
+            # Replayed frames are already durable in this WAL, so they
+            # are applied without re-logging and without sealing — a
+            # seal here would rotate the WAL out from under the frames
+            # not yet applied.  An oversized memtable seals on the next
+            # live append instead.
+            self._apply_batch(ids, ts, counts, log=False, allow_seal=False)
+        self._replayed_records.inc(replay.records)
+        if replay.good_offset < WAL_HEADER_SIZE:
+            self._wal = WriteAheadLog(
+                self._wal_path(self._wal_seq),
+                fsync=self.fsync_policy,
+                truncate=True,
+            )
+        else:
+            self._wal = WriteAheadLog(
+                self._wal_path(self._wal_seq),
+                fsync=self.fsync_policy,
+                _resume_at=replay.good_offset if replay.torn else None,
+            )
+        self._cleanup_stale_wals()
+        self._recoveries_total.inc()
+        self._segment_gauge.set(len(self._segments))
+
+    def _cleanup_stale_wals(self) -> None:
+        current = os.path.basename(self._wal_path(self._wal_seq))
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith("wal-") and name.endswith(".log"):
+                if name != current:
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "kind": "durable",
+            "backend": self.child_backend,
+            "child_cfg": self.child_cfg,
+            "seal_elements": self.seal_elements,
+            "segments": self._segment_names,
+            "wal_seq": self._wal_seq,
+            "t_end": None if self._t_end == _NEG_INF else self._t_end,
+        }
+        atomic_write_bytes(
+            self._manifest_path(),
+            _dump_manifest(manifest),
+            fsync=self.fsync_policy != "never",
+        )
+
+    # -- ingest --------------------------------------------------------
+    def _inner_update(self, event_id, timestamp, count) -> None:
+        if count <= 0:
+            raise InvalidParameterError(
+                f"count must be positive, got {count}"
+            )
+        ids = np.asarray([event_id], dtype=np.int64)
+        ts = np.asarray([timestamp], dtype=np.float64)
+        counts = (
+            None if count == 1 else np.asarray([count], dtype=np.int64)
+        )
+        with self._lock:
+            self._check_writable()
+            self._apply_batch(ids, ts, counts)
+
+    def _inner_extend_batch(self, ids, ts, counts) -> None:
+        with self._lock:
+            self._check_writable()
+            self._apply_batch(ids.astype(np.int64, copy=False), ts, counts)
+
+    def _check_writable(self) -> None:
+        if self._closed:
+            raise InvalidParameterError("durable store is closed")
+
+    def _apply_batch(
+        self, ids, ts, counts, *, log: bool = True, allow_seal: bool = True
+    ) -> None:
+        """Log, apply and (deterministically) seal one validated batch.
+
+        The memtable seals after exactly the record that brings it to
+        ``seal_elements`` stream elements, checked per-prefix *inside*
+        the batch — so scalar, one-batch and arbitrarily-split ingests
+        of the same stream produce byte-identical stores.
+        """
+        first = float(ts[0])
+        if first < self._t_end:
+            raise StreamOrderError(
+                f"timestamp {first} arrived after {self._t_end}"
+            )
+        total = int(ids.size)
+        start = 0
+        while start < total:
+            if allow_seal and self._memtable_elements >= self.seal_elements:
+                self._seal_locked()
+            if not allow_seal:
+                end = total
+                took = (
+                    total - start
+                    if counts is None
+                    else int(counts[start:].sum())
+                )
+            else:
+                capacity = self.seal_elements - self._memtable_elements
+                if counts is None:
+                    end = start + min(total - start, capacity)
+                    took = end - start
+                else:
+                    cumulative = np.cumsum(counts[start:])
+                    crossing = int(
+                        np.searchsorted(cumulative, capacity, side="left")
+                    )
+                    if crossing >= cumulative.size:
+                        end = total
+                        took = int(cumulative[-1])
+                    else:
+                        end = start + crossing + 1
+                        took = int(cumulative[crossing])
+            sub_counts = None if counts is None else counts[start:end]
+            # Each seal-bounded slice gets its own WAL frame *after* any
+            # rotation: records in the memtable always live in the
+            # currently-active log, so sealing (which deletes the old
+            # log) can never orphan an unsealed remainder of a batch.
+            if log and self._wal is not None:
+                self._wal.append(ids[start:end], ts[start:end], sub_counts)
+            self._memtable.extend_batch(
+                ids[start:end], ts[start:end], sub_counts
+            )
+            self._memtable_elements += int(took)
+            # Advance the horizon per slice, not per batch: a mid-batch
+            # seal writes the manifest, whose t_end must cover exactly
+            # the records sealed so far.
+            last = float(ts[end - 1])
+            if last > self._t_end:
+                self._t_end = last
+            start = end
+        if allow_seal and self._memtable_elements >= self.seal_elements:
+            self._seal_locked()
+        self._version += 1
+
+    # -- sealing -------------------------------------------------------
+    def seal(self) -> None:
+        """Seal the live memtable into an immutable segment now.
+
+        No-op on an empty memtable.  Durable mode writes the segment
+        atomically, rotates the WAL and commits the manifest before
+        deleting the old log, so a crash at any instant loses nothing.
+        """
+        with self._lock:
+            self._check_writable()
+            self._seal_locked()
+
+    def _seal_locked(self) -> None:
+        if self._memtable_elements == 0:
+            return
+        with self._seal_seconds.time():
+            self._memtable.finalize()
+            if self.directory is None:
+                self._segments.append(self._memtable)
+            else:
+                name = f"segment-{len(self._segments):06d}.beds"
+                path = os.path.join(self.directory, name)
+                atomic_write_bytes(
+                    path,
+                    save_store(self._memtable),
+                    fsync=self.fsync_policy != "never",
+                )
+                new_seq = self._wal_seq + 1
+                new_wal = WriteAheadLog(
+                    self._wal_path(new_seq),
+                    fsync=self.fsync_policy,
+                    truncate=True,
+                )
+                old_wal = self._wal
+                self._segments.append(open_store(path, lazy=True))
+                self._segment_names.append(name)
+                self._wal, self._wal_seq = new_wal, new_seq
+                self._write_manifest()
+                if old_wal is not None:
+                    old_wal.close()
+                    try:
+                        os.unlink(old_wal.path)
+                    except OSError:
+                        pass
+            self._memtable = create_store(
+                self.child_backend, **self.child_cfg
+            )
+            self._memtable_elements = 0
+        self._seals_total.inc()
+        self._segment_gauge.set(len(self._segments))
+        self._version += 1
+
+    def flush(self) -> None:
+        """Durability point: fsync the WAL per the store's policy."""
+        with self._lock:
+            if self._wal is not None and not self._wal.closed:
+                self._wal.flush()
+
+    def finalize(self) -> None:
+        with self._lock:
+            self._memtable.finalize()
+            self._version += 1
+
+    def close(self) -> None:
+        """Flush and release the WAL (idempotent).  Queries keep working
+        on the already-ingested data; further appends raise."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._wal is not None:
+                self._wal.close()
+
+    # -- read path -----------------------------------------------------
+    def _fold_sealed_locked(self):
+        if self._sealed_folded != len(self._segments):
+            view = self._sealed_view
+            for segment in self._segments[self._sealed_folded :]:
+                view = segment if view is None else view.merge(segment)
+            self._sealed_view = view
+            self._sealed_folded = len(self._segments)
+        return self._sealed_view
+
+    def _read_view(self):
+        """The current immutable queryable snapshot (cached per version).
+
+        Sealed segments fold incrementally into a cached merged store;
+        a non-empty memtable contributes a serialized copy, so readers
+        never share mutable state with the writer.
+        """
+        with self._lock:
+            if self._view is not None and self._view_version == self._version:
+                return self._view
+            sealed = self._fold_sealed_locked()
+            if self._memtable_elements == 0:
+                view = sealed if sealed is not None else self._empty
+            else:
+                snapshot = load_backend(
+                    self.child_backend, self._memtable.to_bytes()
+                )
+                view = snapshot if sealed is None else sealed.merge(snapshot)
+            self._view = view
+            self._view_version = self._version
+            return view
+
+    def point_query(self, event_id: int, t: float, tau: float) -> float:
+        return self._read_view().point_query(event_id, t, tau)
+
+    def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
+        return self._read_view().point_query_batch(event_ids, ts, tau)
+
+    def bursty_time_query(
+        self,
+        event_id: int,
+        theta: float,
+        tau: float,
+        t_end: float | None = None,
+        merge_gap: float = 0.0,
+        piecewise=None,
+    ):
+        if t_end is None and self._t_end != _NEG_INF:
+            t_end = self._t_end + 2 * tau
+        return self._read_view().bursty_time_query(
+            event_id, theta, tau,
+            t_end=t_end, merge_gap=merge_gap, piecewise=piecewise,
+        )
+
+    def bursty_event_query(self, t: float, theta: float, tau: float):
+        return self._read_view().bursty_event_query(t, theta, tau)
+
+    def peak_query(
+        self, event_id: int, t_start: float, t_end: float, tau: float
+    ):
+        return self._read_view().peak_query(event_id, t_start, t_end, tau)
+
+    def segment_starts(self, event_id: int) -> list[float]:
+        return self._read_view().segment_starts(event_id)
+
+    def cumulative_frequency(self, event_id: int, t: float) -> float:
+        return self._read_view().cumulative_frequency(event_id, t)
+
+    @property
+    def piecewise(self):  # type: ignore[override]
+        return getattr(self._memtable, "piecewise", "constant")
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return int(getattr(self._memtable, "count", 0)) + sum(
+                int(getattr(segment, "count", 0))
+                for segment in self._segments
+            )
+
+    @property
+    def n_segments(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def memory_elements(self) -> int:
+        with self._lock:
+            return self._memtable.memory_elements() + sum(
+                segment.memory_elements() for segment in self._segments
+            )
+
+    def size_in_bytes(self) -> int:
+        with self._lock:
+            return self._memtable.size_in_bytes() + sum(
+                segment.size_in_bytes() for segment in self._segments
+            )
+
+    # -- merge & codec -------------------------------------------------
+    def merge(self, other: "DurableBurstStore") -> "DurableBurstStore":
+        """Merge two durable stores over consecutive time ranges.
+
+        The result is ephemeral: its segment list is the concatenation
+        of both parts' sealed segments plus snapshots of their live
+        memtables (parts stay usable and un-aliased afterwards).
+        """
+        if not isinstance(other, DurableBurstStore):
+            raise InvalidParameterError(
+                "can only merge durable with durable"
+            )
+        if self.child_backend != other.child_backend:
+            raise InvalidParameterError(
+                "child backends differ; cannot merge"
+            )
+        parts = []
+        for store in (self, other):
+            with store._lock:
+                parts.extend(store._segments)
+                if store._memtable_elements > 0:
+                    parts.append(
+                        load_backend(
+                            store.child_backend, store._memtable.to_bytes()
+                        )
+                    )
+        merged = DurableBurstStore(
+            None,
+            backend=self.child_backend,
+            seal_elements=self.seal_elements,
+            fsync=self.fsync_policy,
+            _segments=parts,
+            **self.child_cfg,
+        )
+        merged._t_end = max(self._t_end, other._t_end)
+        return merged
+
+    def _config(self) -> dict:
+        config = super()._config()
+        config["backend"] = self.child_backend
+        config["child_cfg"] = self.child_cfg
+        config["seal_elements"] = self.seal_elements
+        return config
+
+    def to_bytes(self) -> bytes:
+        with self._lock:
+            out = io.BytesIO()
+            out.write(struct.pack("<I", len(self._segments)))
+            for part in [*self._segments, self._memtable]:
+                payload = part.to_bytes()
+                out.write(struct.pack("<Q", len(payload)))
+                out.write(payload)
+            return _pack_config(self._config(), out.getvalue())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DurableBurstStore":
+        config, payload = _unpack_config(data)
+        backend = config["backend"]
+        if len(payload) < 4:
+            raise SerializationError("truncated durable payload")
+        (n_segments,) = struct.unpack_from("<I", payload, 0)
+        offset = 4
+        parts = []
+        for _ in range(n_segments + 1):
+            if len(payload) < offset + 8:
+                raise SerializationError("truncated durable payload")
+            (length,) = struct.unpack_from("<Q", payload, offset)
+            offset += 8
+            if len(payload) < offset + length:
+                raise SerializationError("truncated durable part")
+            parts.append(
+                load_backend(backend, payload[offset : offset + length])
+            )
+            offset += length
+        store = cls(
+            None,
+            backend=backend,
+            seal_elements=int(
+                config.get("seal_elements", DEFAULT_SEAL_ELEMENTS)
+            ),
+            _segments=parts[:-1],
+            _memtable=parts[-1],
+            **config.get("child_cfg", {}),
+        )
+        store._restore_config(config)
+        return store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.directory or "ephemeral"
+        return (
+            f"DurableBurstStore({where!r}, backend={self.child_backend!r}, "
+            f"segments={len(self._segments)}, "
+            f"memtable={self._memtable_elements})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Directory-level composition and recovery
+# ----------------------------------------------------------------------
+def _wrap_shards(children: list) -> ShardedBurstStore:
+    wrapper = ShardedBurstStore(
+        shards=len(children), backend="durable", _children=children
+    )
+    ends = [child.t_end for child in children if child.t_end != _NEG_INF]
+    if ends:
+        wrapper._t_end = max(ends)
+    return wrapper
+
+
+def create_durable(
+    directory,
+    *,
+    backend: str = "exact",
+    shards: int = 1,
+    seal_elements: int = DEFAULT_SEAL_ELEMENTS,
+    fsync: str = "batch",
+    resume: bool = False,
+    **child_cfg,
+):
+    """Create (or resume) a durable store rooted at ``directory``.
+
+    With ``shards > 1``, returns a
+    :class:`~repro.core.store.ShardedBurstStore` whose children are
+    durable stores in ``shard-NNN/`` subdirectories — per-shard WALs,
+    per-shard seals — tied together by a top-level manifest that
+    :func:`recover` reads back.
+    """
+    if int(shards) <= 0:
+        raise InvalidParameterError(f"shards must be > 0, got {shards}")
+    directory = os.fspath(directory)
+    if int(shards) == 1:
+        return DurableBurstStore(
+            directory,
+            backend=backend,
+            seal_elements=seal_elements,
+            fsync=fsync,
+            resume=resume,
+            **child_cfg,
+        )
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        if not resume:
+            raise InvalidParameterError(
+                f"{directory} already holds a durable store; pass "
+                "resume=True or use recover()"
+            )
+        return recover(directory, fsync=fsync)
+    os.makedirs(directory, exist_ok=True)
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "kind": "sharded-durable",
+        "shards": int(shards),
+        "backend": backend,
+        "child_cfg": dict(child_cfg),
+        "seal_elements": int(seal_elements),
+    }
+    atomic_write_bytes(
+        manifest_path, _dump_manifest(manifest), fsync=fsync != "never"
+    )
+    children = [
+        DurableBurstStore(
+            os.path.join(directory, f"shard-{index:03d}"),
+            backend=backend,
+            seal_elements=seal_elements,
+            fsync=fsync,
+            **child_cfg,
+        )
+        for index in range(int(shards))
+    ]
+    return _wrap_shards(children)
+
+
+def recover(directory, *, fsync: str = "batch"):
+    """Recover the durable store rooted at ``directory``.
+
+    Reads the manifest, reopens every sealed segment, replays each WAL
+    tail and returns a ready store (single or sharded, per the
+    manifest).  Idempotent: recovering an already-clean directory — or
+    recovering twice — yields identical query answers.
+    """
+    directory = os.fspath(directory)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "rb") as handle:
+            manifest = json.loads(handle.read().decode("utf-8"))
+    except FileNotFoundError:
+        raise RecoveryError(
+            f"no durable manifest in {directory}"
+        ) from None
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RecoveryError(
+            f"unreadable durable manifest in {directory}: {exc}"
+        ) from None
+    kind = manifest.get("kind") if isinstance(manifest, dict) else None
+    if kind == "durable":
+        return DurableBurstStore(directory, resume=True, fsync=fsync)
+    if kind == "sharded-durable":
+        backend = manifest["backend"]
+        child_cfg = dict(manifest.get("child_cfg", {}))
+        seal_elements = int(
+            manifest.get("seal_elements", DEFAULT_SEAL_ELEMENTS)
+        )
+        children = [
+            DurableBurstStore(
+                os.path.join(directory, f"shard-{index:03d}"),
+                backend=backend,
+                seal_elements=seal_elements,
+                fsync=fsync,
+                resume=True,
+                **child_cfg,
+            )
+            for index in range(int(manifest["shards"]))
+        ]
+        return _wrap_shards(children)
+    raise RecoveryError(f"unknown durable manifest kind {kind!r}")
+
+
+register_backend(
+    "durable",
+    DurableBurstStore,
+    DurableBurstStore.from_bytes,
+    "WAL + memtable + sealed-segment lifecycle over any child backend",
+)

@@ -56,6 +56,16 @@ class CorruptOffsetTableError(SerializationError):
     """
 
 
+class RecoveryError(ReproError):
+    """A durable store directory cannot be recovered: the manifest is
+    missing or malformed, or a sealed segment it references is gone.
+
+    A *torn WAL tail* is not a recovery error — frames past the last
+    valid CRC are the acknowledged-but-unsynced window the fsync policy
+    explicitly trades away, and replay simply stops there.
+    """
+
+
 # ----------------------------------------------------------------------
 # Shared parameter validation
 #

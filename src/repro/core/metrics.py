@@ -498,6 +498,10 @@ class InstrumentedStore:
         for event_id, timestamp in records:
             self.update(event_id, timestamp)
 
+    def append(self, event_id: int, timestamp: float, count: int = 1) -> None:
+        """Durable-lifecycle spelling of :meth:`update` (same accounting)."""
+        self.update(event_id, timestamp, count)
+
     def extend_batch(self, event_ids, timestamps, counts=None) -> None:
         self.inner.extend_batch(event_ids, timestamps, counts)
         import numpy as np
@@ -581,6 +585,21 @@ class InstrumentedStore:
 
     def finalize(self) -> None:
         self.inner.finalize()
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def seal(self) -> None:
+        self.inner.seal()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self) -> "InstrumentedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def metrics_snapshot(self) -> dict:
         """Snapshot of this store's private registry."""

@@ -173,7 +173,10 @@ class MonitoredAnalyzer:
     ``update``/``burstiness`` surface — a raw
     :class:`~repro.core.cmpbe.CMPBE`, any
     :class:`~repro.core.store.BurstStore` backend from the registry
-    (sharded composites included), or the exact baseline.
+    (sharded composites included), the crash-recoverable
+    :class:`~repro.core.durable.DurableBurstStore` (live alerting with
+    a WAL-backed history), or the exact baseline.  Use as a context
+    manager when the store owns resources: ``__exit__`` closes it.
     """
 
     def __init__(
@@ -214,3 +217,19 @@ class MonitoredAnalyzer:
         if query is not None:
             return float(query(event_id, t, tau))
         return float(self.store.burstiness(event_id, t, tau))
+
+    def close(self) -> None:
+        """Release the historical store (idempotent).
+
+        Matters when the store is a durable backend holding an open
+        write-ahead log; plain in-memory stores treat this as a no-op.
+        """
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> MonitoredAnalyzer:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

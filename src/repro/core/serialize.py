@@ -41,6 +41,7 @@ import json
 import mmap
 import os
 import struct
+import tempfile
 
 import numpy as np
 
@@ -59,6 +60,8 @@ __all__ = [
     "save_store",
     "load_store",
     "open_store",
+    "write_store",
+    "atomic_write_bytes",
     "lazy_stats",
     "LazySketchStats",
     "LazyPBE1",
@@ -761,6 +764,27 @@ def _index_store_payload(key: str, data, start: int, end: int) -> list:
             )
             offset += length
         return entries
+    if key == "durable":
+        # Layout: config | u32 n_segments | n x (u64 len + child payload)
+        # | u64 len + memtable payload.  Segments and memtable all use
+        # the child backend's codec, so they flatten recursively.
+        config, inner = _split_config(data, start)
+        child = config["backend"]
+        entries = []
+        offset = inner
+        _need(data, offset, 4, "durable payload")
+        (n_segments,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        for _ in range(n_segments + 1):  # sealed parts, then the memtable
+            _need(data, offset, 8, "durable part")
+            (length,) = struct.unpack_from("<Q", data, offset)
+            offset += 8
+            _need(data, offset, length, "durable part payload")
+            entries.extend(
+                _index_store_payload(child, data, offset, offset + length)
+            )
+            offset += length
+        return entries
     return []
 
 
@@ -947,6 +971,74 @@ def open_store(path, *, lazy: bool = True):
     # and hydration-after-close would be a crash instead of an error.
     store._lazy_source = mapping
     return store
+
+
+# ----------------------------------------------------------------------
+# Crash-safe writes
+# ----------------------------------------------------------------------
+def _fsync_directory(directory: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Best-effort: some filesystems refuse to open directories.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_and_sync(handle, data, *, fsync: bool) -> None:
+    """Write ``data`` then flush it to disk (fault-injection seam)."""
+    handle.write(data)
+    handle.flush()
+    if fsync:
+        os.fsync(handle.fileno())
+
+
+def atomic_write_bytes(path, data, *, fsync: bool = True) -> None:
+    """Write a file so readers see either the old bytes or all new ones.
+
+    The payload lands in a temp file *in the target directory* (rename
+    across filesystems is not atomic) and is renamed into place with
+    ``os.replace`` — a crash at any instant leaves the destination
+    either untouched or fully written, never torn.  With ``fsync=True``
+    both the temp file and the directory entry are flushed, so the
+    guarantee extends from process crashes to power loss.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            _write_and_sync(handle, data, fsync=fsync)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_directory(directory)
+
+
+def write_store(store, path, *, fsync: bool = True) -> int:
+    """Crash-safe :func:`save_store` to disk; returns bytes written.
+
+    A crash mid-save can never leave a torn envelope at ``path``: the
+    old file (if any) stays intact until the new one is complete.
+    """
+    payload = save_store(store)
+    atomic_write_bytes(path, payload, fsync=fsync)
+    return len(payload)
 
 
 def _load_v1_blob(data: bytes):

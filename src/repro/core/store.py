@@ -24,7 +24,8 @@ query and serialization surface.  This module unifies them:
   round-trips any registered backend, sharded composites included.
 
 Registered keys: ``exact``, ``cm-pbe-1``, ``cm-pbe-2``, ``direct``,
-``index``, ``sharded``, ``instrumented``.
+``index``, ``sharded``, ``instrumented``, ``durable`` (the WAL +
+memtable + sealed-segment lifecycle in :mod:`repro.core.durable`).
 """
 
 from __future__ import annotations
@@ -101,6 +102,14 @@ class BurstStore(Protocol):
     def extend(self, records: Iterable[tuple[int, float]]) -> None: ...
 
     def extend_batch(self, event_ids, timestamps, counts=None) -> None: ...
+
+    def append(self, event_id: int, timestamp: float, count: int = 1) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def seal(self) -> None: ...
+
+    def close(self) -> None: ...
 
     def point_query(self, event_id: int, t: float, tau: float) -> float: ...
 
@@ -362,6 +371,15 @@ class _StoreBase:
         if last > self._t_end:
             self._t_end = last
 
+    def append(self, event_id: int, timestamp: float, count: int = 1) -> None:
+        """Alias of :meth:`update` — the durable-lifecycle spelling.
+
+        On a :class:`~repro.core.durable.DurableBurstStore` the record
+        is write-ahead-logged before it is applied; for purely in-memory
+        backends the two spellings are the same operation.
+        """
+        self.update(event_id, timestamp, count)
+
     # -- queries -------------------------------------------------------
     def point_query(self, event_id: int, t: float, tau: float) -> float:
         """POINT QUERY ``q(e, t, tau)`` → estimated ``b_e(t)``."""
@@ -450,6 +468,33 @@ class _StoreBase:
 
     def finalize(self) -> None:
         """Flush buffered state (no-op for exact storage)."""
+
+    def flush(self) -> None:
+        """Durability point: push acknowledged writes toward disk.
+
+        No-op for in-memory backends; the durable backend fsyncs its
+        WAL per the configured policy.
+        """
+
+    def seal(self) -> None:
+        """Freeze the mutable write buffer into immutable storage.
+
+        No-op for monolithic in-memory backends; the durable backend
+        turns its memtable into a sealed segment.
+        """
+
+    def close(self) -> None:
+        """Release held resources (idempotent; no-op by default).
+
+        Subclasses holding threads, file handles or logs override this;
+        queries on already-ingested data remain valid after closing.
+        """
+
+    def __enter__(self) -> "_StoreBase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def t_end(self) -> float:
@@ -1224,10 +1269,16 @@ class ShardedBurstStore(_StoreBase):
         return self._pool
 
     def close(self) -> None:
-        """Shut down the fan-out pool (recreated lazily if used again)."""
+        """Shut down the fan-out pool and close every child (idempotent).
+
+        The pool is recreated lazily if the store is queried again;
+        durable children release their WALs and stop accepting writes.
+        """
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()
 
     def __del__(self) -> None:
         try:
@@ -1385,6 +1436,14 @@ class ShardedBurstStore(_StoreBase):
         for shard in self.shards:
             shard.finalize()
 
+    def flush(self) -> None:
+        for shard in self.shards:
+            shard.flush()
+
+    def seal(self) -> None:
+        for shard in self.shards:
+            shard.seal()
+
     def memory_elements(self) -> int:
         return sum(shard.memory_elements() for shard in self.shards)
 
@@ -1495,3 +1554,7 @@ register_backend(
     "instrumented", InstrumentedStore, InstrumentedStore.from_bytes,
     "metrics-collecting wrapper around any child backend",
 )
+
+# The durable backend lives in its own module (it builds *on* the
+# registry and the base class); importing it registers "durable".
+from repro.core import durable as _durable  # noqa: E402,F401  (registration)

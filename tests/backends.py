@@ -39,6 +39,21 @@ BACKEND_MATRIX: list[tuple[str, str, dict]] = [
         "instrumented",
         dict(backend="cm-pbe-1", universe_size=UNIVERSE, **_PBE1),
     ),
+    # Ephemeral durable lifecycle (directory=None): the tiny seal
+    # threshold forces several memtable → segment transitions under the
+    # standard workloads, so the matrix exercises the merge-fan read
+    # path, not just a lone memtable.
+    ("durable-exact", "durable", dict(backend="exact", seal_elements=64)),
+    (
+        "durable-cm-pbe-1",
+        "durable",
+        dict(
+            backend="cm-pbe-1",
+            seal_elements=64,
+            universe_size=UNIVERSE,
+            **_PBE1,
+        ),
+    ),
 ]
 
 BACKEND_IDS = [label for label, _, _ in BACKEND_MATRIX]
@@ -50,6 +65,7 @@ EXACT_LABELS = {
     "sharded-x2-exact",
     "sharded-x4-exact",
     "instrumented-exact",
+    "durable-exact",
 }
 
 

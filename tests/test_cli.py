@@ -61,6 +61,104 @@ class TestBuild:
         assert sketch_file.exists()
 
 
+class TestDurableIngest:
+    def test_requires_out_or_durable(self, stream_file, capsys):
+        code = main(["ingest", str(stream_file)])
+        assert code == 2
+        assert "--durable" in capsys.readouterr().err
+
+    def test_ingest_then_recover_round_trip(
+        self, tmp_path, stream_file, capsys
+    ):
+        directory = tmp_path / "durable"
+        code = main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--seal-elements", "700",
+            "--fsync", "never",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durable exact" in out and "sealed segments" in out
+        snapshot = tmp_path / "snap.beds"
+        code = main([
+            "recover", str(directory), "--out", str(snapshot),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert snapshot.exists()
+        code = main([
+            "query", "point", "--sketch", str(snapshot),
+            "--event", "0", "--t", str(29 * DAY), "--tau", str(DAY),
+        ])
+        assert code == 0
+
+    def test_sharded_durable_ingest(self, tmp_path, stream_file, capsys):
+        directory = tmp_path / "durable"
+        code = main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--shards", "3",
+            "--seal-elements", "500", "--fsync", "never",
+        ])
+        assert code == 0
+        assert "x3 shards" in capsys.readouterr().out
+        code = main(["recover", str(directory)])
+        assert code == 0
+        assert "3 shards" in capsys.readouterr().out
+
+    def test_resume_continues_and_rejects_reordered_streams(
+        self, tmp_path, stream_file, capsys
+    ):
+        directory = tmp_path / "durable"
+        assert main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--fsync", "never",
+        ]) == 0
+        capsys.readouterr()
+        # Replaying the same stream starts before the durable horizon.
+        code = main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--fsync", "never", "--resume",
+        ])
+        assert code == 2
+        assert "arrived after" in capsys.readouterr().err
+
+    def test_second_run_without_resume_refuses(
+        self, tmp_path, stream_file, capsys
+    ):
+        directory = tmp_path / "durable"
+        assert main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--fsync", "never",
+        ]) == 0
+        with pytest.raises(Exception, match="resume"):
+            main([
+                "ingest", str(stream_file), "--durable", str(directory),
+                "--backend", "exact", "--fsync", "never",
+            ])
+
+    def test_recover_missing_directory(self, tmp_path, capsys):
+        code = main(["recover", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_durable_metrics_snapshot(
+        self, tmp_path, stream_file, capsys
+    ):
+        directory = tmp_path / "durable"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--fsync", "never",
+            "--metrics-json", str(metrics),
+        ])
+        assert code == 0
+        assert metrics.exists()
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "wal_append_frames_total" in out
+
+
 class TestQuery:
     def test_point(self, sketch_file, capsys):
         code = main([

@@ -273,3 +273,35 @@ class TestMonitoredAnalyzerWithBurstStore:
         analyzer.ingest((1, float(t)) for t in range(200))
         value = analyzer.historical_burstiness(1, 150.0, 20.0)
         assert isinstance(value, float)
+
+    def test_context_manager_closes_the_store(self, tmp_path):
+        """The analyzer releases a resource-owning store on exit —
+        here a durable store whose WAL must be closed."""
+        from repro.core.durable import create_durable, recover
+        from repro.core.errors import InvalidParameterError as IPE
+        from repro.core.store import create_store
+
+        directory = tmp_path / "durable"
+        with MonitoredAnalyzer(
+            monitor=BurstMonitor(tau=5.0, theta=1e9),
+            store=create_durable(directory, seal_elements=64),
+        ) as analyzer:
+            analyzer.ingest((1, float(t)) for t in range(150))
+        with pytest.raises(IPE, match="closed"):
+            analyzer.store.append(1, 999.0)
+        recovered = recover(directory)
+        assert recovered.count == 150
+        recovered.close()
+        # Raw sketches without close() are fine too.
+        with MonitoredAnalyzer(
+            monitor=BurstMonitor(tau=5.0, theta=1e9),
+            sketch=CMPBE.with_pbe2(gamma=2.0, width=4, depth=2),
+        ) as plain:
+            plain.update(1, 0.0)
+        plain.close()  # idempotent, no-op path
+        store_backed = MonitoredAnalyzer(
+            monitor=BurstMonitor(tau=5.0, theta=1e9),
+            store=create_store("exact"),
+        )
+        store_backed.close()
+        store_backed.close()

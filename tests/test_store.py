@@ -46,6 +46,7 @@ class TestRegistry:
             "index",
             "sharded",
             "instrumented",
+            "durable",
         }
 
     def test_unknown_backend_raises_with_listing(self):
