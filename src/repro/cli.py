@@ -48,11 +48,17 @@ from pathlib import Path
 
 from repro.core.cmpbe import CMPBE
 from repro.core.durable import (
+    DEFAULT_MAX_UNSEALED,
     DEFAULT_SEAL_ELEMENTS,
     create_durable,
     recover,
 )
-from repro.core.errors import RecoveryError, StreamOrderError
+from repro.core.errors import (
+    RecoveryError,
+    StreamOrderError,
+    WriterProcessError,
+)
+from repro.core.parallel_ingest import ParallelIngestCoordinator
 from repro.core.metrics import (
     InstrumentedStore,
     dump_snapshot_json,
@@ -145,6 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
             choices=sorted(FSYNC_POLICIES),
             default="batch",
             help="with --durable: when to fsync the WAL (default batch)",
+        )
+        ingest.add_argument(
+            "--writers",
+            type=int,
+            metavar="N",
+            help="with --durable: ingest through N writer processes, one "
+            "per shard directory (multi-process sharded layout; recover "
+            "with 'repro recover DIR' as usual)",
+        )
+        ingest.add_argument(
+            "--flush-bytes",
+            type=int,
+            help="with --durable: under --fsync batch, fsync the WAL "
+            "whenever this many unsynced bytes accumulate "
+            "(default 1 MiB)",
+        )
+        ingest.add_argument(
+            "--background-seal",
+            action="store_true",
+            help="with --durable: seal segments on a background thread "
+            "instead of stalling the ingest hot path (always on inside "
+            "--writers processes)",
+        )
+        ingest.add_argument(
+            "--max-unsealed",
+            type=int,
+            default=DEFAULT_MAX_UNSEALED,
+            help="with --durable: frozen memtable generations in flight "
+            "before ingest blocks, under background sealing "
+            "(default %(default)s)",
         )
         ingest.add_argument(
             "--method", choices=["cm-pbe-1", "cm-pbe-2"], default="cm-pbe-1"
@@ -351,16 +387,86 @@ def _segment_total(store) -> int:
     return store.n_segments
 
 
+def _segment_file_total(directory: Path) -> int:
+    """Committed segment files under a durable directory (top-level or
+    per-shard), counted without opening the stores."""
+    import os
+
+    total = 0
+    for root, _dirs, files in os.walk(directory):
+        total += sum(
+            1
+            for name in files
+            if name.startswith("segment-") and name.endswith(".beds")
+        )
+    return total
+
+
+def _ingest_parallel(args: argparse.Namespace, cfg: dict) -> int:
+    """Multi-process durable ingest: one writer process per shard."""
+    if args.shards and args.shards != args.writers:
+        print(
+            "error: --writers implies one shard per writer; drop "
+            "--shards or make them equal",
+            file=sys.stderr,
+        )
+        return 2
+    ingested = 0
+    try:
+        with ParallelIngestCoordinator(
+            args.durable,
+            writers=args.writers,
+            backend=args.backend,
+            seal_elements=args.seal_elements,
+            fsync=args.fsync,
+            flush_bytes=args.flush_bytes,
+            max_unsealed=args.max_unsealed,
+            resume=args.resume,
+            **cfg,
+        ) as coordinator:
+            for event_ids, timestamps in iter_record_batches(
+                args.stream, args.batch_size
+            ):
+                coordinator.extend_batch(event_ids, timestamps)
+                ingested += len(event_ids)
+            coordinator.flush()
+    except StreamOrderError as error:
+        # Everything acknowledged so far is already durable; tell the
+        # user where the stream violated the resume horizon.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except WriterProcessError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    label = f"durable {args.backend} x{args.writers} writers"
+    print(
+        f"ingested {coordinator.acked_records} mentions -> {label} "
+        f"store, {_segment_file_total(args.durable)} sealed segments "
+        f"-> {args.durable}"
+    )
+    if args.metrics_json is not None:
+        _write_metrics_json(args.metrics_json)
+    return 0
+
+
 def _ingest_durable(args: argparse.Namespace) -> int:
     if args.backend is None:
         args.backend = args.method
     cfg = _backend_config(args)
+    if args.writers is not None:
+        if args.writers <= 0:
+            print("error: --writers must be positive", file=sys.stderr)
+            return 2
+        return _ingest_parallel(args, cfg)
     store = create_durable(
         args.durable,
         backend=args.backend,
         shards=args.shards or 1,
         seal_elements=args.seal_elements,
         fsync=args.fsync,
+        flush_bytes=args.flush_bytes,
+        background_seal=args.background_seal,
+        max_unsealed=args.max_unsealed,
         resume=args.resume,
         **cfg,
     )
@@ -380,6 +486,11 @@ def _ingest_durable(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         store.flush()
+        if args.background_seal:
+            # Settle in-flight seals so the segment count below (and
+            # any snapshot) reflects everything frozen so far.
+            for child in getattr(store, "shards", None) or [store]:
+                child.drain_seals()
         if args.out is not None:
             written = write_store(store, args.out)
             print(f"snapshot: {written} bytes -> {args.out}")
@@ -409,6 +520,16 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             f"({_segment_total(store)} sealed segments, {layout}) "
             f"from {args.directory}"
         )
+        if shards is not None:
+            replayed = " ".join(
+                f"shard-{index:03d}={child.replayed_records}"
+                for index, child in enumerate(shards)
+            )
+            print(f"replayed from WAL tails: {replayed}")
+        else:
+            print(
+                f"replayed from WAL tail: {store.replayed_records} records"
+            )
         if args.out is not None:
             written = write_store(store, args.out)
             print(f"snapshot: {written} bytes -> {args.out}")
@@ -447,6 +568,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             args.stream, args.batch_size
         ):
             sketch.extend_batch(event_ids, timestamps)
+        sketch.finalize()  # dumps no longer fold the live sketch in place
         payload = dump_cmpbe(sketch)
         atomic_write_bytes(args.out, payload)
         print(

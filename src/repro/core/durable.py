@@ -38,10 +38,25 @@ manifest → old-WAL delete, every file write atomic-rename + fsync):
   intact.
 
 Concurrency: one writer thread plus any number of reader threads.
-Readers only ever touch immutable objects — sealed segments and
-memtable snapshots — so a query can never observe a half-applied batch
-(no torn reads); the lock only serializes snapshot construction with
-appends.
+Readers only ever touch immutable objects — sealed segments, frozen
+pending-seal memtables and memtable snapshots — so a query can never
+observe a half-applied batch (no torn reads); the lock only serializes
+snapshot construction with appends.
+
+Background sealing (``background_seal=True``, directory mode only)
+moves the expensive half of a seal — segment serialization, atomic
+write, fsync — off the ingest hot path, the deamortization move the
+Online Event-Detection Problem paper argues turns worst-case stalls
+into steady throughput.  The hot path only *freezes* the memtable
+(finalize, rotate the WAL, enqueue) and keeps appending into a fresh
+generation; a dedicated seal thread drains the queue performing
+segment-write → manifest-commit → old-WAL-delete.  At most
+``max_unsealed`` frozen generations may be in flight: beyond that,
+ingest *blocks* (never drops) until the seal thread catches up.  The
+manifest's ``live_wals`` list names every WAL still backing unsealed
+records — a seq leaves the list in the same atomic manifest commit
+that adds its segment, so the acknowledged-prefix recovery contract is
+unchanged: recovery replays the live WALs in order into one memtable.
 
 Sharded operation: :func:`create_durable` with ``shards=N`` builds a
 :class:`~repro.core.store.ShardedBurstStore` whose children are durable
@@ -62,6 +77,9 @@ import json
 import os
 import struct
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -90,6 +108,7 @@ from repro.core.wal import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_UNSEALED",
     "DEFAULT_SEAL_ELEMENTS",
     "MANIFEST_NAME",
     "DurableBurstStore",
@@ -101,11 +120,31 @@ MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = 1
 DEFAULT_SEAL_ELEMENTS = 100_000
 
+# Background sealing: how many frozen-but-unsealed memtable generations
+# may be in flight before ingest blocks on the seal thread.
+DEFAULT_MAX_UNSEALED = 2
+
 _NEG_INF = float("-inf")
 
 
 def _dump_manifest(manifest: dict) -> bytes:
     return (json.dumps(manifest, sort_keys=True, indent=2) + "\n").encode()
+
+
+@dataclass
+class _PendingSeal:
+    """One frozen memtable generation queued for the seal thread.
+
+    ``store`` is finalized and immutable; ``wal_seqs`` are the log files
+    still backing its records — they stay on disk (and in the manifest's
+    ``live_wals``) until the segment commit that makes them redundant.
+    """
+
+    name: str
+    store: object
+    elements: int
+    wal_seqs: list[int] = field(default_factory=list)
+    old_wal: WriteAheadLog | None = None
 
 
 class DurableBurstStore(_StoreBase):
@@ -132,6 +171,10 @@ class DurableBurstStore(_StoreBase):
         backend: str = "exact",
         seal_elements: int = DEFAULT_SEAL_ELEMENTS,
         fsync: str = "batch",
+        flush_bytes: int | None = None,
+        flush_records: int | None = None,
+        background_seal: bool = False,
+        max_unsealed: int = DEFAULT_MAX_UNSEALED,
         resume: bool = False,
         _segments=None,
         _memtable=None,
@@ -152,7 +195,31 @@ class DurableBurstStore(_StoreBase):
             raise InvalidParameterError(
                 "preloaded parts require an ephemeral store (directory=None)"
             )
+        if background_seal and self.directory is None:
+            raise InvalidParameterError(
+                "background sealing requires a directory (ephemeral seals "
+                "are just a list append; there is nothing to deamortize)"
+            )
+        if int(max_unsealed) <= 0:
+            raise InvalidParameterError(
+                f"max_unsealed must be > 0, got {max_unsealed}"
+            )
+        self.background_seal = bool(background_seal)
+        self.max_unsealed = int(max_unsealed)
+        self.flush_bytes = flush_bytes
+        self.flush_records = flush_records
         self._lock = threading.RLock()
+        # Condition over the store lock: producers wait on it when the
+        # pending-seal queue is full; the seal thread waits on it for
+        # work and notifies on every completed seal.
+        self._seal_cv = threading.Condition(self._lock)
+        self._pending: list[_PendingSeal] = []
+        self._seal_thread: threading.Thread | None = None
+        self._seal_stop = False
+        self._seal_error: BaseException | None = None
+        self._memtable_wal_seqs: list[int] = []
+        self._next_segment = 0
+        self.replayed_records = 0
         self.child_backend = backend
         self.child_cfg = dict(child_cfg)
         self.seal_elements = int(seal_elements)
@@ -196,8 +263,31 @@ class DurableBurstStore(_StoreBase):
             "durable_replayed_records_total",
             "records replayed from WAL tails",
         )
+        self._queue_depth_gauge = metrics.gauge(
+            "durable_seal_queue_depth",
+            "frozen memtable generations awaiting the seal thread",
+        )
+        self._seal_lag_gauge = metrics.gauge(
+            "durable_seal_lag_elements",
+            "stream elements frozen but not yet sealed to a segment",
+        )
+        self._backpressure_seconds = metrics.counter(
+            "durable_backpressure_seconds_total",
+            "seconds ingest spent blocked on the unsealed-memtable cap",
+        )
+        self._backpressure_waits = metrics.counter(
+            "durable_backpressure_waits_total",
+            "ingest blocks caused by the unsealed-memtable cap",
+        )
         if self.directory is not None:
             self._attach(resume=resume)
+        if self.background_seal:
+            self._seal_thread = threading.Thread(
+                target=self._seal_worker,
+                name="durable-seal",
+                daemon=True,
+            )
+            self._seal_thread.start()
 
     # -- directory lifecycle -------------------------------------------
     def _wal_path(self, seq: int) -> str:
@@ -217,10 +307,18 @@ class DurableBurstStore(_StoreBase):
             return
         os.makedirs(self.directory, exist_ok=True)
         self._wal_seq = 1
-        self._wal = WriteAheadLog(
-            self._wal_path(1), fsync=self.fsync_policy, truncate=True
-        )
+        self._memtable_wal_seqs = [1]
+        self._wal = self._open_wal(1, truncate=True)
         self._write_manifest()
+
+    def _open_wal(self, seq: int, **kwargs) -> WriteAheadLog:
+        return WriteAheadLog(
+            self._wal_path(seq),
+            fsync=self.fsync_policy,
+            flush_bytes=self.flush_bytes,
+            flush_records=self.flush_records,
+            **kwargs,
+        )
 
     def _read_manifest(self) -> dict:
         try:
@@ -266,49 +364,111 @@ class DurableBurstStore(_StoreBase):
                 ) from None
             self._segment_names.append(name)
         self._wal_seq = int(manifest["wal_seq"])
+        self._next_segment = len(self._segment_names)
+        # Replay every WAL still backing unsealed records, oldest first.
+        # Backward compatibility: manifests written before background
+        # sealing have no ``live_wals`` — the active log is the only one.
+        live_wals = [int(seq) for seq in manifest.get("live_wals", [])]
+        if not live_wals:
+            live_wals = [self._wal_seq]
+        replayed_seqs: list[int] = []
+        total_records = 0
+        last_replay = None
+        for seq in live_wals:
+            replay = replay_wal(self._wal_path(seq))
+            for ids, ts, counts in replay:
+                # Replayed frames are already durable in their WAL, so
+                # they are applied without re-logging and without
+                # sealing — a seal here would rotate logs out from
+                # under the frames not yet applied.  An oversized
+                # memtable seals on the next live append instead.
+                self._apply_batch(
+                    ids, ts, counts, log=False, allow_seal=False
+                )
+            replayed_seqs.append(seq)
+            total_records += replay.records
+            last_replay = replay
+            if replay.torn or replay.good_offset < WAL_HEADER_SIZE:
+                # A torn (or missing) log ends the recoverable prefix:
+                # anything in later logs was acknowledged *after* these
+                # lost frames, and replaying it would break the
+                # prefix-oracle contract.
+                break
+        self._replayed_records.inc(total_records)
+        self.replayed_records = total_records
+        # The manifest horizon is applied *after* replay: a manifest
+        # written mid-lifecycle (e.g. by a previous recovery) may
+        # already cover the replayed records, and replay enforces
+        # stream order internally from -inf anyway.
         t_end = manifest.get("t_end")
         if t_end is not None:
-            self._t_end = float(t_end)
-        replay = replay_wal(self._wal_path(self._wal_seq))
-        for ids, ts, counts in replay:
-            # Replayed frames are already durable in this WAL, so they
-            # are applied without re-logging and without sealing — a
-            # seal here would rotate the WAL out from under the frames
-            # not yet applied.  An oversized memtable seals on the next
-            # live append instead.
-            self._apply_batch(ids, ts, counts, log=False, allow_seal=False)
-        self._replayed_records.inc(replay.records)
-        if replay.good_offset < WAL_HEADER_SIZE:
-            self._wal = WriteAheadLog(
-                self._wal_path(self._wal_seq),
-                fsync=self.fsync_policy,
-                truncate=True,
-            )
+            self._t_end = max(self._t_end, float(t_end))
+        self._wal_seq = replayed_seqs[-1]
+        self._memtable_wal_seqs = list(replayed_seqs)
+        if last_replay is None or last_replay.good_offset < WAL_HEADER_SIZE:
+            self._wal = self._open_wal(self._wal_seq, truncate=True)
         else:
-            self._wal = WriteAheadLog(
-                self._wal_path(self._wal_seq),
-                fsync=self.fsync_policy,
-                _resume_at=replay.good_offset if replay.torn else None,
+            self._wal = self._open_wal(
+                self._wal_seq,
+                _resume_at=(
+                    last_replay.good_offset if last_replay.torn else None
+                ),
             )
         self._cleanup_stale_wals()
+        self._write_manifest()
         self._recoveries_total.inc()
         self._segment_gauge.set(len(self._segments))
 
     def _cleanup_stale_wals(self) -> None:
-        current = os.path.basename(self._wal_path(self._wal_seq))
+        # Every log backing unsealed records (replayed seqs + active) is
+        # live; anything else is a leftover from a crash window.  Orphan
+        # segment files never committed to the manifest are garbage too
+        # (a later seal would overwrite them anyway).
+        live = {
+            os.path.basename(self._wal_path(seq))
+            for seq in (*self._memtable_wal_seqs, self._wal_seq)
+        }
+        committed = set(self._segment_names)
         try:
             names = os.listdir(self.directory)
         except OSError:
             return
         for name in names:
-            if name.startswith("wal-") and name.endswith(".log"):
-                if name != current:
-                    try:
-                        os.unlink(os.path.join(self.directory, name))
-                    except OSError:
-                        pass
+            stale_wal = (
+                name.startswith("wal-")
+                and name.endswith(".log")
+                and name not in live
+            )
+            stale_segment = (
+                name.startswith("segment-")
+                and name.endswith(".beds")
+                and name not in committed
+            )
+            if stale_wal or stale_segment:
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass
 
-    def _write_manifest(self) -> None:
+    def _write_manifest(self, *, durable: bool | None = None) -> None:
+        # ``live_wals`` lists every log whose records are not yet in a
+        # committed segment, oldest first: frozen pending generations,
+        # then the logs backing the active memtable.  A seq leaves the
+        # list only in the same atomic commit that adds its segment.
+        #
+        # ``durable=False`` skips the fsync: the rename still makes the
+        # manifest atomic and process-crash safe, only the power-loss
+        # window grows — callers may pass it when the fsync policy
+        # already trades that window away AND no WAL deletion rides on
+        # this manifest being on stable storage.
+        live_wals: list[int] = []
+        for job in self._pending:
+            for seq in job.wal_seqs:
+                if seq not in live_wals:
+                    live_wals.append(seq)
+        for seq in (*self._memtable_wal_seqs, self._wal_seq):
+            if seq not in live_wals:
+                live_wals.append(seq)
         manifest = {
             "format": MANIFEST_FORMAT,
             "kind": "durable",
@@ -317,12 +477,15 @@ class DurableBurstStore(_StoreBase):
             "seal_elements": self.seal_elements,
             "segments": self._segment_names,
             "wal_seq": self._wal_seq,
+            "live_wals": live_wals,
             "t_end": None if self._t_end == _NEG_INF else self._t_end,
         }
+        if durable is None:
+            durable = self.fsync_policy != "never"
         atomic_write_bytes(
             self._manifest_path(),
             _dump_manifest(manifest),
-            fsync=self.fsync_policy != "never",
+            fsync=durable,
         )
 
     # -- ingest --------------------------------------------------------
@@ -348,6 +511,7 @@ class DurableBurstStore(_StoreBase):
     def _check_writable(self) -> None:
         if self._closed:
             raise InvalidParameterError("durable store is closed")
+        self._raise_seal_error()
 
     def _apply_batch(
         self, ids, ts, counts, *, log: bool = True, allow_seal: bool = True
@@ -416,11 +580,14 @@ class DurableBurstStore(_StoreBase):
 
     # -- sealing -------------------------------------------------------
     def seal(self) -> None:
-        """Seal the live memtable into an immutable segment now.
+        """Seal the live memtable into an immutable segment.
 
         No-op on an empty memtable.  Durable mode writes the segment
         atomically, rotates the WAL and commits the manifest before
         deleting the old log, so a crash at any instant loses nothing.
+        Under ``background_seal`` this only *freezes* the memtable and
+        enqueues it — call :meth:`drain_seals` to wait for the segment
+        commit itself.
         """
         with self._lock:
             self._check_writable()
@@ -429,12 +596,15 @@ class DurableBurstStore(_StoreBase):
     def _seal_locked(self) -> None:
         if self._memtable_elements == 0:
             return
+        if self.background_seal:
+            self._freeze_locked()
+            return
         with self._seal_seconds.time():
             self._memtable.finalize()
             if self.directory is None:
                 self._segments.append(self._memtable)
             else:
-                name = f"segment-{len(self._segments):06d}.beds"
+                name = f"segment-{self._next_segment:06d}.beds"
                 path = os.path.join(self.directory, name)
                 atomic_write_bytes(
                     path,
@@ -442,20 +612,20 @@ class DurableBurstStore(_StoreBase):
                     fsync=self.fsync_policy != "never",
                 )
                 new_seq = self._wal_seq + 1
-                new_wal = WriteAheadLog(
-                    self._wal_path(new_seq),
-                    fsync=self.fsync_policy,
-                    truncate=True,
-                )
+                new_wal = self._open_wal(new_seq, truncate=True)
                 old_wal = self._wal
+                old_seqs = list(self._memtable_wal_seqs)
+                self._next_segment += 1
                 self._segments.append(open_store(path, lazy=True))
                 self._segment_names.append(name)
                 self._wal, self._wal_seq = new_wal, new_seq
+                self._memtable_wal_seqs = [new_seq]
                 self._write_manifest()
                 if old_wal is not None:
                     old_wal.close()
+                for seq in old_seqs:
                     try:
-                        os.unlink(old_wal.path)
+                        os.unlink(self._wal_path(seq))
                     except OSError:
                         pass
             self._memtable = create_store(
@@ -465,6 +635,138 @@ class DurableBurstStore(_StoreBase):
         self._seals_total.inc()
         self._segment_gauge.set(len(self._segments))
         self._version += 1
+
+    def _freeze_locked(self) -> None:
+        """Hot-path half of a background seal: finalize the memtable,
+        rotate the WAL, enqueue the frozen generation, keep appending.
+
+        Blocks (never drops) while ``max_unsealed`` generations are
+        already in flight — that is the backpressure contract.
+        """
+        if len(self._pending) >= self.max_unsealed:
+            self._backpressure_waits.inc()
+            blocked = time.perf_counter()
+            while (
+                len(self._pending) >= self.max_unsealed
+                and self._seal_error is None
+            ):
+                self._seal_cv.wait()
+            self._backpressure_seconds.inc(time.perf_counter() - blocked)
+        self._raise_seal_error()
+        self._memtable.finalize()
+        name = f"segment-{self._next_segment:06d}.beds"
+        self._next_segment += 1
+        new_seq = self._wal_seq + 1
+        new_wal = self._open_wal(new_seq, truncate=True)
+        job = _PendingSeal(
+            name=name,
+            store=self._memtable,
+            elements=self._memtable_elements,
+            wal_seqs=list(self._memtable_wal_seqs),
+            old_wal=self._wal,
+        )
+        self._wal, self._wal_seq = new_wal, new_seq
+        self._memtable_wal_seqs = [new_seq]
+        self._pending.append(job)
+        self._memtable = create_store(self.child_backend, **self.child_cfg)
+        self._memtable_elements = 0
+        # The manifest now lists the frozen generation's logs in
+        # live_wals: a crash before the segment commit replays them.
+        # Fsync only under "always" — this is the append hot path, no
+        # WAL deletion depends on this write, and "batch"/"never"
+        # already accept a power-loss window for unsealed records.
+        self._write_manifest(durable=self.fsync_policy == "always")
+        self._version += 1
+        self._update_seal_gauges_locked()
+        self._seal_cv.notify_all()
+
+    def _seal_worker(self) -> None:
+        while True:
+            with self._seal_cv:
+                while not self._pending and not self._seal_stop:
+                    self._seal_cv.wait()
+                if not self._pending:
+                    return
+                job = self._pending[0]
+            try:
+                self._complete_seal(job)
+            except BaseException as exc:  # surface on the ingest path
+                with self._seal_cv:
+                    self._seal_error = exc
+                    self._seal_cv.notify_all()
+                return
+
+    def _complete_seal(self, job: _PendingSeal) -> None:
+        """Seal-thread half: segment write → manifest commit → WAL GC.
+
+        The expensive serialization and fsync run *outside* the store
+        lock (the frozen memtable is immutable); only the commit that
+        publishes the segment and retires the job's WALs takes it.
+        """
+        with self._seal_seconds.time():
+            path = os.path.join(self.directory, job.name)
+            atomic_write_bytes(
+                path,
+                save_store(job.store),
+                fsync=self.fsync_policy != "never",
+            )
+            segment = open_store(path, lazy=True)
+            with self._seal_cv:
+                self._segments.append(segment)
+                self._segment_names.append(job.name)
+                self._pending.pop(0)
+                self._write_manifest()
+                self._version += 1
+                self._seals_total.inc()
+                self._segment_gauge.set(len(self._segments))
+                self._update_seal_gauges_locked()
+                self._seal_cv.notify_all()
+        if job.old_wal is not None:
+            job.old_wal.close()
+        for seq in job.wal_seqs:
+            try:
+                os.unlink(self._wal_path(seq))
+            except OSError:
+                pass
+
+    def _update_seal_gauges_locked(self) -> None:
+        self._queue_depth_gauge.set(len(self._pending))
+        self._seal_lag_gauge.set(
+            sum(job.elements for job in self._pending)
+        )
+
+    def _raise_seal_error(self) -> None:
+        if self._seal_error is not None:
+            raise SerializationError(
+                f"background seal failed: {self._seal_error!r}; the "
+                "records are still WAL-backed — recover() the directory"
+            ) from self._seal_error
+
+    def drain_seals(self) -> None:
+        """Block until every frozen generation is sealed to a segment.
+
+        No-op without background sealing.  After it returns, queries
+        are served from committed segments plus the live memtable, and
+        the retired WALs are deleted.
+        """
+        if not self.background_seal:
+            return
+        with self._seal_cv:
+            while self._pending and self._seal_error is None:
+                self._seal_cv.wait()
+            self._raise_seal_error()
+
+    @property
+    def seal_queue_depth(self) -> int:
+        """Frozen generations awaiting the background seal thread."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def seal_lag_elements(self) -> int:
+        """Stream elements frozen but not yet sealed to a segment."""
+        with self._lock:
+            return sum(job.elements for job in self._pending)
 
     def flush(self) -> None:
         """Durability point: fsync the WAL per the store's policy."""
@@ -478,12 +780,28 @@ class DurableBurstStore(_StoreBase):
             self._version += 1
 
     def close(self) -> None:
-        """Flush and release the WAL (idempotent).  Queries keep working
-        on the already-ingested data; further appends raise."""
+        """Drain pending seals, flush and release the WAL (idempotent).
+        Queries keep working on the already-ingested data; further
+        appends raise.
+
+        If a background seal failed, close still succeeds — the frozen
+        records remain WAL-backed and the manifest's live_wals covers
+        them, so :func:`recover` replays them losslessly.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        thread = self._seal_thread
+        if thread is not None:
+            # Joining with the lock held would deadlock the worker's
+            # commit step; the stop flag makes it drain then exit.
+            with self._seal_cv:
+                self._seal_stop = True
+                self._seal_cv.notify_all()
+            thread.join()
+            self._seal_thread = None
+        with self._lock:
             if self._wal is not None:
                 self._wal.close()
 
@@ -501,13 +819,22 @@ class DurableBurstStore(_StoreBase):
         """The current immutable queryable snapshot (cached per version).
 
         Sealed segments fold incrementally into a cached merged store;
-        a non-empty memtable contributes a serialized copy, so readers
-        never share mutable state with the writer.
+        frozen pending-seal generations (immutable, finalized) fold on
+        top, and a non-empty memtable contributes a serialized copy, so
+        readers never share mutable state with the writer.  A reader
+        therefore sees either the pre-seal view (generation still
+        pending) or the post-seal view (file-backed segment) — never a
+        torn mix, because the pending→segment swap is one locked commit
+        that bumps the version.
         """
         with self._lock:
             if self._view is not None and self._view_version == self._version:
                 return self._view
             sealed = self._fold_sealed_locked()
+            for job in self._pending:
+                sealed = (
+                    job.store if sealed is None else sealed.merge(job.store)
+                )
             if self._memtable_elements == 0:
                 view = sealed if sealed is not None else self._empty
             else:
@@ -560,29 +887,35 @@ class DurableBurstStore(_StoreBase):
         return getattr(self._memtable, "piecewise", "constant")
 
     # -- accounting ----------------------------------------------------
+    def _parts_locked(self) -> list:
+        """Every immutable part: committed segments, then frozen
+        pending-seal generations (oldest first)."""
+        return [*self._segments, *(job.store for job in self._pending)]
+
     @property
     def count(self) -> int:
         with self._lock:
             return int(getattr(self._memtable, "count", 0)) + sum(
-                int(getattr(segment, "count", 0))
-                for segment in self._segments
+                int(getattr(part, "count", 0))
+                for part in self._parts_locked()
             )
 
     @property
     def n_segments(self) -> int:
+        """Committed segments (pending background seals not included)."""
         with self._lock:
             return len(self._segments)
 
     def memory_elements(self) -> int:
         with self._lock:
             return self._memtable.memory_elements() + sum(
-                segment.memory_elements() for segment in self._segments
+                part.memory_elements() for part in self._parts_locked()
             )
 
     def size_in_bytes(self) -> int:
         with self._lock:
             return self._memtable.size_in_bytes() + sum(
-                segment.size_in_bytes() for segment in self._segments
+                part.size_in_bytes() for part in self._parts_locked()
             )
 
     # -- merge & codec -------------------------------------------------
@@ -604,7 +937,7 @@ class DurableBurstStore(_StoreBase):
         parts = []
         for store in (self, other):
             with store._lock:
-                parts.extend(store._segments)
+                parts.extend(store._parts_locked())
                 if store._memtable_elements > 0:
                     parts.append(
                         load_backend(
@@ -631,9 +964,10 @@ class DurableBurstStore(_StoreBase):
 
     def to_bytes(self) -> bytes:
         with self._lock:
+            parts = self._parts_locked()
             out = io.BytesIO()
-            out.write(struct.pack("<I", len(self._segments)))
-            for part in [*self._segments, self._memtable]:
+            out.write(struct.pack("<I", len(parts)))
+            for part in [*parts, self._memtable]:
                 payload = part.to_bytes()
                 out.write(struct.pack("<Q", len(payload)))
                 out.write(payload)
@@ -701,6 +1035,10 @@ def create_durable(
     shards: int = 1,
     seal_elements: int = DEFAULT_SEAL_ELEMENTS,
     fsync: str = "batch",
+    flush_bytes: int | None = None,
+    flush_records: int | None = None,
+    background_seal: bool = False,
+    max_unsealed: int = DEFAULT_MAX_UNSEALED,
     resume: bool = False,
     **child_cfg,
 ):
@@ -710,20 +1048,26 @@ def create_durable(
     :class:`~repro.core.store.ShardedBurstStore` whose children are
     durable stores in ``shard-NNN/`` subdirectories — per-shard WALs,
     per-shard seals — tied together by a top-level manifest that
-    :func:`recover` reads back.
+    :func:`recover` reads back.  ``flush_bytes``/``flush_records``
+    bound the unsynced WAL tail under ``fsync="batch"``;
+    ``background_seal``/``max_unsealed`` move segment writes off the
+    ingest hot path (see :class:`DurableBurstStore`).
     """
     if int(shards) <= 0:
         raise InvalidParameterError(f"shards must be > 0, got {shards}")
     directory = os.fspath(directory)
+    durable_kwargs = dict(
+        backend=backend,
+        seal_elements=seal_elements,
+        fsync=fsync,
+        flush_bytes=flush_bytes,
+        flush_records=flush_records,
+        background_seal=background_seal,
+        max_unsealed=max_unsealed,
+        **child_cfg,
+    )
     if int(shards) == 1:
-        return DurableBurstStore(
-            directory,
-            backend=backend,
-            seal_elements=seal_elements,
-            fsync=fsync,
-            resume=resume,
-            **child_cfg,
-        )
+        return DurableBurstStore(directory, resume=resume, **durable_kwargs)
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     if os.path.exists(manifest_path):
         if not resume:
@@ -731,7 +1075,14 @@ def create_durable(
                 f"{directory} already holds a durable store; pass "
                 "resume=True or use recover()"
             )
-        return recover(directory, fsync=fsync)
+        return recover(
+            directory,
+            fsync=fsync,
+            flush_bytes=flush_bytes,
+            flush_records=flush_records,
+            background_seal=background_seal,
+            max_unsealed=max_unsealed,
+        )
     os.makedirs(directory, exist_ok=True)
     manifest = {
         "format": MANIFEST_FORMAT,
@@ -747,23 +1098,34 @@ def create_durable(
     children = [
         DurableBurstStore(
             os.path.join(directory, f"shard-{index:03d}"),
-            backend=backend,
-            seal_elements=seal_elements,
-            fsync=fsync,
-            **child_cfg,
+            **durable_kwargs,
         )
         for index in range(int(shards))
     ]
     return _wrap_shards(children)
 
 
-def recover(directory, *, fsync: str = "batch"):
+def recover(
+    directory,
+    *,
+    fsync: str = "batch",
+    flush_bytes: int | None = None,
+    flush_records: int | None = None,
+    background_seal: bool = False,
+    max_unsealed: int = DEFAULT_MAX_UNSEALED,
+    parallel: bool = True,
+):
     """Recover the durable store rooted at ``directory``.
 
-    Reads the manifest, reopens every sealed segment, replays each WAL
-    tail and returns a ready store (single or sharded, per the
+    Reads the manifest, reopens every sealed segment, replays each live
+    WAL and returns a ready store (single or sharded, per the
     manifest).  Idempotent: recovering an already-clean directory — or
     recovering twice — yields identical query answers.
+
+    Sharded layouts recover every shard concurrently on a thread pool
+    (``parallel=False`` forces the sequential path); each recovered
+    store exposes ``replayed_records``, and the sharded wrapper's
+    children do so per shard.
     """
     directory = os.fspath(directory)
     manifest_path = os.path.join(directory, MANIFEST_NAME)
@@ -779,25 +1141,43 @@ def recover(directory, *, fsync: str = "batch"):
             f"unreadable durable manifest in {directory}: {exc}"
         ) from None
     kind = manifest.get("kind") if isinstance(manifest, dict) else None
+    durable_kwargs = dict(
+        fsync=fsync,
+        flush_bytes=flush_bytes,
+        flush_records=flush_records,
+        background_seal=background_seal,
+        max_unsealed=max_unsealed,
+    )
     if kind == "durable":
-        return DurableBurstStore(directory, resume=True, fsync=fsync)
+        return DurableBurstStore(directory, resume=True, **durable_kwargs)
     if kind == "sharded-durable":
         backend = manifest["backend"]
         child_cfg = dict(manifest.get("child_cfg", {}))
         seal_elements = int(
             manifest.get("seal_elements", DEFAULT_SEAL_ELEMENTS)
         )
-        children = [
-            DurableBurstStore(
+        n_shards = int(manifest["shards"])
+
+        def _recover_shard(index: int) -> DurableBurstStore:
+            return DurableBurstStore(
                 os.path.join(directory, f"shard-{index:03d}"),
                 backend=backend,
                 seal_elements=seal_elements,
-                fsync=fsync,
                 resume=True,
+                **durable_kwargs,
                 **child_cfg,
             )
-            for index in range(int(manifest["shards"]))
-        ]
+
+        if parallel and n_shards > 1:
+            # WAL replay alternates parsing (CPU) with reads (IO); a
+            # thread pool overlaps the IO stalls across shards.
+            with ThreadPoolExecutor(
+                max_workers=min(n_shards, 8),
+                thread_name_prefix="recover-shard",
+            ) as pool:
+                children = list(pool.map(_recover_shard, range(n_shards)))
+        else:
+            children = [_recover_shard(i) for i in range(n_shards)]
         return _wrap_shards(children)
     raise RecoveryError(f"unknown durable manifest kind {kind!r}")
 

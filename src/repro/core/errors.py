@@ -56,6 +56,19 @@ class CorruptOffsetTableError(SerializationError):
     """
 
 
+class WriterProcessError(ReproError):
+    """A parallel-ingest writer process failed or died.
+
+    Carries the writer id and the remote traceback text; the records
+    acknowledged before the failure are durable in that shard's WAL and
+    recoverable with :func:`repro.core.durable.recover`.
+    """
+
+    def __init__(self, writer_id: int, message: str) -> None:
+        super().__init__(f"writer {writer_id}: {message}")
+        self.writer_id = writer_id
+
+
 class RecoveryError(ReproError):
     """A durable store directory cannot be recovered: the manifest is
     missing or malformed, or a sealed segment it references is gone.

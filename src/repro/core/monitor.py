@@ -179,6 +179,11 @@ class MonitoredAnalyzer:
     manager when the store owns resources: ``__exit__`` closes it.
     """
 
+    # How many elements between samples of the store's seal lag: the
+    # gauges are for dashboards, not invariants, so the hot path should
+    # not take the store lock on every update.
+    _LAG_SAMPLE_EVERY = 256
+
     def __init__(
         self, monitor: BurstMonitor, store=None, *, sketch=None
     ) -> None:
@@ -190,6 +195,31 @@ class MonitoredAnalyzer:
         self.monitor = monitor
         self.store = store if store is not None else sketch
         self.alerts: list[BurstAlert] = []
+        self._since_lag_sample = 0
+        # Durable stores with background sealing expose their seal
+        # queue; wire it into the monitor layer so live alerting and
+        # ingest-lag observability ride the same update path.
+        self._tracks_seal_lag = hasattr(
+            self.store, "seal_queue_depth"
+        ) and hasattr(self.store, "seal_lag_elements")
+        if self._tracks_seal_lag:
+            metrics = global_registry()
+            self._lag_queue_gauge = metrics.gauge(
+                "monitor_store_seal_queue_depth",
+                "seal queue depth of the monitored store (sampled)",
+            )
+            self._lag_elements_gauge = metrics.gauge(
+                "monitor_store_seal_lag_elements",
+                "unsealed frozen elements in the monitored store (sampled)",
+            )
+
+    def _sample_seal_lag(self) -> None:
+        self._since_lag_sample += 1
+        if self._since_lag_sample < self._LAG_SAMPLE_EVERY:
+            return
+        self._since_lag_sample = 0
+        self._lag_queue_gauge.set(self.store.seal_queue_depth)
+        self._lag_elements_gauge.set(self.store.seal_lag_elements)
 
     @property
     def sketch(self):
@@ -199,6 +229,8 @@ class MonitoredAnalyzer:
     def update(self, event_id: int, timestamp: float) -> BurstAlert | None:
         """Feed one element to both sides; return any live alert."""
         self.store.update(event_id, timestamp)
+        if self._tracks_seal_lag:
+            self._sample_seal_lag()
         alert = self.monitor.update(event_id, timestamp)
         if alert is not None:
             self.alerts.append(alert)

@@ -1,0 +1,700 @@
+"""Multi-process sharded durable ingest: coordinator + writer processes.
+
+PR 7's durable lifecycle is single-process: one thread appends to every
+per-shard WAL, so sharded durable ingest is bounded by one core and one
+fsync stream.  This module adds the multi-process path named by ROADMAP
+item 2 — the Hokusai per-aggregator sharding shape:
+
+* a :class:`ParallelIngestCoordinator` partitions each incoming record
+  batch by the same Fibonacci shard hash
+  :class:`~repro.core.store.ShardedBurstStore` uses, and feeds N
+  **writer processes** over bounded work queues (``multiprocessing``
+  spawn-safe — the worker entrypoint is a module-level function and
+  every argument is picklable);
+* each writer owns exactly **one shard directory** — WAL, memtable,
+  segments — opened as a background-sealing
+  :class:`~repro.core.durable.DurableBurstStore`, so segment writes and
+  fsyncs happen off the append hot path inside every writer too;
+* after applying a sub-batch (WAL append + memtable), the writer sends
+  an **ack** carrying its cumulative applied-record count: the
+  coordinator's acknowledged per-shard prefix.  Acks are coalesced
+  while the writer is backlogged (at the latest every ``_ACK_EVERY``
+  batches) and sent eagerly when its queue drains; ``flush`` and
+  ``done`` always carry exact counts.  Crash-recovery
+  semantics are identical to the single-process path — kill any writer
+  (or the coordinator) with SIGKILL and
+  :func:`~repro.core.durable.recover` rebuilds every shard to at least
+  its acknowledged prefix, because an ack is sent only after the WAL
+  append returned (page-cache durable);
+* **backpressure, never drops**: the work queues are bounded, so a slow
+  writer blocks ``extend_batch`` in the coordinator (time accounted in
+  ``parallel_backpressure_seconds_total``); inside a writer the bounded
+  unsealed-memtable cap blocks appends the same way.
+
+The on-disk layout is exactly what ``create_durable(shards=N)``
+produces — a top-level ``sharded-durable`` manifest over ``shard-NNN/``
+subdirectories — so :func:`~repro.core.durable.recover` (and the
+``repro recover`` CLI) work unchanged on a parallel-ingested store.
+
+Queue protocol (one work queue per writer, one shared ack queue)::
+
+    coordinator -> writer   ("batch", batch_id, ids, ts, counts|None)
+                            ("flush", flush_id)
+                            None                      # stop sentinel
+    writer -> coordinator   ("ack", writer_id, batch_id, applied, stats)
+                            ("flushed", writer_id, flush_id, applied,
+                             stats)
+                            ("error", writer_id, etype, traceback)
+                            ("done", writer_id, applied, stats)
+
+``applied`` is cumulative per writer; ``stats`` is
+``(seal_queue_depth, seal_lag_elements, busy_seconds)`` — the writer's
+seal queue, its lag, and its cumulative time spent applying batches
+and flushing (I/O waits included) — so the coordinator can surface
+fleet-wide gauges and ingest-concurrency numbers without touching the
+shard directories.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import queue as queue_module
+import time
+import traceback
+
+import numpy as np
+
+from repro.core.durable import (
+    DEFAULT_MAX_UNSEALED,
+    DEFAULT_SEAL_ELEMENTS,
+    MANIFEST_NAME,
+    DurableBurstStore,
+)
+from repro.core.errors import (
+    InvalidParameterError,
+    RecoveryError,
+    StreamOrderError,
+    WriterProcessError,
+)
+from repro.core.metrics import global_registry
+from repro.core.serialize import atomic_write_bytes
+from repro.core.store import _FIB_MIX
+from repro.core.wal import _require_policy
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "ParallelIngestCoordinator",
+]
+
+#: Bounded work-queue depth per writer: deep enough to keep a writer
+#: busy across an fsync stall, shallow enough that backpressure reaches
+#: the coordinator within a few batches.
+DEFAULT_QUEUE_DEPTH = 8
+
+_MANIFEST_FORMAT = 1
+
+#: A writer acknowledges at the latest every this-many applied batches.
+#: Acks are coalesced while the writer has a backlog (each ack is an
+#: IPC message plus a coordinator wake-up — pure overhead when another
+#: batch is already waiting) and sent eagerly once its queue drains, so
+#: the coordinator's acknowledged prefix stays fresh under light load
+#: and cheap under heavy load.
+_ACK_EVERY = 8
+
+
+def _shard_routes(ids: np.ndarray, n_shards: int) -> np.ndarray:
+    """Shard index per record — must match ShardedBurstStore.shard_of
+    so parallel-ingested and single-process-ingested directories hold
+    identical per-shard record streams."""
+    mixed = ids.astype(np.uint64) * np.uint64(_FIB_MIX)
+    return (mixed % np.uint64(n_shards)).astype(np.int64)
+
+
+def _writer_main(
+    shard_dir: str,
+    writer_id: int,
+    store_cfg: dict,
+    work_queue,
+    ack_queue,
+) -> None:
+    """Writer-process entrypoint: own one shard directory, apply every
+    batch, ack cumulative applied counts.
+
+    Module-level (not a closure) and fed only picklable arguments, so
+    it works under the ``spawn`` start method.  On an application error
+    (e.g. a stream-order violation) the writer reports it and keeps
+    *draining* its queue without applying — a dead consumer on a
+    bounded queue would deadlock the coordinator mid-``put``.
+    """
+    store = None
+    applied = 0
+    failed = False
+    unacked = 0
+    busy = 0.0
+    try:
+        resume = os.path.exists(os.path.join(shard_dir, MANIFEST_NAME))
+        store = DurableBurstStore(shard_dir, resume=resume, **store_cfg)
+        applied = int(store.count)
+        while True:
+            message = work_queue.get()
+            if message is None:
+                break
+            kind = message[0]
+            if failed:
+                continue
+            try:
+                if kind == "batch":
+                    _kind, batch_id, ids, ts, counts = message
+                    begin = time.perf_counter()
+                    store.extend_batch(ids, ts, counts)
+                    busy += time.perf_counter() - begin
+                    applied += int(
+                        ids.size if counts is None else counts.sum()
+                    )
+                    unacked += 1
+                    # Coalesce acks while backlogged (see _ACK_EVERY);
+                    # Queue.empty() is advisory, which is fine for an
+                    # ack heuristic — flush/done resynchronise exactly.
+                    if unacked >= _ACK_EVERY or work_queue.empty():
+                        unacked = 0
+                        ack_queue.put(
+                            (
+                                "ack",
+                                writer_id,
+                                batch_id,
+                                applied,
+                                (
+                                    store.seal_queue_depth,
+                                    store.seal_lag_elements,
+                                    busy,
+                                ),
+                            )
+                        )
+                elif kind == "flush":
+                    unacked = 0
+                    begin = time.perf_counter()
+                    store.flush()
+                    busy += time.perf_counter() - begin
+                    ack_queue.put(
+                        (
+                            "flushed",
+                            writer_id,
+                            message[1],
+                            applied,
+                            (
+                                store.seal_queue_depth,
+                                store.seal_lag_elements,
+                                busy,
+                            ),
+                        )
+                    )
+            except BaseException as exc:  # report, then drain-only
+                failed = True
+                ack_queue.put(
+                    (
+                        "error",
+                        writer_id,
+                        type(exc).__name__,
+                        traceback.format_exc(),
+                    )
+                )
+    except BaseException as exc:  # setup/teardown failure
+        try:
+            ack_queue.put(
+                (
+                    "error",
+                    writer_id,
+                    type(exc).__name__,
+                    traceback.format_exc(),
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        stats = (0, 0, busy)
+        if store is not None:
+            try:
+                stats = (
+                    store.seal_queue_depth,
+                    store.seal_lag_elements,
+                    busy,
+                )
+                store.close()
+            except Exception:
+                pass
+        try:
+            ack_queue.put(("done", writer_id, applied, stats))
+        except Exception:
+            pass
+
+
+class ParallelIngestCoordinator:
+    """Partition record batches across N durable writer processes.
+
+    Parameters mirror :func:`~repro.core.durable.create_durable` with
+    ``shards=writers``; the extra knobs are the parallel-path dials:
+
+    queue_depth:
+        Bounded per-writer work-queue depth — the backpressure window.
+    start_method:
+        ``"spawn"`` (default, portable and what the tests prove) or any
+        other :mod:`multiprocessing` start method available locally.
+
+    Use as a context manager; :meth:`close` stops the writers (each
+    drains its background seals and closes its WAL) and the directory
+    is then ready for :func:`~repro.core.durable.recover` or
+    ``create_durable(..., resume=True)``.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        writers: int,
+        backend: str = "exact",
+        seal_elements: int = DEFAULT_SEAL_ELEMENTS,
+        fsync: str = "batch",
+        flush_bytes: int | None = None,
+        flush_records: int | None = None,
+        background_seal: bool = True,
+        max_unsealed: int = DEFAULT_MAX_UNSEALED,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        resume: bool = False,
+        start_method: str = "spawn",
+        **child_cfg,
+    ) -> None:
+        if int(writers) <= 0:
+            raise InvalidParameterError(
+                f"writers must be > 0, got {writers}"
+            )
+        if int(queue_depth) <= 0:
+            raise InvalidParameterError(
+                f"queue_depth must be > 0, got {queue_depth}"
+            )
+        _require_policy(fsync)
+        self.directory = os.fspath(directory)
+        self.n_writers = int(writers)
+        self.backend = backend
+        self.child_cfg = dict(child_cfg)
+        self._closed = False
+        self._t_end = float("-inf")
+        self._batch_seq = 0
+        self._flush_seq = 0
+        self._sent: list[int] = [0] * self.n_writers
+        self._acked: list[int] = [0] * self.n_writers
+        self._done: list[bool] = [False] * self.n_writers
+        self._writer_stats: list[tuple[int, int, float]] = [
+            (0, 0, 0.0)
+        ] * self.n_writers
+        self._failure: WriterProcessError | None = None
+        self._failure_is_order = False
+        self._failure_raised = False
+        metrics = global_registry()
+        self._batches_total = metrics.counter(
+            "parallel_ingest_batches_total",
+            "sub-batches dispatched to writer processes",
+        )
+        self._records_total = metrics.counter(
+            "parallel_ingest_records_total",
+            "records dispatched to writer processes",
+        )
+        self._acked_records = metrics.counter(
+            "parallel_ingest_acked_records_total",
+            "records acknowledged durable by writer processes",
+        )
+        self._backpressure_seconds = metrics.counter(
+            "parallel_backpressure_seconds_total",
+            "seconds the coordinator blocked on full writer queues",
+        )
+        self._queue_depth_gauge = metrics.gauge(
+            "parallel_seal_queue_depth",
+            "deepest per-writer background-seal queue (last acks)",
+        )
+        self._seal_lag_gauge = metrics.gauge(
+            "parallel_seal_lag_elements",
+            "unsealed frozen elements across writers (last acks)",
+        )
+        self._prepare_directory(
+            seal_elements=int(seal_elements), resume=resume
+        )
+        store_cfg = dict(
+            backend=self.backend,
+            seal_elements=int(seal_elements),
+            fsync=fsync,
+            flush_bytes=flush_bytes,
+            flush_records=flush_records,
+            background_seal=background_seal,
+            max_unsealed=max_unsealed,
+            **self.child_cfg,
+        )
+        ctx = mp.get_context(start_method)
+        self._work_queues = [
+            ctx.Queue(maxsize=int(queue_depth))
+            for _ in range(self.n_writers)
+        ]
+        self._ack_queue = ctx.Queue()
+        self._processes = []
+        for writer_id in range(self.n_writers):
+            process = ctx.Process(
+                target=_writer_main,
+                args=(
+                    os.path.join(
+                        self.directory, f"shard-{writer_id:03d}"
+                    ),
+                    writer_id,
+                    store_cfg,
+                    self._work_queues[writer_id],
+                    self._ack_queue,
+                ),
+                name=f"repro-writer-{writer_id}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def _prepare_directory(
+        self, *, seal_elements: int, resume: bool
+    ) -> None:
+        """Write (or validate) the top-level sharded-durable manifest.
+
+        The layout is byte-compatible with ``create_durable(shards=N)``
+        so ``recover()`` needs no parallel-specific path.
+        """
+        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            if not resume:
+                raise InvalidParameterError(
+                    f"{self.directory} already holds a durable store; "
+                    "pass resume=True or use recover()"
+                )
+            try:
+                with open(manifest_path, "rb") as handle:
+                    manifest = json.loads(handle.read().decode("utf-8"))
+            except (
+                OSError,
+                UnicodeDecodeError,
+                json.JSONDecodeError,
+            ) as exc:
+                raise RecoveryError(
+                    f"unreadable durable manifest in {self.directory}: "
+                    f"{exc}"
+                ) from None
+            if manifest.get("kind") != "sharded-durable":
+                raise InvalidParameterError(
+                    "parallel ingest resumes only sharded-durable "
+                    f"layouts, found {manifest.get('kind')!r}"
+                )
+            if int(manifest.get("shards", -1)) != self.n_writers:
+                raise InvalidParameterError(
+                    f"{self.directory} was created with "
+                    f"{manifest.get('shards')} shards; writer count "
+                    "must match (one writer per shard)"
+                )
+            if manifest.get("backend") != self.backend:
+                raise InvalidParameterError(
+                    f"{self.directory} holds backend "
+                    f"{manifest.get('backend')!r}, not {self.backend!r}"
+                )
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "kind": "sharded-durable",
+            "shards": self.n_writers,
+            "backend": self.backend,
+            "child_cfg": self.child_cfg,
+            "seal_elements": seal_elements,
+        }
+        payload = (
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+        ).encode()
+        atomic_write_bytes(manifest_path, payload, fsync=True)
+
+    # -- ingest --------------------------------------------------------
+    def extend_batch(self, event_ids, timestamps, counts=None) -> None:
+        """Partition one record batch across the writers (blocking).
+
+        Validates shape and global stream order exactly like
+        ``extend_batch`` on a store, then routes each shard's
+        sub-batch (original order preserved) onto that writer's
+        bounded queue.  Returns once every sub-batch is *enqueued* —
+        acknowledgements arrive asynchronously (see
+        :attr:`acked_records`); call :meth:`flush` for a durability
+        barrier.
+        """
+        self._check_open()
+        ids = np.asarray(event_ids)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ids.ndim != 1 or ts.ndim != 1 or ids.shape != ts.shape:
+            raise InvalidParameterError(
+                "event_ids and timestamps must be 1-d arrays of equal "
+                "length"
+            )
+        if ts.size > 1 and bool(np.any(np.diff(ts) < 0)):
+            raise StreamOrderError(
+                "batch timestamps must be non-decreasing"
+            )
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != ts.shape:
+                raise InvalidParameterError(
+                    "counts must match the record batch shape"
+                )
+            if counts.size and bool(np.any(counts <= 0)):
+                raise InvalidParameterError("count must be positive")
+        if ids.size == 0:
+            return
+        first = float(ts[0])
+        if first < self._t_end:
+            raise StreamOrderError(
+                f"timestamp {first} arrived after {self._t_end}"
+            )
+        ids = ids.astype(np.int64, copy=False)
+        self._drain_acks(block=False)
+        self._raise_failure()
+        routes = _shard_routes(ids, self.n_writers)
+        for writer_id in range(self.n_writers):
+            mask = routes == writer_id
+            if not bool(mask.any()):
+                continue
+            sub_ids = ids[mask]
+            sub_ts = ts[mask]
+            sub_counts = None if counts is None else counts[mask]
+            n_records = int(
+                sub_ids.size if sub_counts is None else sub_counts.sum()
+            )
+            self._batch_seq += 1
+            self._put(
+                writer_id,
+                ("batch", self._batch_seq, sub_ids, sub_ts, sub_counts),
+            )
+            self._sent[writer_id] += n_records
+            self._batches_total.inc()
+            self._records_total.inc(n_records)
+        self._t_end = max(self._t_end, float(ts[-1]))
+
+    def _put(self, writer_id: int, message) -> None:
+        """Blocking bounded-queue put, with liveness checks.
+
+        A full queue is backpressure (accounted, then wait); a full
+        queue whose consumer died would block forever, so the wait
+        polls the process and surfaces a :class:`WriterProcessError`
+        instead of hanging.
+        """
+        queue = self._work_queues[writer_id]
+        try:
+            queue.put_nowait(message)
+            return
+        except queue_module.Full:
+            pass
+        start = time.perf_counter()
+        try:
+            while True:
+                try:
+                    queue.put(message, timeout=0.5)
+                    return
+                except queue_module.Full:
+                    self._drain_acks(block=False)
+                    self._raise_failure()
+                    if not self._processes[writer_id].is_alive():
+                        raise WriterProcessError(
+                            writer_id,
+                            "writer process died with its queue full",
+                        )
+        finally:
+            self._backpressure_seconds.inc(time.perf_counter() - start)
+
+    def flush(self) -> int:
+        """Durability barrier: every record sent so far is applied and
+        WAL-flushed in its writer.  Returns total acknowledged records.
+        """
+        self._check_open()
+        self._raise_failure()
+        self._flush_seq += 1
+        flush_id = self._flush_seq
+        pending = set()
+        for writer_id in range(self.n_writers):
+            self._put(writer_id, ("flush", flush_id))
+            pending.add(writer_id)
+        while pending:
+            try:
+                message = self._ack_queue.get(timeout=0.5)
+            except queue_module.Empty:
+                for writer_id in list(pending):
+                    if not self._processes[writer_id].is_alive():
+                        raise WriterProcessError(
+                            writer_id,
+                            "writer process died before flush ack",
+                        )
+                continue
+            self._handle_ack(message)
+            if (
+                message[0] == "flushed"
+                and message[2] == flush_id
+            ):
+                pending.discard(message[1])
+            self._raise_failure()
+        return self.acked_records
+
+    # -- acknowledgement tracking --------------------------------------
+    def _drain_acks(self, *, block: bool) -> None:
+        while True:
+            try:
+                if block:
+                    message = self._ack_queue.get(timeout=0.5)
+                else:
+                    message = self._ack_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            self._handle_ack(message)
+            if block:
+                return
+
+    def _handle_ack(self, message) -> None:
+        kind = message[0]
+        if kind == "ack":
+            _, writer_id, _batch_id, applied, stats = message
+            gained = applied - self._acked[writer_id]
+            if gained > 0:
+                self._acked_records.inc(gained)
+            self._acked[writer_id] = applied
+            self._writer_stats[writer_id] = stats
+            self._update_gauges()
+        elif kind == "flushed":
+            _, writer_id, _flush_id, applied, stats = message
+            gained = applied - self._acked[writer_id]
+            if gained > 0:
+                self._acked_records.inc(gained)
+            self._acked[writer_id] = applied
+            self._writer_stats[writer_id] = stats
+            self._update_gauges()
+        elif kind == "done":
+            _, writer_id, applied, stats = message
+            gained = applied - self._acked[writer_id]
+            if gained > 0:
+                self._acked_records.inc(gained)
+            self._acked[writer_id] = applied
+            self._writer_stats[writer_id] = stats
+            self._done[writer_id] = True
+            self._update_gauges()
+        elif kind == "error":
+            _, writer_id, etype, text = message
+            if self._failure is None:  # first failure wins
+                self._failure = WriterProcessError(
+                    writer_id, f"{etype}\n{text}"
+                )
+                self._failure_is_order = etype == "StreamOrderError"
+
+    def _update_gauges(self) -> None:
+        self._queue_depth_gauge.set(
+            max(stats[0] for stats in self._writer_stats)
+        )
+        self._seal_lag_gauge.set(
+            sum(stats[1] for stats in self._writer_stats)
+        )
+
+    def _raise_failure(self, *, once: bool = False) -> None:
+        if self._failure is None:
+            return
+        if once and self._failure_raised:
+            return
+        self._failure_raised = True
+        if self._failure_is_order:
+            raise StreamOrderError(str(self._failure)) from self._failure
+        raise self._failure
+
+    @property
+    def acked_records(self) -> int:
+        """Records acknowledged durable across all writers."""
+        return sum(self._acked)
+
+    @property
+    def sent_records(self) -> int:
+        """Records dispatched to writer queues (acked ≤ sent)."""
+        return sum(self._sent)
+
+    def acked_by_shard(self) -> list[int]:
+        """Cumulative acknowledged records per shard (a copy)."""
+        return list(self._acked)
+
+    @property
+    def seal_queue_depth(self) -> int:
+        """Deepest writer seal queue, from the latest acks."""
+        return max(stats[0] for stats in self._writer_stats)
+
+    @property
+    def seal_lag_elements(self) -> int:
+        """Total unsealed frozen elements, from the latest acks."""
+        return sum(stats[1] for stats in self._writer_stats)
+
+    def writer_busy_seconds(self) -> list[float]:
+        """Cumulative apply/flush time per writer, from the latest acks.
+
+        I/O waits count as busy: the sum across writers divided by wall
+        time is the ingest concurrency — how many writers were applying
+        records (or waiting on their shard's disk) at once.  Exact
+        after a :meth:`flush`, which forces a fresh ack from everyone.
+        """
+        return [float(stats[2]) for stats in self._writer_stats]
+
+    # -- lifecycle -----------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidParameterError(
+                "parallel ingest coordinator is closed"
+            )
+
+    def close(self, *, timeout: float = 60.0) -> int:
+        """Stop the writers and wait for their final acks (idempotent).
+
+        Each writer drains its background seal queue and closes its
+        WAL before reporting ``done``; afterwards the directory is a
+        clean sharded-durable store.  Returns total acknowledged
+        records.  Raises :class:`WriterProcessError` if any writer
+        failed (after stopping the rest).
+        """
+        if self._closed:
+            return self.acked_records
+        self._closed = True
+        for writer_id in range(self.n_writers):
+            try:
+                self._work_queues[writer_id].put(None, timeout=timeout)
+            except Exception:
+                pass
+        deadline = time.monotonic() + timeout
+        while not all(self._done) and time.monotonic() < deadline:
+            try:
+                message = self._ack_queue.get(timeout=0.5)
+            except Exception:
+                if not any(p.is_alive() for p in self._processes):
+                    # all writers exited; collect any stragglers
+                    try:
+                        while True:
+                            self._handle_ack(
+                                self._ack_queue.get_nowait()
+                            )
+                    except Exception:
+                        pass
+                    break
+                continue
+            self._handle_ack(message)
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - hung writer
+                process.terminate()
+                process.join(timeout=5.0)
+        for queue in (*self._work_queues, self._ack_queue):
+            queue.close()
+            queue.join_thread()
+        # A failure already surfaced to the caller (e.g. mid-ingest)
+        # must not re-raise out of the context-manager exit.
+        self._raise_failure(once=True)
+        return self.acked_records
+
+    def __enter__(self) -> "ParallelIngestCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -307,9 +307,36 @@ def lazy_stats(store) -> LazySketchStats | None:
     return getattr(store, "_lazy_stats", None)
 
 
+def _folded_pbe1(sketch: PBE1) -> PBE1:
+    """A scratch copy of ``sketch`` with its buffer compressed in.
+
+    Serialization must not mutate the sketch it reads: compressing the
+    live buffer in place would shift the original's future compression
+    boundaries, so a concurrent reader snapshot would silently change
+    the writer's eventual curve (and any segment later sealed from it).
+    """
+    scratch = PBE1(
+        eta=sketch.eta,
+        buffer_size=sketch.buffer_size,
+        use_numba=sketch.use_numba,
+    )
+    scratch._kept_xs = list(sketch._kept_xs)
+    scratch._kept_ys = list(sketch._kept_ys)
+    scratch._buffer_xs = list(sketch._buffer_xs)
+    scratch._buffer_ys = list(sketch._buffer_ys)
+    scratch._count = sketch._count
+    scratch._compress_buffer()
+    return scratch
+
+
 def dump_pbe1(sketch: PBE1) -> bytes:
-    """Serialize a PBE-1 (flushing its buffer first)."""
-    sketch.flush()
+    """Serialize a PBE-1, folding any buffered corners into the curve.
+
+    The fold happens on a scratch copy — dumping never mutates the
+    sketch, so snapshotting a live store cannot perturb it.
+    """
+    if sketch._buffer_xs:
+        sketch = _folded_pbe1(sketch)
     xs = np.asarray(sketch._kept_xs, dtype="<f8")
     ys = np.asarray(sketch._kept_ys, dtype="<f8")
     out = io.BytesIO()
@@ -364,9 +391,51 @@ def load_pbe1(
     return sketch
 
 
+def _finalized_pbe2(sketch: PBE2) -> PBE2:
+    """A scratch copy of ``sketch`` with its live state finalized.
+
+    Same contract as :func:`_folded_pbe1`: the original keeps its open
+    polygon/pending corner untouched, so serializing a live sketch does
+    not change how its remaining stream gets segmented.
+    """
+    scratch = PBE2(
+        gamma=sketch.gamma,
+        unit=sketch.unit,
+        max_polygon_vertices=sketch.max_polygon_vertices,
+        use_numba=sketch.use_numba,
+    )
+    scratch._segments = list(sketch._segments)
+    scratch._segment_starts = list(sketch._segment_starts)
+    scratch._pending_t = sketch._pending_t
+    scratch._pending_y = sketch._pending_y
+    scratch._last_committed_t = sketch._last_committed_t
+    scratch._last_committed_y = sketch._last_committed_y
+    scratch._poly_x = (
+        None if sketch._poly_x is None else list(sketch._poly_x)
+    )
+    scratch._poly_y = (
+        None if sketch._poly_y is None else list(sketch._poly_y)
+    )
+    scratch._open_ranges = list(sketch._open_ranges)
+    scratch._group_start = sketch._group_start
+    scratch._group_last_t = sketch._group_last_t
+    scratch._count = sketch._count
+    scratch.finalize()
+    return scratch
+
+
 def dump_pbe2(sketch: PBE2) -> bytes:
-    """Serialize a PBE-2 (finalizing live state first)."""
-    sketch.finalize()
+    """Serialize a PBE-2, folding live state into finalized segments.
+
+    The fold happens on a scratch copy — dumping never mutates the
+    sketch, so snapshotting a live store cannot perturb it.
+    """
+    if (
+        sketch._pending_t is not None
+        or sketch._poly_x is not None
+        or sketch._open_ranges
+    ):
+        sketch = _finalized_pbe2(sketch)
     segments = sketch.segments
     out = io.BytesIO()
     out.write(
@@ -433,8 +502,11 @@ def load_pbe2(
 
 
 def dump_cmpbe(sketch: CMPBE) -> bytes:
-    """Serialize a CM-PBE and all of its cells."""
-    sketch.finalize()
+    """Serialize a CM-PBE and all of its cells.
+
+    Cell buffers are folded by the per-cell dumps on scratch copies;
+    the sketch itself is never mutated.
+    """
     out = io.BytesIO()
     combiner_flag = 0 if sketch.combiner == "median" else 1
     out.write(
@@ -518,7 +590,6 @@ def dump_direct_map(direct) -> bytes:
 
     if not isinstance(direct, DirectPBEMap):
         raise InvalidParameterError("expected a DirectPBEMap")
-    direct.finalize()
     out = io.BytesIO()
     cells = sorted(direct._cells.items())
     out.write(struct.pack("<4sQQ", _DIRECT_MAGIC, direct.count, len(cells)))

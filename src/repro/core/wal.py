@@ -32,9 +32,12 @@ fsync policies (the durability/throughput dial):
     fsync after every append — an acknowledged batch survives power
     loss.  Slowest; one disk flush per batch.
 ``"batch"`` (default)
-    fsync only at explicit durability points (:meth:`flush`, seal,
-    :meth:`close`).  An OS crash can lose the acknowledged tail since
-    the last flush; a mere process crash (``SIGKILL``) cannot, because
+    fsync at explicit durability points (:meth:`flush`, seal,
+    :meth:`close`) *and* whenever the unsynced tail crosses the
+    ``flush_bytes``/``flush_records`` thresholds, so a slow producer
+    cannot hold acknowledged records unsynced indefinitely.  An OS
+    crash can lose at most the sub-threshold tail since the last sync;
+    a mere process crash (``SIGKILL``) cannot lose anything, because
     the frames already reached the page cache.
 ``"never"``
     never fsync; the OS decides when bytes hit the platter.  Fastest,
@@ -55,6 +58,7 @@ from repro.core.errors import InvalidParameterError
 from repro.core.metrics import global_registry
 
 __all__ = [
+    "DEFAULT_FLUSH_BYTES",
     "FSYNC_POLICIES",
     "WAL_HEADER_SIZE",
     "WAL_MAGIC",
@@ -67,6 +71,11 @@ __all__ = [
 WAL_MAGIC = b"BWAL"
 WAL_VERSION = 1
 FSYNC_POLICIES = ("always", "batch", "never")
+
+# Under fsync="batch", sync once the unsynced tail crosses this many
+# bytes even if no explicit durability point arrives (1 MiB keeps the
+# worst-case power-loss window bounded without per-append flushes).
+DEFAULT_FLUSH_BYTES = 1 << 20
 
 _FILE_HEADER = struct.Struct("<4sHH")  # magic, version, reserved
 WAL_HEADER_SIZE = _FILE_HEADER.size
@@ -132,11 +141,27 @@ class WriteAheadLog:
         path,
         *,
         fsync: str = "batch",
+        flush_bytes: int | None = None,
+        flush_records: int | None = None,
         truncate: bool = False,
         _resume_at: int | None = None,
     ) -> None:
         self.path = os.fspath(path)
         self.fsync_policy = _require_policy(fsync)
+        if flush_bytes is None:
+            flush_bytes = DEFAULT_FLUSH_BYTES
+        if flush_bytes <= 0 or (
+            flush_records is not None and flush_records <= 0
+        ):
+            raise InvalidParameterError(
+                "flush_bytes/flush_records thresholds must be positive"
+            )
+        self.flush_bytes = int(flush_bytes)
+        self.flush_records = (
+            None if flush_records is None else int(flush_records)
+        )
+        self._unsynced_bytes = 0
+        self._unsynced_records = 0
         metrics = global_registry()
         self._frames_total = metrics.counter(
             "wal_append_frames_total", "frames appended to WALs"
@@ -182,6 +207,14 @@ class WriteAheadLog:
         self._bytes_total.inc(len(frame))
         if self.fsync_policy == "always":
             self._sync()
+        elif self.fsync_policy == "batch":
+            self._unsynced_bytes += len(frame)
+            self._unsynced_records += int(ids.size)
+            if self._unsynced_bytes >= self.flush_bytes or (
+                self.flush_records is not None
+                and self._unsynced_records >= self.flush_records
+            ):
+                self._sync()
         return self._size
 
     def append_record(
@@ -207,12 +240,24 @@ class WriteAheadLog:
     def _sync(self) -> None:
         os.fsync(self._handle.fileno())
         self._fsyncs_total.inc()
+        self._unsynced_bytes = 0
+        self._unsynced_records = 0
 
     # -- lifecycle -----------------------------------------------------
     @property
     def size(self) -> int:
         """Current log size in bytes (header + frames)."""
         return self._size
+
+    @property
+    def unsynced_bytes(self) -> int:
+        """Bytes appended since the last fsync (0 under "always")."""
+        return self._unsynced_bytes
+
+    @property
+    def unsynced_records(self) -> int:
+        """Records appended since the last fsync (0 under "always")."""
+        return self._unsynced_records
 
     @property
     def closed(self) -> bool:

@@ -159,6 +159,64 @@ class TestDurableIngest:
         assert "wal_append_frames_total" in out
 
 
+class TestParallelIngest:
+    def test_parallel_ingest_then_recover(
+        self, tmp_path, stream_file, capsys
+    ):
+        directory = tmp_path / "durable"
+        code = main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--writers", "2",
+            "--seal-elements", "500", "--fsync", "never",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "x2 writers" in out and "sealed segments" in out
+        code = main(["recover", str(directory)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "replayed from WAL tails: shard-000=" in out
+
+    def test_writers_conflicts_with_shards(
+        self, tmp_path, stream_file, capsys
+    ):
+        code = main([
+            "ingest", str(stream_file),
+            "--durable", str(tmp_path / "durable"),
+            "--backend", "exact", "--writers", "2", "--shards", "3",
+        ])
+        assert code == 2
+        assert "one shard per writer" in capsys.readouterr().err
+
+    def test_writers_must_be_positive(
+        self, tmp_path, stream_file, capsys
+    ):
+        code = main([
+            "ingest", str(stream_file),
+            "--durable", str(tmp_path / "durable"),
+            "--backend", "exact", "--writers", "0",
+        ])
+        assert code == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_parallel_metrics_snapshot(
+        self, tmp_path, stream_file, capsys
+    ):
+        directory = tmp_path / "durable"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "ingest", str(stream_file), "--durable", str(directory),
+            "--backend", "exact", "--writers", "2", "--fsync", "never",
+            "--metrics-json", str(metrics),
+        ])
+        assert code == 0
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "parallel_ingest_acked_records_total" in out
+        assert "parallel_seal_queue_depth" in out
+
+
 class TestQuery:
     def test_point(self, sketch_file, capsys):
         code = main([

@@ -4,8 +4,12 @@
 One scenario ingests the fixture stream into a sharded CM-PBE store
 with ``--metrics-json``, runs a batched point query and a bursty-time
 query (each snapshotting its own invocation), then renders all three
-snapshots with ``repro stats`` (and one Prometheus exposition).  The
-transcript is frozen under ``tests/golden/stats.txt``.
+snapshots with ``repro stats`` (and one Prometheus exposition).  Two
+further ingests exercise the durable lifecycle — single-process with
+inline sealing, then two writer processes — so the
+queue-depth/seal-lag gauges and backpressure counters appear in both
+the human rendering and the Prometheus exposition.  The transcript is
+frozen under ``tests/golden/stats.txt``.
 
 Latency histograms are real wall time, so every ``sum=`` /
 ``_sum`` value belonging to a ``*_seconds`` metric is normalized to
@@ -53,27 +57,61 @@ STEPS: list[list[str]] = [
     ["stats", "<M-point>"],
     ["stats", "<M-times>"],
     ["stats", "<M-ingest>", "--prometheus"],
+    [
+        "ingest", str(DATA), "--durable", "<DUR>",
+        "--backend", "cm-pbe-1", "--seal-elements", "64",
+        "--universe-size", "48", "--eta", "24",
+        "--buffer-size", "64", "--width", "8", "--depth", "3",
+        "--metrics-json", "<M-durable>",
+    ],
+    [
+        "ingest", str(DATA), "--durable", "<DUR2>", "--writers", "2",
+        "--backend", "cm-pbe-1", "--seal-elements", "200",
+        "--universe-size", "48", "--eta", "24",
+        "--buffer-size", "64", "--width", "8", "--depth", "3",
+        "--metrics-json", "<M-parallel>",
+    ],
+    ["recover", "<DUR2>"],
+    ["stats", "<M-durable>"],
+    ["stats", "<M-parallel>"],
+    ["stats", "<M-parallel>", "--prometheus"],
 ]
 
-#: ``sum=…`` on a human-rendered ``*_seconds`` histogram line, and the
-#: Prometheus ``*_seconds_sum`` sample: wall time, never golden-stable.
+#: ``sum=…`` on a human-rendered ``*_seconds`` histogram line, the
+#: Prometheus ``*_seconds_sum`` sample, and any ``*_seconds_total``
+#: counter (seal/backpressure wall time): wall time, never
+#: golden-stable.
 _SECONDS_SUMS = re.compile(
     r"(_seconds count=\d+ sum=)\S+|(_seconds_sum )\S+"
 )
 
+#: A ``*_seconds_total`` counter's value sample — matched only on
+#: non-comment lines so Prometheus ``# HELP``/``# TYPE`` text survives.
+_SECONDS_TOTALS = re.compile(r"(_seconds_total )\S+$")
+
 
 def _normalize_times(text: str) -> str:
-    return _SECONDS_SUMS.sub(
+    text = _SECONDS_SUMS.sub(
         lambda m: (m.group(1) or m.group(2)) + "<T>", text
     )
+    lines = [
+        line if line.startswith("#")
+        else _SECONDS_TOTALS.sub(r"\g<1><T>", line)
+        for line in text.split("\n")
+    ]
+    return "\n".join(lines)
 
 
 def run_scenario(tmp_dir: Path, capsys) -> str:
     substitutions = {
         "<SKETCH>": str(tmp_dir / "stats.sketch"),
+        "<DUR>": str(tmp_dir / "durable"),
+        "<DUR2>": str(tmp_dir / "durable-x2"),
         "<M-ingest>": str(tmp_dir / "ingest.metrics.json"),
         "<M-point>": str(tmp_dir / "point.metrics.json"),
         "<M-times>": str(tmp_dir / "times.metrics.json"),
+        "<M-durable>": str(tmp_dir / "durable.metrics.json"),
+        "<M-parallel>": str(tmp_dir / "parallel.metrics.json"),
     }
     transcript: list[str] = []
     for step in STEPS:
@@ -134,6 +172,23 @@ def test_metrics_json_reports_nonzero_serving_counters(tmp_path, capsys):
         times["global"]["counters"]["cmpbe_hash_cache_hits_total"]["value"]
         > 0
     )
+
+    durable = json.loads((tmp_path / "durable.metrics.json").read_text())
+    gauges = durable["global"]["gauges"]
+    counters = durable["global"]["counters"]
+    assert "durable_seal_queue_depth" in gauges
+    assert "durable_seal_lag_elements" in gauges
+    assert "durable_backpressure_seconds_total" in counters
+    assert "durable_backpressure_waits_total" in counters
+    assert counters["durable_seals_total"]["value"] > 0
+
+    par = json.loads((tmp_path / "parallel.metrics.json").read_text())
+    gauges = par["global"]["gauges"]
+    counters = par["global"]["counters"]
+    assert "parallel_seal_queue_depth" in gauges
+    assert "parallel_seal_lag_elements" in gauges
+    assert "parallel_backpressure_seconds_total" in counters
+    assert counters["parallel_ingest_acked_records_total"]["value"] > 0
 
 
 def _regenerate() -> None:

@@ -6,10 +6,12 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 
 import numpy as np
 import pytest
 
+import repro.core.durable as durable_mod
 from repro.baselines.exact import ExactBurstStore
 from repro.core.durable import (
     MANIFEST_NAME,
@@ -20,6 +22,7 @@ from repro.core.durable import (
 from repro.core.errors import (
     InvalidParameterError,
     RecoveryError,
+    SerializationError,
     StreamOrderError,
 )
 from repro.core.metrics import InstrumentedStore
@@ -343,6 +346,227 @@ class TestConcurrentIngestAndQuery:
             thread.join()
         store.close()
         assert not errors, errors[:3]
+
+
+class TestBackgroundSeal:
+    def test_background_segments_match_inline_byte_for_byte(self, tmp_path):
+        """Moving the seal off the hot path must not change what lands
+        on disk: same stream, same thresholds => identical segments."""
+        ids, ts = _stream(60)
+        inline = create_durable(
+            tmp_path / "inline", seal_elements=8, fsync="never"
+        )
+        inline.extend_batch(ids, ts)
+        inline.close()
+        background = create_durable(
+            tmp_path / "bg",
+            seal_elements=8,
+            fsync="never",
+            background_seal=True,
+        )
+        background.extend_batch(ids, ts)
+        background.drain_seals()
+        background.close()
+        inline_segments = sorted(
+            name
+            for name in os.listdir(tmp_path / "inline")
+            if name.startswith("segment-")
+        )
+        bg_segments = sorted(
+            name
+            for name in os.listdir(tmp_path / "bg")
+            if name.startswith("segment-")
+        )
+        assert bg_segments == inline_segments
+        assert len(bg_segments) == 7  # 60 records through an 8-cap
+        for name in bg_segments:
+            assert (tmp_path / "bg" / name).read_bytes() == (
+                tmp_path / "inline" / name
+            ).read_bytes(), name
+        first = recover(tmp_path / "inline")
+        second = recover(tmp_path / "bg")
+        assert first.count == second.count == 60
+        panel_ids = np.repeat(np.arange(6), 9)
+        panel_ts = np.tile(np.linspace(0.0, 70.0, 9), 6)
+        np.testing.assert_array_equal(
+            second.point_query_batch(panel_ids, panel_ts, 3.0),
+            first.point_query_batch(panel_ids, panel_ts, 3.0),
+        )
+        first.close()
+        second.close()
+
+    def test_backpressure_blocks_and_never_drops(
+        self, tmp_path, monkeypatch
+    ):
+        real_save = durable_mod.save_store
+
+        def slow_save(store):
+            time.sleep(0.02)
+            return real_save(store)
+
+        monkeypatch.setattr(durable_mod, "save_store", slow_save)
+        store = create_durable(
+            tmp_path / "s",
+            seal_elements=4,
+            fsync="never",
+            background_seal=True,
+            max_unsealed=1,
+        )
+        waits_before = store._backpressure_waits.value
+        seconds_before = store._backpressure_seconds.value
+        ids, ts = _stream(48)
+        store.extend_batch(ids, ts)  # 12 generations through a 1-deep gate
+        assert store._backpressure_waits.value > waits_before
+        assert store._backpressure_seconds.value > seconds_before
+        assert store.seal_queue_depth <= 1
+        assert store.count == 48  # blocked, never dropped
+        store.drain_seals()
+        assert store.seal_queue_depth == 0
+        assert store.seal_lag_elements == 0
+        store.close()
+        recovered = recover(tmp_path / "s")
+        assert recovered.count == 48
+        recovered.close()
+
+    def test_seal_failure_surfaces_and_records_stay_recoverable(
+        self, tmp_path, monkeypatch
+    ):
+        store = create_durable(
+            tmp_path / "s",
+            seal_elements=4,
+            fsync="never",
+            background_seal=True,
+        )
+
+        def boom(_store):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(durable_mod, "save_store", boom)
+        ids, ts = _stream(4)
+        store.extend_batch(ids, ts)  # one frozen generation; worker dies
+        with pytest.raises(SerializationError, match="background seal"):
+            store.drain_seals()
+        monkeypatch.undo()
+        # The frozen generation is still WAL-backed: close succeeds and
+        # recovery replays every acknowledged record.
+        store.close()
+        recovered = recover(tmp_path / "s")
+        assert recovered.count == 4
+        oracle = ExactStore()
+        oracle.extend_batch(ids, ts)
+        for event in range(6):
+            assert recovered.point_query(event, 2.0, 3.0) == (
+                oracle.point_query(event, 2.0, 3.0)
+            )
+        recovered.close()
+
+    def test_drain_without_background_sealing_is_a_noop(self, tmp_path):
+        with create_durable(tmp_path / "s", seal_elements=4) as store:
+            store.extend_batch(*_stream(10))
+            store.drain_seals()
+            assert store.seal_queue_depth == 0
+
+
+class TestSnapshotConsistencyMidBackgroundSeal:
+    """Concurrent readers racing the background seal thread must always
+    observe a batch-boundary snapshot of the stream — the pre-seal view
+    or the post-seal view, never a torn mix — for every durable
+    backend, not just the exact one."""
+
+    @pytest.mark.parametrize(
+        "backend,cfg",
+        [
+            ("exact", {}),
+            (
+                "cm-pbe-1",
+                dict(universe_size=5, eta=40, width=8, depth=3, seed=0),
+            ),
+        ],
+        ids=["exact", "cm-pbe-1"],
+    )
+    def test_readers_see_batch_boundary_prefixes(
+        self, tmp_path, backend, cfg
+    ):
+        ids, ts = _stream(400, universe=5)
+        batch = 8
+        panel_ids = np.arange(5)
+        panel_ts = np.full(5, 200.0)
+
+        def prefix_answers_for(n):
+            # An ephemeral durable store with the same seal threshold
+            # partitions the prefix into the same generations, so its
+            # answers are exact per-prefix oracles even for the sketch
+            # backend.
+            with create_store(
+                "durable", backend=backend, seal_elements=64, **cfg
+            ) as oracle:
+                if n:
+                    oracle.extend_batch(ids[:n], ts[:n])
+                return tuple(
+                    oracle.point_query_batch(panel_ids, panel_ts, 50.0)
+                )
+
+        prefix_answers = {
+            n: prefix_answers_for(n) for n in range(0, 401, batch)
+        }
+        store = create_durable(
+            tmp_path / "s",
+            backend=backend,
+            seal_elements=64,
+            fsync="never",
+            background_seal=True,
+            **cfg,
+        )
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            for start in range(0, 400, batch):
+                store.extend_batch(
+                    ids[start : start + batch], ts[start : start + batch]
+                )
+            stop.set()
+
+        def reader():
+            while not stop.is_set() and not errors:
+                seen = store.count
+                if seen % batch != 0:
+                    errors.append(f"torn count {seen}")
+                    return
+                # One batch call = one view fetch = one atomic snapshot.
+                values = tuple(
+                    store.point_query_batch(panel_ids, panel_ts, 50.0)
+                )
+                again = store.count
+                candidates = [
+                    n for n in prefix_answers if seen <= n <= again
+                ]
+                if not any(
+                    prefix_answers[n] == values for n in candidates
+                ):
+                    errors.append(
+                        f"no prefix in [{seen}, {again}] matches {values}"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        write_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        write_thread.start()
+        write_thread.join()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
+        store.drain_seals()
+        assert (
+            tuple(store.point_query_batch(panel_ids, panel_ts, 50.0))
+            == prefix_answers[400]
+        )
+        store.close()
+        recovered = recover(tmp_path / "s")
+        assert recovered.count == 400
+        recovered.close()
 
 
 class TestSerializationAndComposition:

@@ -29,6 +29,7 @@ class TestPbe1RoundTrip:
     def test_values_preserved(self, timestamps):
         sketch = PBE1(eta=30, buffer_size=150)
         sketch.extend(timestamps)
+        sketch.flush()  # the dump folds a copy; fold for the comparison
         loaded = load_pbe1(dump_pbe1(sketch))
         for q in np.linspace(-10, 3_100, 60):
             assert loaded.value(q) == sketch.value(q)
@@ -36,6 +37,7 @@ class TestPbe1RoundTrip:
     def test_metadata_preserved(self, timestamps):
         sketch = PBE1(eta=30, buffer_size=150)
         sketch.extend(timestamps)
+        sketch.flush()
         loaded = load_pbe1(dump_pbe1(sketch))
         assert loaded.eta == 30
         assert loaded.buffer_size == 150
@@ -60,6 +62,7 @@ class TestPbe2RoundTrip:
     def test_values_preserved(self, timestamps):
         sketch = PBE2(gamma=8.0)
         sketch.extend(timestamps)
+        sketch.finalize()
         loaded = load_pbe2(dump_pbe2(sketch))
         for q in np.linspace(-10, 3_100, 60):
             assert loaded.value(q) == pytest.approx(sketch.value(q))
@@ -67,6 +70,7 @@ class TestPbe2RoundTrip:
     def test_metadata_preserved(self, timestamps):
         sketch = PBE2(gamma=8.0, unit=2.0)
         sketch.extend(timestamps)
+        sketch.finalize()
         loaded = load_pbe2(dump_pbe2(sketch))
         assert loaded.gamma == 8.0
         assert loaded.unit == 2.0
@@ -95,6 +99,7 @@ class TestCmpbeRoundTrip:
         else:
             sketch = CMPBE.with_pbe2(gamma=10.0, width=4, depth=3, seed=5)
         sketch.extend(mixed_stream)
+        sketch.finalize()
         loaded = load_cmpbe(dump_cmpbe(sketch))
         for event_id in (0, 5, 11):
             for t in (200.0, 520.0, 900.0):
@@ -121,6 +126,68 @@ class TestCmpbeRoundTrip:
     def test_bad_payload(self):
         with pytest.raises(InvalidParameterError):
             load_cmpbe(b"tiny")
+
+
+class TestDumpsAreNonMutating:
+    """Serialization must never perturb the sketch it reads.
+
+    Durable readers snapshot the live memtable via the dump path; if
+    dumping flushed buffers or committed polygons in place, a concurrent
+    read would silently change the curve the writer goes on to build
+    (and the content of any segment later sealed from it).
+    """
+
+    def test_pbe1_buffer_survives_a_dump(self, timestamps):
+        sketch = PBE1(eta=30, buffer_size=150)
+        sketch.extend(timestamps[:100])
+        before = (list(sketch._kept_xs), list(sketch._buffer_xs))
+        dump_pbe1(sketch)
+        assert (list(sketch._kept_xs), list(sketch._buffer_xs)) == before
+
+    def test_pbe2_live_state_survives_a_dump(self, timestamps):
+        sketch = PBE2(gamma=8.0)
+        sketch.extend(timestamps[:100])
+        before = (
+            len(sketch.segments),
+            sketch._pending_t,
+            None if sketch._poly_x is None else list(sketch._poly_x),
+        )
+        dump_pbe2(sketch)
+        after = (
+            len(sketch.segments),
+            sketch._pending_t,
+            None if sketch._poly_x is None else list(sketch._poly_x),
+        )
+        assert after == before
+
+    def test_mid_stream_snapshots_leave_the_final_curve_unchanged(
+        self, timestamps
+    ):
+        undisturbed = PBE1(eta=30, buffer_size=150)
+        undisturbed.extend(timestamps)
+        snapshotted = PBE1(eta=30, buffer_size=150)
+        for start in range(0, len(timestamps), 100):
+            snapshotted.extend(timestamps[start:start + 100])
+            dump_pbe1(snapshotted)  # a reader peeking mid-stream
+        assert dump_pbe1(snapshotted) == dump_pbe1(undisturbed)
+
+    def test_cmpbe_snapshots_leave_the_final_grid_unchanged(
+        self, mixed_stream
+    ):
+        records = list(mixed_stream)
+
+        def build(snapshot_every=None):
+            sketch = CMPBE.with_pbe1(
+                eta=40, width=4, depth=3, buffer_size=200, seed=5
+            )
+            step = 100
+            for start in range(0, len(records), step):
+                sketch.extend(records[start:start + step])
+                if snapshot_every is not None:
+                    dump_cmpbe(sketch)
+            return sketch
+
+        assert dump_cmpbe(build(snapshot_every=1)) == dump_cmpbe(build())
 
 
 class TestIndexRoundTrip:
@@ -180,6 +247,7 @@ class TestDirectMapRoundTrip:
 
         direct = DirectPBEMap(lambda: PBE1(eta=30, buffer_size=200))
         direct.extend(mixed_stream)
+        direct.finalize()
         loaded = load_direct_map(dump_direct_map(direct))
         assert loaded.count == direct.count
         for event_id in (0, 5, 15):

@@ -155,6 +155,62 @@ class TestPolicies:
         wal.close()
 
 
+class TestFlushThresholds:
+    """Under ``fsync="batch"`` the log syncs on its own once the
+    unsynced tail crosses the byte/record thresholds, so a slow
+    producer cannot hold acknowledged records unsynced indefinitely.
+
+    A 4-record frame is 8 bytes of frame header plus a 70-byte payload
+    (1 kind + 4 count + 4x8 ids + 4x8 timestamps + 1 counts flag) =
+    78 bytes; the byte-threshold test leans on that arithmetic.
+    """
+
+    def test_byte_threshold_triggers_a_sync(self, tmp_path):
+        with WriteAheadLog(
+            tmp_path / "w.log", fsync="batch", flush_bytes=100
+        ) as wal:
+            wal.append(*_batch(4))  # 78 bytes: below the threshold
+            assert wal.unsynced_bytes == 78
+            wal.append(*_batch(4, offset=4))  # 156 >= 100: synced
+            assert wal.unsynced_bytes == 0
+            wal.append(*_batch(4, offset=8))  # window restarts
+            assert wal.unsynced_bytes == 78
+
+    def test_record_threshold_triggers_a_sync(self, tmp_path):
+        with WriteAheadLog(
+            tmp_path / "w.log", fsync="batch", flush_records=10
+        ) as wal:
+            wal.append(*_batch(4))
+            wal.append(*_batch(4, offset=4))
+            assert wal.unsynced_records == 8
+            wal.append(*_batch(4, offset=8))  # 12 >= 10: synced
+            assert wal.unsynced_records == 0
+            assert wal.unsynced_bytes == 0
+
+    def test_explicit_flush_resets_the_window(self, tmp_path):
+        with WriteAheadLog(tmp_path / "w.log", fsync="batch") as wal:
+            wal.append(*_batch(4))
+            assert wal.unsynced_bytes > 0
+            wal.flush()
+            assert wal.unsynced_bytes == 0
+            assert wal.unsynced_records == 0
+
+    def test_always_policy_never_accumulates(self, tmp_path):
+        with WriteAheadLog(tmp_path / "w.log", fsync="always") as wal:
+            wal.append(*_batch(4))
+            assert wal.unsynced_bytes == 0
+            assert wal.unsynced_records == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"flush_bytes": 0}, {"flush_bytes": -1}, {"flush_records": 0}],
+        ids=["zero-bytes", "negative-bytes", "zero-records"],
+    )
+    def test_nonpositive_thresholds_rejected(self, tmp_path, kwargs):
+        with pytest.raises(InvalidParameterError, match="positive"):
+            WriteAheadLog(tmp_path / "w.log", fsync="batch", **kwargs)
+
+
 def test_frame_layout_is_length_crc_payload(tmp_path):
     """The documented wire format, checked byte-for-byte."""
     path = tmp_path / "wal.log"
