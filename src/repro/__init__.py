@@ -30,8 +30,12 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure.
 """
 
+import logging as _logging
+
 from repro.core import (
     CMPBE,
+    JsonlSpanExporter,
+    Tracer,
     PBE1,
     PBE2,
     BurstStore,
@@ -56,15 +60,22 @@ from repro.core import (
     bursty_time_intervals,
     create_durable,
     create_store,
+    get_tracer,
     incoming_rate_series,
     load_store,
     recover,
     register_backend,
     save_store,
+    set_tracer,
+    span,
     write_store,
 )
 from repro.baselines import ExactBurstStore, KleinbergBurstDetector
 from repro.streams import EventStream, SingleEventStream, StaircaseCurve
+
+# Library etiquette: ship a NullHandler so importing repro never prints,
+# and applications opt in to our log records (the CLI does with -v).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -92,13 +103,18 @@ __all__ = [
     "burstiness",
     "burstiness_series",
     "bursty_time_intervals",
+    "JsonlSpanExporter",
+    "Tracer",
     "create_durable",
     "create_store",
+    "get_tracer",
     "incoming_rate_series",
     "load_store",
     "recover",
     "register_backend",
     "save_store",
+    "set_tracer",
+    "span",
     "write_store",
     "ExactBurstStore",
     "KleinbergBurstDetector",

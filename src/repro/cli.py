@@ -29,6 +29,11 @@ inspect
 stats
     Render a metrics snapshot written by ``--metrics-json`` (human text
     or Prometheus exposition with ``--prometheus``).
+trace
+    Summarize or export span logs written by ``ingest --trace DIR``:
+    ``trace summary`` prints a per-span p50/p99 latency table and
+    ``trace export --perfetto OUT.json`` writes Chrome trace-event JSON
+    loadable in Perfetto / ``chrome://tracing``.
 experiment
     Run one of the paper's figures at a chosen scale and print the table.
 validate
@@ -43,6 +48,8 @@ Streams are stored in the binary format of :mod:`repro.streams.io`
 from __future__ import annotations
 
 import argparse
+import contextlib
+import logging
 import sys
 from pathlib import Path
 
@@ -75,6 +82,16 @@ from repro.core.serialize import (
     write_store,
 )
 from repro.core.store import create_store
+from repro.core.tracing import (
+    JsonlSpanExporter,
+    Tracer,
+    load_trace,
+    perfetto_trace,
+    render_summary,
+    set_tracer,
+    span as trace_span,
+    summarize_spans,
+)
 from repro.core.wal import FSYNC_POLICIES
 from repro.eval import harness
 from repro.eval.tables import format_table
@@ -98,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Bursty event detection throughout histories",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log to stderr (-v warnings+info, -vv debug); goes before "
+        "the subcommand",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -219,6 +244,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a metrics snapshot (JSON) of the ingest run here; "
             "never affects the serialized store",
         )
+        ingest.add_argument(
+            "--trace",
+            type=Path,
+            metavar="DIR",
+            help="write span logs (JSONL, one file per process) to DIR; "
+            "inspect with 'repro trace summary DIR'",
+        )
+        ingest.add_argument(
+            "--trace-sample-rate",
+            type=float,
+            default=1.0,
+            help="fraction of traces to record (default %(default)s)",
+        )
+        ingest.add_argument(
+            "--trace-slow-ms",
+            type=float,
+            help="also log any span slower than this many milliseconds, "
+            "with its full ancestry",
+        )
 
     recover_cmd = commands.add_parser(
         "recover",
@@ -277,6 +321,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         action="store_true",
         help="emit Prometheus text exposition instead of the summary",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="summarize or export span logs written by ingest --trace",
+    )
+    trace.add_argument("action", choices=["summary", "export"])
+    trace.add_argument(
+        "trace",
+        type=Path,
+        help="span-log directory (or a single spans-*.jsonl file)",
+    )
+    trace.add_argument(
+        "--perfetto",
+        type=Path,
+        metavar="OUT.json",
+        help="with export: write Chrome trace-event JSON here "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    trace.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on torn mid-file span lines instead of skipping them",
     )
 
     experiment = commands.add_parser(
@@ -367,16 +434,55 @@ def _backend_config(args: argparse.Namespace) -> dict:
 
 
 def _write_metrics_json(
-    path: Path, store: InstrumentedStore | None = None
+    path: Path,
+    store: InstrumentedStore | None = None,
+    *,
+    global_snapshot: dict | None = None,
 ) -> None:
     """Dump the run's metrics: the process registry plus, when the run
-    went through an instrumented store, its per-store registry."""
+    went through an instrumented store, its per-store registry.
+
+    ``global_snapshot`` overrides the process registry — the parallel
+    ingest path passes the fleet-merged snapshot (coordinator + every
+    writer process) so the file reports whole-fleet numbers.
+    """
     snapshot = {
-        "global": global_registry().snapshot(),
+        "global": (
+            global_registry().snapshot()
+            if global_snapshot is None
+            else global_snapshot
+        ),
         "store": None if store is None else store.metrics.snapshot(),
     }
     path.write_text(dump_snapshot_json(snapshot))
     print(f"metrics -> {path}")
+
+
+@contextlib.contextmanager
+def _trace_session(args: argparse.Namespace):
+    """Install a tracer for this ingest run when ``--trace`` was given.
+
+    The tracer becomes the process-ambient one (so store/WAL spans find
+    it), writes ``spans-coordinator.jsonl`` under the trace directory,
+    and is closed — with the previous tracer restored — on the way out.
+    """
+    trace_dir = getattr(args, "trace", None)
+    if trace_dir is None:
+        yield None
+        return
+    tracer = Tracer(
+        exporters=[JsonlSpanExporter(trace_dir / "spans-coordinator.jsonl")],
+        sample_rate=args.trace_sample_rate,
+        slow_threshold_ms=args.trace_slow_ms,
+        process="coordinator",
+    )
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.close()
+        print(f"trace spans -> {trace_dir}")
 
 
 def _segment_total(store) -> int:
@@ -422,6 +528,9 @@ def _ingest_parallel(args: argparse.Namespace, cfg: dict) -> int:
             flush_bytes=args.flush_bytes,
             max_unsealed=args.max_unsealed,
             resume=args.resume,
+            trace_dir=args.trace,
+            trace_sample_rate=args.trace_sample_rate,
+            trace_slow_ms=args.trace_slow_ms,
             **cfg,
         ) as coordinator:
             for event_ids, timestamps in iter_record_batches(
@@ -445,7 +554,13 @@ def _ingest_parallel(args: argparse.Namespace, cfg: dict) -> int:
         f"-> {args.durable}"
     )
     if args.metrics_json is not None:
-        _write_metrics_json(args.metrics_json)
+        # Fleet-merged: the writers shipped their registry snapshots
+        # back on the final done acks, so the file covers their WAL and
+        # seal activity too, not just the coordinator process.
+        _write_metrics_json(
+            args.metrics_json,
+            global_snapshot=coordinator.fleet_metrics_snapshot(),
+        )
     return 0
 
 
@@ -457,7 +572,19 @@ def _ingest_durable(args: argparse.Namespace) -> int:
         if args.writers <= 0:
             print("error: --writers must be positive", file=sys.stderr)
             return 2
-        return _ingest_parallel(args, cfg)
+        with _trace_session(args):
+            with trace_span(
+                "ingest", mode="parallel", writers=args.writers
+            ):
+                return _ingest_parallel(args, cfg)
+    with _trace_session(args) as tracer:
+        with trace_span("ingest", mode="durable"):
+            return _ingest_durable_single(args, cfg, tracer)
+
+
+def _ingest_durable_single(
+    args: argparse.Namespace, cfg: dict, tracer=None
+) -> int:
     store = create_durable(
         args.durable,
         backend=args.backend,
@@ -468,6 +595,7 @@ def _ingest_durable(args: argparse.Namespace) -> int:
         background_seal=args.background_seal,
         max_unsealed=args.max_unsealed,
         resume=args.resume,
+        tracer=tracer,
         **cfg,
     )
     instrumented = (
@@ -759,6 +887,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.errors import InvalidParameterError
+
+    try:
+        spans = load_trace(args.trace, strict=args.strict)
+    except (OSError, InvalidParameterError) as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 2
+    if not spans:
+        print("(no spans recorded)")
+        return 0
+    if args.action == "summary":
+        print(render_summary(summarize_spans(spans)))
+        return 0
+    if args.perfetto is None:
+        print(
+            "error: trace export needs --perfetto OUT.json",
+            file=sys.stderr,
+        )
+        return 2
+    payload = json.dumps(perfetto_trace(spans), separators=(",", ":"))
+    args.perfetto.write_text(payload + "\n")
+    print(
+        f"{len(spans)} spans -> {args.perfetto} "
+        "(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     soccer = make_soccer_stream(total_mentions=args.mentions)
     if args.figure == "fig7":
@@ -821,10 +980,31 @@ _HANDLERS = {
     "query": _cmd_query,
     "inspect": _cmd_inspect,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "experiment": _cmd_experiment,
     "validate": _cmd_validate,
     "report": _cmd_report,
 }
+
+
+def _configure_logging(verbosity: int) -> logging.Handler | None:
+    """Attach a stderr handler to the ``repro`` logger for ``-v``.
+
+    The library itself only installs a :class:`logging.NullHandler`
+    (library etiquette: silent unless the application opts in); the CLI
+    *is* the application, so ``-v`` surfaces warnings and info and
+    ``-vv`` adds debug.  Returns the handler so tests can detach it.
+    """
+    if verbosity <= 0:
+        return None
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger = logging.getLogger("repro")
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
+    return handler
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -835,4 +1015,9 @@ def main(argv: list[str] | None = None) -> int:
     global_registry().reset()
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _HANDLERS[args.command](args)
+    handler = _configure_logging(args.verbose)
+    try:
+        return _HANDLERS[args.command](args)
+    finally:
+        if handler is not None:
+            logging.getLogger("repro").removeHandler(handler)

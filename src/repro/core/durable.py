@@ -74,6 +74,7 @@ from __future__ import annotations
 
 import io
 import json
+import logging
 import os
 import struct
 import threading
@@ -83,6 +84,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import tracing as _tracing
 from repro.core.errors import (
     InvalidParameterError,
     RecoveryError,
@@ -116,6 +118,8 @@ __all__ = [
     "recover",
 ]
 
+_logger = logging.getLogger("repro.core.durable")
+
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = 1
 DEFAULT_SEAL_ELEMENTS = 100_000
@@ -145,6 +149,12 @@ class _PendingSeal:
     elements: int
     wal_seqs: list[int] = field(default_factory=list)
     old_wal: WriteAheadLog | None = None
+    # Trace stitching: the freeze-time span context parents the seal
+    # thread's spans, and the freeze timestamps let the queue-wait
+    # (freeze → segment write start) be recorded retroactively.
+    trace_ctx: tuple | None = None
+    frozen_wall: float = 0.0
+    frozen_perf: float = 0.0
 
 
 class DurableBurstStore(_StoreBase):
@@ -176,11 +186,15 @@ class DurableBurstStore(_StoreBase):
         background_seal: bool = False,
         max_unsealed: int = DEFAULT_MAX_UNSEALED,
         resume: bool = False,
+        tracer=None,
         _segments=None,
         _memtable=None,
         **child_cfg,
     ) -> None:
         super().__init__()
+        # Runtime-only: never serialized, never in _config()/manifests
+        # (a Tracer holds locks and file handles and cannot pickle).
+        self._tracer = tracer
         if backend == "durable":
             raise InvalidParameterError("durable stores cannot nest")
         if int(seal_elements) <= 0:
@@ -289,6 +303,12 @@ class DurableBurstStore(_StoreBase):
             )
             self._seal_thread.start()
 
+    def _span(self, name: str, *, parent=None, **attrs):
+        """A tracing span on the store's tracer (or the process one)."""
+        return _tracing.span(
+            name, tracer=self._tracer, parent=parent, **attrs
+        )
+
     # -- directory lifecycle -------------------------------------------
     def _wal_path(self, seq: int) -> str:
         return os.path.join(self.directory, f"wal-{seq:08d}.log")
@@ -343,6 +363,10 @@ class DurableBurstStore(_StoreBase):
         return manifest
 
     def _recover_directory(self) -> None:
+        with self._span("durable.recover") as sp:
+            self._recover_directory_traced(sp)
+
+    def _recover_directory_traced(self, sp) -> None:
         manifest = self._read_manifest()
         self.child_backend = manifest["backend"]
         self.child_cfg = dict(manifest.get("child_cfg", {}))
@@ -393,6 +417,14 @@ class DurableBurstStore(_StoreBase):
                 # anything in later logs was acknowledged *after* these
                 # lost frames, and replaying it would break the
                 # prefix-oracle contract.
+                _logger.warning(
+                    "recovery truncation in %s: WAL seq %d is torn or "
+                    "missing; stopping replay at the recoverable prefix "
+                    "(%d records)",
+                    self.directory,
+                    seq,
+                    total_records,
+                )
                 break
         self._replayed_records.inc(total_records)
         self.replayed_records = total_records
@@ -415,9 +447,12 @@ class DurableBurstStore(_StoreBase):
                 ),
             )
         self._cleanup_stale_wals()
-        self._write_manifest()
+        with self._span("manifest.commit"):
+            self._write_manifest()
         self._recoveries_total.inc()
         self._segment_gauge.set(len(self._segments))
+        sp.set_attribute("replayed_records", total_records)
+        sp.set_attribute("segments", len(self._segments))
 
     def _cleanup_stale_wals(self) -> None:
         # Every log backing unsealed records (replayed seqs + active) is
@@ -529,6 +564,14 @@ class DurableBurstStore(_StoreBase):
                 f"timestamp {first} arrived after {self._t_end}"
             )
         total = int(ids.size)
+        with self._span("durable.apply_batch", records=total):
+            self._apply_batch_traced(
+                ids, ts, counts, total, log=log, allow_seal=allow_seal
+            )
+
+    def _apply_batch_traced(
+        self, ids, ts, counts, total, *, log, allow_seal
+    ) -> None:
         start = 0
         while start < total:
             if allow_seal and self._memtable_elements >= self.seal_elements:
@@ -606,11 +649,16 @@ class DurableBurstStore(_StoreBase):
             else:
                 name = f"segment-{self._next_segment:06d}.beds"
                 path = os.path.join(self.directory, name)
-                atomic_write_bytes(
-                    path,
-                    save_store(self._memtable),
-                    fsync=self.fsync_policy != "never",
-                )
+                with self._span(
+                    "seal.segment_write",
+                    segment=name,
+                    elements=self._memtable_elements,
+                ):
+                    atomic_write_bytes(
+                        path,
+                        save_store(self._memtable),
+                        fsync=self.fsync_policy != "never",
+                    )
                 new_seq = self._wal_seq + 1
                 new_wal = self._open_wal(new_seq, truncate=True)
                 old_wal = self._wal
@@ -620,7 +668,8 @@ class DurableBurstStore(_StoreBase):
                 self._segment_names.append(name)
                 self._wal, self._wal_seq = new_wal, new_seq
                 self._memtable_wal_seqs = [new_seq]
-                self._write_manifest()
+                with self._span("manifest.commit", segment=name):
+                    self._write_manifest()
                 if old_wal is not None:
                     old_wal.close()
                 for seq in old_seqs:
@@ -645,37 +694,54 @@ class DurableBurstStore(_StoreBase):
         """
         if len(self._pending) >= self.max_unsealed:
             self._backpressure_waits.inc()
-            blocked = time.perf_counter()
-            while (
-                len(self._pending) >= self.max_unsealed
-                and self._seal_error is None
+            with self._span(
+                "backpressure.wait", pending=len(self._pending)
             ):
-                self._seal_cv.wait()
-            self._backpressure_seconds.inc(time.perf_counter() - blocked)
+                blocked = time.perf_counter()
+                while (
+                    len(self._pending) >= self.max_unsealed
+                    and self._seal_error is None
+                ):
+                    self._seal_cv.wait()
+                self._backpressure_seconds.inc(
+                    time.perf_counter() - blocked
+                )
         self._raise_seal_error()
-        self._memtable.finalize()
-        name = f"segment-{self._next_segment:06d}.beds"
-        self._next_segment += 1
-        new_seq = self._wal_seq + 1
-        new_wal = self._open_wal(new_seq, truncate=True)
-        job = _PendingSeal(
-            name=name,
-            store=self._memtable,
-            elements=self._memtable_elements,
-            wal_seqs=list(self._memtable_wal_seqs),
-            old_wal=self._wal,
-        )
-        self._wal, self._wal_seq = new_wal, new_seq
-        self._memtable_wal_seqs = [new_seq]
-        self._pending.append(job)
-        self._memtable = create_store(self.child_backend, **self.child_cfg)
-        self._memtable_elements = 0
-        # The manifest now lists the frozen generation's logs in
-        # live_wals: a crash before the segment commit replays them.
-        # Fsync only under "always" — this is the append hot path, no
-        # WAL deletion depends on this write, and "batch"/"never"
-        # already accept a power-loss window for unsealed records.
-        self._write_manifest(durable=self.fsync_policy == "always")
+        with self._span(
+            "memtable.freeze", elements=self._memtable_elements
+        ):
+            self._memtable.finalize()
+            name = f"segment-{self._next_segment:06d}.beds"
+            self._next_segment += 1
+            new_seq = self._wal_seq + 1
+            new_wal = self._open_wal(new_seq, truncate=True)
+            job = _PendingSeal(
+                name=name,
+                store=self._memtable,
+                elements=self._memtable_elements,
+                wal_seqs=list(self._memtable_wal_seqs),
+                old_wal=self._wal,
+                trace_ctx=_tracing.current_context(),
+                frozen_wall=time.time(),
+                frozen_perf=time.perf_counter(),
+            )
+            self._wal, self._wal_seq = new_wal, new_seq
+            self._memtable_wal_seqs = [new_seq]
+            self._pending.append(job)
+            self._memtable = create_store(
+                self.child_backend, **self.child_cfg
+            )
+            self._memtable_elements = 0
+            # The manifest now lists the frozen generation's logs in
+            # live_wals: a crash before the segment commit replays them.
+            # Fsync only under "always" — this is the append hot path,
+            # no WAL deletion depends on this write, and "batch"/
+            # "never" already accept a power-loss window for unsealed
+            # records.
+            with self._span("manifest.commit", segment=name):
+                self._write_manifest(
+                    durable=self.fsync_policy == "always"
+                )
         self._version += 1
         self._update_seal_gauges_locked()
         self._seal_cv.notify_all()
@@ -691,6 +757,13 @@ class DurableBurstStore(_StoreBase):
             try:
                 self._complete_seal(job)
             except BaseException as exc:  # surface on the ingest path
+                _logger.warning(
+                    "background seal of %s failed in %s: %r (records "
+                    "remain WAL-backed; recover() the directory)",
+                    job.name,
+                    self.directory,
+                    exc,
+                )
                 with self._seal_cv:
                     self._seal_error = exc
                     self._seal_cv.notify_all()
@@ -703,24 +776,45 @@ class DurableBurstStore(_StoreBase):
         lock (the frozen memtable is immutable); only the commit that
         publishes the segment and retires the job's WALs takes it.
         """
+        # The seal thread has no ambient span context (ContextVars do
+        # not cross threads), so the freeze-time context captured in
+        # the job parents everything here — including the queue wait,
+        # which is recorded retroactively now that it is over.
+        _tracing.record_span(
+            "seal.queue_wait",
+            start=job.frozen_wall,
+            duration=time.perf_counter() - job.frozen_perf,
+            tracer=self._tracer,
+            parent=job.trace_ctx,
+            segment=job.name,
+        )
         with self._seal_seconds.time():
             path = os.path.join(self.directory, job.name)
-            atomic_write_bytes(
-                path,
-                save_store(job.store),
-                fsync=self.fsync_policy != "never",
-            )
-            segment = open_store(path, lazy=True)
-            with self._seal_cv:
-                self._segments.append(segment)
-                self._segment_names.append(job.name)
-                self._pending.pop(0)
-                self._write_manifest()
-                self._version += 1
-                self._seals_total.inc()
-                self._segment_gauge.set(len(self._segments))
-                self._update_seal_gauges_locked()
-                self._seal_cv.notify_all()
+            with self._span(
+                "seal.segment_write",
+                parent=job.trace_ctx,
+                segment=job.name,
+                elements=job.elements,
+            ):
+                atomic_write_bytes(
+                    path,
+                    save_store(job.store),
+                    fsync=self.fsync_policy != "never",
+                )
+                segment = open_store(path, lazy=True)
+            with self._span(
+                "manifest.commit", parent=job.trace_ctx, segment=job.name
+            ):
+                with self._seal_cv:
+                    self._segments.append(segment)
+                    self._segment_names.append(job.name)
+                    self._pending.pop(0)
+                    self._write_manifest()
+                    self._version += 1
+                    self._seals_total.inc()
+                    self._segment_gauge.set(len(self._segments))
+                    self._update_seal_gauges_locked()
+                    self._seal_cv.notify_all()
         if job.old_wal is not None:
             job.old_wal.close()
         for seq in job.wal_seqs:
@@ -847,10 +941,14 @@ class DurableBurstStore(_StoreBase):
             return view
 
     def point_query(self, event_id: int, t: float, tau: float) -> float:
-        return self._read_view().point_query(event_id, t, tau)
+        with self._span("query.point"):
+            return self._read_view().point_query(event_id, t, tau)
 
     def point_query_batch(self, event_ids, ts, tau: float) -> np.ndarray:
-        return self._read_view().point_query_batch(event_ids, ts, tau)
+        with self._span(
+            "query.point_batch", pairs=int(np.asarray(event_ids).size)
+        ):
+            return self._read_view().point_query_batch(event_ids, ts, tau)
 
     def bursty_time_query(
         self,
@@ -863,18 +961,23 @@ class DurableBurstStore(_StoreBase):
     ):
         if t_end is None and self._t_end != _NEG_INF:
             t_end = self._t_end + 2 * tau
-        return self._read_view().bursty_time_query(
-            event_id, theta, tau,
-            t_end=t_end, merge_gap=merge_gap, piecewise=piecewise,
-        )
+        with self._span("query.bursty_times"):
+            return self._read_view().bursty_time_query(
+                event_id, theta, tau,
+                t_end=t_end, merge_gap=merge_gap, piecewise=piecewise,
+            )
 
     def bursty_event_query(self, t: float, theta: float, tau: float):
-        return self._read_view().bursty_event_query(t, theta, tau)
+        with self._span("query.bursty_events"):
+            return self._read_view().bursty_event_query(t, theta, tau)
 
     def peak_query(
         self, event_id: int, t_start: float, t_end: float, tau: float
     ):
-        return self._read_view().peak_query(event_id, t_start, t_end, tau)
+        with self._span("query.peak"):
+            return self._read_view().peak_query(
+                event_id, t_start, t_end, tau
+            )
 
     def segment_starts(self, event_id: int) -> list[float]:
         return self._read_view().segment_starts(event_id)
@@ -1040,6 +1143,7 @@ def create_durable(
     background_seal: bool = False,
     max_unsealed: int = DEFAULT_MAX_UNSEALED,
     resume: bool = False,
+    tracer=None,
     **child_cfg,
 ):
     """Create (or resume) a durable store rooted at ``directory``.
@@ -1064,6 +1168,7 @@ def create_durable(
         flush_records=flush_records,
         background_seal=background_seal,
         max_unsealed=max_unsealed,
+        tracer=tracer,
         **child_cfg,
     )
     if int(shards) == 1:
@@ -1082,6 +1187,7 @@ def create_durable(
             flush_records=flush_records,
             background_seal=background_seal,
             max_unsealed=max_unsealed,
+            tracer=tracer,
         )
     os.makedirs(directory, exist_ok=True)
     manifest = {
@@ -1114,6 +1220,7 @@ def recover(
     background_seal: bool = False,
     max_unsealed: int = DEFAULT_MAX_UNSEALED,
     parallel: bool = True,
+    tracer=None,
 ):
     """Recover the durable store rooted at ``directory``.
 
@@ -1147,6 +1254,7 @@ def recover(
         flush_records=flush_records,
         background_seal=background_seal,
         max_unsealed=max_unsealed,
+        tracer=tracer,
     )
     if kind == "durable":
         return DurableBurstStore(directory, resume=True, **durable_kwargs)

@@ -28,9 +28,10 @@ instrument update is one lock acquisition and one float add.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.errors import InvalidParameterError
 
@@ -43,9 +44,27 @@ __all__ = [
     "global_registry",
     "LATENCY_BUCKETS_SECONDS",
     "BATCH_SIZE_BUCKETS",
+    "merge_snapshots",
     "render_snapshot",
     "prometheus_exposition",
+    "set_exemplar_provider",
 ]
+
+# Optional trace-id annotation on histogram observations.  The tracing
+# layer installs a provider returning the ambient trace id (or None);
+# keeping the dependency one-way (tracing -> metrics) avoids an import
+# cycle while letting every latency histogram carry a pointer to the
+# trace that produced its most recent observation.
+_EXEMPLAR_PROVIDER: Callable[[], str | None] | None = None
+
+
+def set_exemplar_provider(
+    provider: Callable[[], str | None] | None,
+) -> None:
+    """Install the callable histograms use to tag observations with a
+    trace id.  Called by :mod:`repro.core.tracing` at import time."""
+    global _EXEMPLAR_PROVIDER
+    _EXEMPLAR_PROVIDER = provider
 
 #: Default latency buckets (seconds) — decades from 1 microsecond to 10 s.
 LATENCY_BUCKETS_SECONDS: tuple[float, ...] = (
@@ -146,7 +165,7 @@ class Histogram:
 
     __slots__ = (
         "name", "help", "bounds", "_lock",
-        "_bucket_counts", "_count", "_sum", "_min", "_max",
+        "_bucket_counts", "_count", "_sum", "_min", "_max", "_exemplar",
     )
 
     def __init__(
@@ -172,10 +191,14 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._exemplar: dict | None = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
+        trace_id = (
+            _EXEMPLAR_PROVIDER() if _EXEMPLAR_PROVIDER is not None else None
+        )
         with self._lock:
             self._count += 1
             self._sum += value
@@ -186,6 +209,8 @@ class Histogram:
             for index, bound in enumerate(self.bounds):
                 if value <= bound:
                     self._bucket_counts[index] += 1
+            if trace_id is not None:
+                self._exemplar = {"trace_id": trace_id, "value": value}
 
     def time(self) -> _Timer:
         """A context manager that observes its elapsed seconds."""
@@ -206,10 +231,11 @@ class Histogram:
             self._sum = 0.0
             self._min = float("inf")
             self._max = float("-inf")
+            self._exemplar = None
 
     def _snapshot(self) -> dict:
         with self._lock:
-            return {
+            snapshot = {
                 "help": self.help,
                 "count": self._count,
                 "sum": self._sum,
@@ -222,6 +248,11 @@ class Histogram:
                     )
                 ],
             }
+            # Only present when tracing tagged an observation, so
+            # untraced runs keep the historical snapshot schema.
+            if self._exemplar is not None:
+                snapshot["exemplar"] = dict(self._exemplar)
+            return snapshot
 
 
 class MetricsRegistry:
@@ -328,6 +359,80 @@ def global_registry() -> MetricsRegistry:
 
 
 # ----------------------------------------------------------------------
+# Fleet-wide aggregation (coordinator + writer-process snapshots)
+# ----------------------------------------------------------------------
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge registry snapshots into one fleet-wide view.
+
+    Pure function over snapshot dicts (no registry is mutated): counter
+    and gauge values sum, histograms merge count/sum and per-``le``
+    bucket counts and take min-of-mins / max-of-maxes.  Used to fold
+    the per-writer-process snapshots shipped back over the ack queue
+    into the coordinator's own registry snapshot, so ``repro stats``
+    and ``--metrics-json`` report whole-fleet numbers.  Gauges are
+    summed because every multi-process gauge here is a per-shard level
+    (queue depth, seal lag, live segments) whose fleet meaning is the
+    total.
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for section in ("counters", "gauges"):
+            for name, data in snapshot.get(section, {}).items():
+                slot = merged[section].get(name)
+                if slot is None:
+                    merged[section][name] = {
+                        "value": float(data["value"]),
+                        "help": data.get("help", ""),
+                    }
+                else:
+                    slot["value"] += float(data["value"])
+                    if not slot["help"] and data.get("help"):
+                        slot["help"] = data["help"]
+        for name, data in snapshot.get("histograms", {}).items():
+            slot = merged["histograms"].get(name)
+            if slot is None:
+                slot = {
+                    "help": data.get("help", ""),
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": None,
+                    "max": None,
+                    "buckets": [
+                        [float(bound), 0] for bound, _ in data["buckets"]
+                    ],
+                }
+                merged["histograms"][name] = slot
+            if not slot["help"] and data.get("help"):
+                slot["help"] = data["help"]
+            slot["count"] += int(data["count"])
+            slot["sum"] += float(data["sum"])
+            for minmax, pick in (("min", min), ("max", max)):
+                value = data.get(minmax)
+                if value is not None:
+                    slot[minmax] = (
+                        value
+                        if slot[minmax] is None
+                        else pick(slot[minmax], value)
+                    )
+            own = {bound: count for bound, count in slot["buckets"]}
+            for bound, count in data["buckets"]:
+                bound = float(bound)
+                own[bound] = own.get(bound, 0) + int(count)
+            slot["buckets"] = [
+                [bound, own[bound]] for bound in sorted(own)
+            ]
+            if data.get("exemplar") is not None:
+                slot["exemplar"] = dict(data["exemplar"])
+    return {
+        "counters": dict(sorted(merged["counters"].items())),
+        "gauges": dict(sorted(merged["gauges"].items())),
+        "histograms": dict(sorted(merged["histograms"].items())),
+    }
+
+
+# ----------------------------------------------------------------------
 # Snapshot rendering (shared by the registry and the `repro stats` CLI)
 # ----------------------------------------------------------------------
 def _format_value(value: float) -> str:
@@ -371,8 +476,36 @@ def render_snapshot(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+_PROM_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
 def _prometheus_name(name: str) -> str:
+    """Map a registry name onto a spec-valid Prometheus metric name.
+
+    The exposition-format grammar is ``[a-zA-Z_:][a-zA-Z0-9_:]*`` —
+    every other character becomes ``_``, and a leading digit gets a
+    ``_`` prefix before the ``repro_`` namespace is applied.
+    """
+    name = _PROM_INVALID_CHARS.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
     return "repro_" + name if not name.startswith("repro_") else name
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the text-format spec
+    (backslash and line-feed only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Escape a label value per the text-format spec (backslash,
+    double-quote, line-feed)."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def prometheus_exposition(snapshot: dict) -> str:
@@ -384,7 +517,7 @@ def prometheus_exposition(snapshot: dict) -> str:
             data = section[name]
             full = _prometheus_name(name)
             if data.get("help"):
-                lines.append(f"# HELP {full} {data['help']}")
+                lines.append(f"# HELP {full} {_escape_help(data['help'])}")
             lines.append(f"# TYPE {full} {kind}")
             lines.append(f"{full} {_format_value(data['value'])}")
 
@@ -394,12 +527,11 @@ def prometheus_exposition(snapshot: dict) -> str:
         data = snapshot["histograms"][name]
         full = _prometheus_name(name)
         if data.get("help"):
-            lines.append(f"# HELP {full} {data['help']}")
+            lines.append(f"# HELP {full} {_escape_help(data['help'])}")
         lines.append(f"# TYPE {full} histogram")
         for bound, count in data["buckets"]:
-            lines.append(
-                f'{full}_bucket{{le="{_format_value(bound)}"}} {count}'
-            )
+            le = _escape_label_value(_format_value(bound))
+            lines.append(f'{full}_bucket{{le="{le}"}} {count}')
         lines.append(f'{full}_bucket{{le="+Inf"}} {data["count"]}')
         lines.append(f"{full}_sum {_format_value(data['sum'])}")
         lines.append(f"{full}_count {data['count']}")

@@ -38,14 +38,16 @@ subdirectories — so :func:`~repro.core.durable.recover` (and the
 
 Queue protocol (one work queue per writer, one shared ack queue)::
 
-    coordinator -> writer   ("batch", batch_id, ids, ts, counts|None)
-                            ("flush", flush_id)
+    coordinator -> writer   ("batch", batch_id, ids, ts, counts|None,
+                             trace_ctx|None)
+                            ("flush", flush_id, trace_ctx|None)
                             None                      # stop sentinel
     writer -> coordinator   ("ack", writer_id, batch_id, applied, stats)
                             ("flushed", writer_id, flush_id, applied,
-                             stats)
+                             stats, metrics_snapshot)
                             ("error", writer_id, etype, traceback)
-                            ("done", writer_id, applied, stats)
+                            ("done", writer_id, applied, stats,
+                             metrics_snapshot)
 
 ``applied`` is cumulative per writer; ``stats`` is
 ``(seal_queue_depth, seal_lag_elements, busy_seconds)`` — the writer's
@@ -53,6 +55,22 @@ seal queue, its lag, and its cumulative time spent applying batches
 and flushing (I/O waits included) — so the coordinator can surface
 fleet-wide gauges and ingest-concurrency numbers without touching the
 shard directories.
+
+Two cross-process observability channels ride the protocol:
+
+* ``trace_ctx`` is a ``(trace_id, span_id)`` pair captured inside the
+  coordinator's per-batch span (see :mod:`repro.core.tracing`): the
+  writer parents its ``writer.apply_batch`` span on it, stitching one
+  ingest trace across the coordinator and all writer processes.  Each
+  writer appends spans to its own ``spans-writer-NNN.jsonl`` in the
+  trace directory (one flushed line per span), so a SIGKILL'd writer
+  loses at most the line in flight.
+* ``metrics_snapshot`` is the writer's
+  :func:`~repro.core.metrics.global_registry` snapshot, shipped on
+  flush/done — writer-process WAL/durable instruments are otherwise
+  invisible to the coordinator.  :meth:`ParallelIngestCoordinator.
+  fleet_metrics_snapshot` folds them into whole-fleet numbers with
+  :func:`~repro.core.metrics.merge_snapshots`.
 """
 
 from __future__ import annotations
@@ -78,9 +96,16 @@ from repro.core.errors import (
     StreamOrderError,
     WriterProcessError,
 )
-from repro.core.metrics import global_registry
+from repro.core.metrics import global_registry, merge_snapshots
 from repro.core.serialize import atomic_write_bytes
 from repro.core.store import _FIB_MIX
+from repro.core.tracing import (
+    JsonlSpanExporter,
+    Tracer,
+    current_context,
+    set_tracer,
+    span as _trace_span,
+)
 from repro.core.wal import _require_policy
 
 __all__ = [
@@ -112,10 +137,37 @@ def _shard_routes(ids: np.ndarray, n_shards: int) -> np.ndarray:
     return (mixed % np.uint64(n_shards)).astype(np.int64)
 
 
+def _writer_tracer(trace_cfg: dict | None, writer_id: int):
+    """Build this writer's own tracer from the picklable trace config.
+
+    Tracer objects hold locks and file handles, so they never cross the
+    process boundary — each writer constructs one from the config dict
+    and installs it process-wide, which is what routes the store-level
+    WAL/seal instrumentation into ``spans-writer-NNN.jsonl``.
+    """
+    if not trace_cfg:
+        return None
+    tracer = Tracer(
+        exporters=[
+            JsonlSpanExporter(
+                os.path.join(
+                    trace_cfg["dir"], f"spans-writer-{writer_id:03d}.jsonl"
+                )
+            )
+        ],
+        sample_rate=float(trace_cfg.get("sample_rate", 1.0)),
+        slow_threshold_ms=trace_cfg.get("slow_ms"),
+        process=f"writer-{writer_id}",
+    )
+    set_tracer(tracer)
+    return tracer
+
+
 def _writer_main(
     shard_dir: str,
     writer_id: int,
     store_cfg: dict,
+    trace_cfg: dict | None,
     work_queue,
     ack_queue,
 ) -> None:
@@ -133,9 +185,18 @@ def _writer_main(
     failed = False
     unacked = 0
     busy = 0.0
+    tracer = None
+    last_ctx = None
     try:
+        tracer = _writer_tracer(trace_cfg, writer_id)
         resume = os.path.exists(os.path.join(shard_dir, MANIFEST_NAME))
-        store = DurableBurstStore(shard_dir, resume=resume, **store_cfg)
+        # Startup predates any dispatched work, so this is its own
+        # (per-writer) root trace: it covers the fresh-WAL header fsync
+        # or, on resume, the shard's recovery replay.
+        with _trace_span("writer.open", writer=writer_id, resume=resume):
+            store = DurableBurstStore(
+                shard_dir, resume=resume, **store_cfg
+            )
         applied = int(store.count)
         while True:
             message = work_queue.get()
@@ -146,9 +207,16 @@ def _writer_main(
                 continue
             try:
                 if kind == "batch":
-                    _kind, batch_id, ids, ts, counts = message
+                    _kind, batch_id, ids, ts, counts, ctx = message
+                    last_ctx = ctx or last_ctx
                     begin = time.perf_counter()
-                    store.extend_batch(ids, ts, counts)
+                    with _trace_span(
+                        "writer.apply_batch",
+                        parent=ctx,
+                        writer=writer_id,
+                        records=int(ids.size),
+                    ):
+                        store.extend_batch(ids, ts, counts)
                     busy += time.perf_counter() - begin
                     applied += int(
                         ids.size if counts is None else counts.sum()
@@ -174,8 +242,14 @@ def _writer_main(
                         )
                 elif kind == "flush":
                     unacked = 0
+                    last_ctx = message[2] or last_ctx
                     begin = time.perf_counter()
-                    store.flush()
+                    with _trace_span(
+                        "writer.flush",
+                        parent=message[2],
+                        writer=writer_id,
+                    ):
+                        store.flush()
                     busy += time.perf_counter() - begin
                     ack_queue.put(
                         (
@@ -188,6 +262,7 @@ def _writer_main(
                                 store.seal_lag_elements,
                                 busy,
                             ),
+                            global_registry().snapshot(),
                         )
                     )
             except BaseException as exc:  # report, then drain-only
@@ -221,11 +296,27 @@ def _writer_main(
                     store.seal_lag_elements,
                     busy,
                 )
-                store.close()
+                # Close before snapshotting so the final seals/fsyncs
+                # are in the shipped fleet metrics.  Parent the
+                # shutdown on the last dispatched context so its WAL
+                # fsyncs join the ingest trace instead of becoming
+                # orphan root traces.
+                with _trace_span(
+                    "writer.close", parent=last_ctx, writer=writer_id
+                ):
+                    store.close()
+            except Exception:
+                pass
+        if tracer is not None:
+            try:
+                tracer.close()
             except Exception:
                 pass
         try:
-            ack_queue.put(("done", writer_id, applied, stats))
+            ack_queue.put(
+                ("done", writer_id, applied, stats,
+                 global_registry().snapshot())
+            )
         except Exception:
             pass
 
@@ -263,6 +354,9 @@ class ParallelIngestCoordinator:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         resume: bool = False,
         start_method: str = "spawn",
+        trace_dir=None,
+        trace_sample_rate: float = 1.0,
+        trace_slow_ms: float | None = None,
         **child_cfg,
     ) -> None:
         if int(writers) <= 0:
@@ -288,6 +382,19 @@ class ParallelIngestCoordinator:
         self._writer_stats: list[tuple[int, int, float]] = [
             (0, 0, 0.0)
         ] * self.n_writers
+        self._writer_snapshots: dict[int, dict] = {}
+        # Tracers are not picklable (locks, file handles); writers each
+        # build their own from this plain-dict config.  The coordinator
+        # side traces through the ambient tracer (see repro.cli).
+        self._trace_cfg = (
+            None
+            if trace_dir is None
+            else {
+                "dir": os.fspath(trace_dir),
+                "sample_rate": float(trace_sample_rate),
+                "slow_ms": trace_slow_ms,
+            }
+        )
         self._failure: WriterProcessError | None = None
         self._failure_is_order = False
         self._failure_raised = False
@@ -345,6 +452,7 @@ class ParallelIngestCoordinator:
                     ),
                     writer_id,
                     store_cfg,
+                    self._trace_cfg,
                     self._work_queues[writer_id],
                     self._ack_queue,
                 ),
@@ -454,25 +562,40 @@ class ParallelIngestCoordinator:
         ids = ids.astype(np.int64, copy=False)
         self._drain_acks(block=False)
         self._raise_failure()
-        routes = _shard_routes(ids, self.n_writers)
-        for writer_id in range(self.n_writers):
-            mask = routes == writer_id
-            if not bool(mask.any()):
-                continue
-            sub_ids = ids[mask]
-            sub_ts = ts[mask]
-            sub_counts = None if counts is None else counts[mask]
-            n_records = int(
-                sub_ids.size if sub_counts is None else sub_counts.sum()
-            )
-            self._batch_seq += 1
-            self._put(
-                writer_id,
-                ("batch", self._batch_seq, sub_ids, sub_ts, sub_counts),
-            )
-            self._sent[writer_id] += n_records
-            self._batches_total.inc()
-            self._records_total.inc(n_records)
+        with _trace_span(
+            "coordinator.extend_batch", records=int(ids.size)
+        ):
+            # Capture inside the span so writer-side spans parent on
+            # this dispatch, stitching one tree across processes.
+            trace_ctx = current_context()
+            routes = _shard_routes(ids, self.n_writers)
+            for writer_id in range(self.n_writers):
+                mask = routes == writer_id
+                if not bool(mask.any()):
+                    continue
+                sub_ids = ids[mask]
+                sub_ts = ts[mask]
+                sub_counts = None if counts is None else counts[mask]
+                n_records = int(
+                    sub_ids.size
+                    if sub_counts is None
+                    else sub_counts.sum()
+                )
+                self._batch_seq += 1
+                self._put(
+                    writer_id,
+                    (
+                        "batch",
+                        self._batch_seq,
+                        sub_ids,
+                        sub_ts,
+                        sub_counts,
+                        trace_ctx,
+                    ),
+                )
+                self._sent[writer_id] += n_records
+                self._batches_total.inc()
+                self._records_total.inc(n_records)
         self._t_end = max(self._t_end, float(ts[-1]))
 
     def _put(self, writer_id: int, message) -> None:
@@ -491,18 +614,20 @@ class ParallelIngestCoordinator:
             pass
         start = time.perf_counter()
         try:
-            while True:
-                try:
-                    queue.put(message, timeout=0.5)
-                    return
-                except queue_module.Full:
-                    self._drain_acks(block=False)
-                    self._raise_failure()
-                    if not self._processes[writer_id].is_alive():
-                        raise WriterProcessError(
-                            writer_id,
-                            "writer process died with its queue full",
-                        )
+            with _trace_span("backpressure.wait", writer=writer_id):
+                while True:
+                    try:
+                        queue.put(message, timeout=0.5)
+                        return
+                    except queue_module.Full:
+                        self._drain_acks(block=False)
+                        self._raise_failure()
+                        if not self._processes[writer_id].is_alive():
+                            raise WriterProcessError(
+                                writer_id,
+                                "writer process died with its queue "
+                                "full",
+                            )
         finally:
             self._backpressure_seconds.inc(time.perf_counter() - start)
 
@@ -514,28 +639,30 @@ class ParallelIngestCoordinator:
         self._raise_failure()
         self._flush_seq += 1
         flush_id = self._flush_seq
-        pending = set()
-        for writer_id in range(self.n_writers):
-            self._put(writer_id, ("flush", flush_id))
-            pending.add(writer_id)
-        while pending:
-            try:
-                message = self._ack_queue.get(timeout=0.5)
-            except queue_module.Empty:
-                for writer_id in list(pending):
-                    if not self._processes[writer_id].is_alive():
-                        raise WriterProcessError(
-                            writer_id,
-                            "writer process died before flush ack",
-                        )
-                continue
-            self._handle_ack(message)
-            if (
-                message[0] == "flushed"
-                and message[2] == flush_id
-            ):
-                pending.discard(message[1])
-            self._raise_failure()
+        with _trace_span("coordinator.flush"):
+            trace_ctx = current_context()
+            pending = set()
+            for writer_id in range(self.n_writers):
+                self._put(writer_id, ("flush", flush_id, trace_ctx))
+                pending.add(writer_id)
+            while pending:
+                try:
+                    message = self._ack_queue.get(timeout=0.5)
+                except queue_module.Empty:
+                    for writer_id in list(pending):
+                        if not self._processes[writer_id].is_alive():
+                            raise WriterProcessError(
+                                writer_id,
+                                "writer process died before flush ack",
+                            )
+                    continue
+                self._handle_ack(message)
+                if (
+                    message[0] == "flushed"
+                    and message[2] == flush_id
+                ):
+                    pending.discard(message[1])
+                self._raise_failure()
         return self.acked_records
 
     # -- acknowledgement tracking --------------------------------------
@@ -563,20 +690,22 @@ class ParallelIngestCoordinator:
             self._writer_stats[writer_id] = stats
             self._update_gauges()
         elif kind == "flushed":
-            _, writer_id, _flush_id, applied, stats = message
+            _, writer_id, _flush_id, applied, stats, snapshot = message
             gained = applied - self._acked[writer_id]
             if gained > 0:
                 self._acked_records.inc(gained)
             self._acked[writer_id] = applied
             self._writer_stats[writer_id] = stats
+            self._writer_snapshots[writer_id] = snapshot
             self._update_gauges()
         elif kind == "done":
-            _, writer_id, applied, stats = message
+            _, writer_id, applied, stats, snapshot = message
             gained = applied - self._acked[writer_id]
             if gained > 0:
                 self._acked_records.inc(gained)
             self._acked[writer_id] = applied
             self._writer_stats[writer_id] = stats
+            self._writer_snapshots[writer_id] = snapshot
             self._done[writer_id] = True
             self._update_gauges()
         elif kind == "error":
@@ -628,6 +757,33 @@ class ParallelIngestCoordinator:
     def seal_lag_elements(self) -> int:
         """Total unsealed frozen elements, from the latest acks."""
         return sum(stats[1] for stats in self._writer_stats)
+
+    def writer_metrics_snapshots(self) -> dict[int, dict]:
+        """Latest per-writer metrics snapshot, keyed by writer id.
+
+        Writers ship a full registry snapshot on every ``flushed`` and
+        ``done`` ack, so after a :meth:`flush` (or :meth:`close`) this
+        covers every writer; between flushes it may lag or miss writers
+        that have not flushed yet.  Returns a shallow copy.
+        """
+        return dict(self._writer_snapshots)
+
+    def fleet_metrics_snapshot(self) -> dict:
+        """Coordinator + writer metrics merged into one snapshot.
+
+        Counters and gauges sum; histograms merge bucket-wise (see
+        :func:`~repro.core.metrics.merge_snapshots`).  This is what
+        ``repro stats`` / ``--metrics-json`` report for parallel
+        ingest, so WAL and seal activity inside writer processes is
+        visible instead of silently dropped.
+        """
+        return merge_snapshots(
+            global_registry().snapshot(),
+            *(
+                self._writer_snapshots[key]
+                for key in sorted(self._writer_snapshots)
+            ),
+        )
 
     def writer_busy_seconds(self) -> list[float]:
         """Cumulative apply/flush time per writer, from the latest acks.

@@ -53,6 +53,7 @@ from repro.core.errors import (
 )
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2, LineSegment
+from repro.core.tracing import span as _trace_span
 
 __all__ = [
     "ENVELOPE_MAGIC",
@@ -161,12 +162,13 @@ class LazyPBE1(PBE1):
         return xs, ys
 
     def _hydrate(self) -> None:
-        xs, ys = self._lazy_arrays()
-        self._lazy_stats.lazy_reads -= 1  # this read becomes a hydration
-        self._lazy_blob = None
-        self.__dict__["_kept_xs"] = xs.astype(np.float64).tolist()
-        self.__dict__["_kept_ys"] = ys.astype(np.float64).tolist()
-        self._lazy_stats.hydrations += 1
+        with _trace_span("lazy.hydrate", kind="pbe1", n=self._lazy_n):
+            xs, ys = self._lazy_arrays()
+            self._lazy_stats.lazy_reads -= 1  # read becomes a hydration
+            self._lazy_blob = None
+            self.__dict__["_kept_xs"] = xs.astype(np.float64).tolist()
+            self.__dict__["_kept_ys"] = ys.astype(np.float64).tolist()
+            self._lazy_stats.hydrations += 1
 
     @property
     def _kept_xs(self) -> list[float]:
@@ -249,16 +251,19 @@ class LazyPBE2(PBE2):
         return rows
 
     def _hydrate(self) -> None:
-        rows = self._lazy_segment_rows()
-        self._lazy_stats.lazy_reads -= 1  # this read becomes a hydration
-        self._lazy_blob = None
-        segments = [
-            LineSegment(a, b, t_start, t_end)
-            for a, b, t_start, t_end in rows
-        ]
-        self.__dict__["_segments"] = segments
-        self.__dict__["_segment_starts"] = [s.t_start for s in segments]
-        self._lazy_stats.hydrations += 1
+        with _trace_span("lazy.hydrate", kind="pbe2", n=self._lazy_n):
+            rows = self._lazy_segment_rows()
+            self._lazy_stats.lazy_reads -= 1  # read becomes a hydration
+            self._lazy_blob = None
+            segments = [
+                LineSegment(a, b, t_start, t_end)
+                for a, b, t_start, t_end in rows
+            ]
+            self.__dict__["_segments"] = segments
+            self.__dict__["_segment_starts"] = [
+                s.t_start for s in segments
+            ]
+            self._lazy_stats.hydrations += 1
 
     @property
     def _segments(self) -> list[LineSegment]:

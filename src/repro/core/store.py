@@ -58,6 +58,8 @@ from repro.core.errors import (
 )
 from repro.core.metrics import InstrumentedStore, global_registry
 from repro.core.parallel import merge_pbe1, merge_pbe2
+from repro.core.tracing import set_tracer as _set_tracer
+from repro.core.tracing import span as _trace_span
 from repro.core.pbe1 import PBE1
 from repro.core.pbe2 import PBE2
 from repro.core.queries import (
@@ -185,13 +187,21 @@ def _backend(key: str) -> BackendInfo:
         ) from None
 
 
-def create_store(backend: str, /, **cfg) -> BurstStore:
+def create_store(backend: str, /, *, tracer=None, **cfg) -> BurstStore:
     """Build a store from its registry key, e.g. ``create_store("cm-pbe-1",
     eta=100, width=16, depth=5)``.
 
     The key is positional-only so a ``backend=...`` kwarg can configure a
     composite (the sharded store's child backend) without clashing.
+
+    ``tracer`` installs a :class:`repro.core.tracing.Tracer` as the
+    process-ambient tracer before the store is built, so every span the
+    store (and the WAL/seal machinery under it) emits is exported there;
+    the ``REPRO_TRACE`` environment variable is the zero-code
+    equivalent.
     """
+    if tracer is not None:
+        _set_tracer(tracer)
     return _backend(backend).factory(**cfg)
 
 
@@ -1340,30 +1350,36 @@ class ShardedBurstStore(_StoreBase):
         groups = list(_iter_groups(self._shards_of(ids)))
         self._point_batches_total.inc()
         self._fanout_groups.observe(len(groups))
-        if len(groups) == 1:
-            shard_index, order = groups[0]
-            out[order] = self._timed(
-                self.shards[shard_index].point_query_batch,
-                ids[order], times[order], tau,
-            )
-            return out
-        pool = self._executor()
-        futures = [
-            (
-                order,
-                pool.submit(
-                    self._timed,
+        with _trace_span(
+            "sharded.fanout",
+            op="point_batch",
+            shards=len(groups),
+            pairs=int(ids.size),
+        ):
+            if len(groups) == 1:
+                shard_index, order = groups[0]
+                out[order] = self._timed(
                     self.shards[shard_index].point_query_batch,
-                    ids[order],
-                    times[order],
-                    tau,
-                ),
-            )
-            for shard_index, order in groups
-        ]
-        for order, future in futures:
-            out[order] = future.result()
-        return out
+                    ids[order], times[order], tau,
+                )
+                return out
+            pool = self._executor()
+            futures = [
+                (
+                    order,
+                    pool.submit(
+                        self._timed,
+                        self.shards[shard_index].point_query_batch,
+                        ids[order],
+                        times[order],
+                        tau,
+                    ),
+                )
+                for shard_index, order in groups
+            ]
+            for order, future in futures:
+                out[order] = future.result()
+            return out
 
     def bursty_time_query(
         self,
@@ -1392,20 +1408,25 @@ class ShardedBurstStore(_StoreBase):
         """
         self._event_queries_total.inc()
         self._fanout_groups.observe(self.n_shards)
-        if self.n_shards == 1:
-            shard_hits = [
-                self._timed(self.shards[0].bursty_event_query, t, theta, tau)
-            ]
-        else:
-            pool = self._executor()
-            shard_hits = list(
-                pool.map(
-                    lambda shard: self._timed(
-                        shard.bursty_event_query, t, theta, tau
-                    ),
-                    self.shards,
+        with _trace_span(
+            "sharded.fanout", op="bursty_events", shards=self.n_shards
+        ):
+            if self.n_shards == 1:
+                shard_hits = [
+                    self._timed(
+                        self.shards[0].bursty_event_query, t, theta, tau
+                    )
+                ]
+            else:
+                pool = self._executor()
+                shard_hits = list(
+                    pool.map(
+                        lambda shard: self._timed(
+                            shard.bursty_event_query, t, theta, tau
+                        ),
+                        self.shards,
+                    )
                 )
-            )
         hits = [
             hit
             for index, per_shard in enumerate(shard_hits)

@@ -47,6 +47,7 @@ fsync policies (the durability/throughput dial):
 from __future__ import annotations
 
 import io
+import logging
 import os
 import struct
 import zlib
@@ -56,6 +57,9 @@ import numpy as np
 
 from repro.core.errors import InvalidParameterError
 from repro.core.metrics import global_registry
+from repro.core.tracing import span as _trace_span
+
+_logger = logging.getLogger("repro.core.wal")
 
 __all__ = [
     "DEFAULT_FLUSH_BYTES",
@@ -201,20 +205,23 @@ class WriteAheadLog:
         frame = (
             _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         )
-        self._handle.write(frame)
-        self._size += len(frame)
-        self._frames_total.inc()
-        self._bytes_total.inc(len(frame))
-        if self.fsync_policy == "always":
-            self._sync()
-        elif self.fsync_policy == "batch":
-            self._unsynced_bytes += len(frame)
-            self._unsynced_records += int(ids.size)
-            if self._unsynced_bytes >= self.flush_bytes or (
-                self.flush_records is not None
-                and self._unsynced_records >= self.flush_records
-            ):
+        with _trace_span(
+            "wal.append", records=int(ids.size), bytes=len(frame)
+        ):
+            self._handle.write(frame)
+            self._size += len(frame)
+            self._frames_total.inc()
+            self._bytes_total.inc(len(frame))
+            if self.fsync_policy == "always":
                 self._sync()
+            elif self.fsync_policy == "batch":
+                self._unsynced_bytes += len(frame)
+                self._unsynced_records += int(ids.size)
+                if self._unsynced_bytes >= self.flush_bytes or (
+                    self.flush_records is not None
+                    and self._unsynced_records >= self.flush_records
+                ):
+                    self._sync()
         return self._size
 
     def append_record(
@@ -238,7 +245,8 @@ class WriteAheadLog:
         self._sync()
 
     def _sync(self) -> None:
-        os.fsync(self._handle.fileno())
+        with _trace_span("wal.fsync"):
+            os.fsync(self._handle.fileno())
         self._fsyncs_total.inc()
         self._unsynced_bytes = 0
         self._unsynced_records = 0
@@ -308,6 +316,24 @@ def replay_wal(path) -> WalReplay:
     with the wrong magic, is *corruption of sealed state* and raises —
     unlike a torn tail, that can silently lose acknowledged frames.
     """
+    with _trace_span("wal.replay") as sp:
+        result = _replay_wal(path)
+        sp.set_attribute("frames", result.frames)
+        sp.set_attribute("records", result.records)
+        sp.set_attribute("torn", result.torn)
+    if result.torn:
+        _logger.warning(
+            "torn WAL tail in %s: replayed %d frames (%d records), "
+            "discarding bytes past offset %d",
+            path,
+            result.frames,
+            result.records,
+            result.good_offset,
+        )
+    return result
+
+
+def _replay_wal(path) -> WalReplay:
     metrics = global_registry()
     replay_frames = metrics.counter(
         "wal_replay_frames_total", "frames replayed from WALs"

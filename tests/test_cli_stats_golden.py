@@ -89,6 +89,12 @@ _SECONDS_SUMS = re.compile(
 #: non-comment lines so Prometheus ``# HELP``/``# TYPE`` text survives.
 _SECONDS_TOTALS = re.compile(r"(_seconds_total )\S+$")
 
+#: Per-``le`` bucket counts of a ``*_seconds`` histogram: which bucket
+#: an observation lands in is wall time, so only the bucket *set* is
+#: golden-stable (the fleet-merged parallel snapshot ships the writers'
+#: seal-latency histograms into the Prometheus step).
+_SECONDS_BUCKETS = re.compile(r'(_seconds_bucket\{le="[^"]+"\} )\S+$')
+
 
 def _normalize_times(text: str) -> str:
     text = _SECONDS_SUMS.sub(
@@ -96,7 +102,9 @@ def _normalize_times(text: str) -> str:
     )
     lines = [
         line if line.startswith("#")
-        else _SECONDS_TOTALS.sub(r"\g<1><T>", line)
+        else _SECONDS_BUCKETS.sub(
+            r"\g<1><T>", _SECONDS_TOTALS.sub(r"\g<1><T>", line)
+        )
         for line in text.split("\n")
     ]
     return "\n".join(lines)
@@ -189,6 +197,15 @@ def test_metrics_json_reports_nonzero_serving_counters(tmp_path, capsys):
     assert "parallel_seal_lag_elements" in gauges
     assert "parallel_backpressure_seconds_total" in counters
     assert counters["parallel_ingest_acked_records_total"]["value"] > 0
+    # Fleet merge: WAL/seal activity happens in the writer processes,
+    # so these only appear because the writers shipped their registry
+    # snapshots back over the ack queue.
+    assert counters["wal_append_frames_total"]["value"] > 0
+    assert counters["wal_append_bytes_total"]["value"] > 0
+    assert counters["wal_fsyncs_total"]["value"] > 0
+    assert counters["parallel_ingest_records_total"]["value"] == counters[
+        "parallel_ingest_acked_records_total"
+    ]["value"]
 
 
 def _regenerate() -> None:

@@ -6,6 +6,8 @@ the stream readers."""
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,7 @@ from repro.core.metrics import (
     InstrumentedStore,
     MetricsRegistry,
     global_registry,
+    merge_snapshots,
     prometheus_exposition,
     render_snapshot,
 )
@@ -411,3 +414,136 @@ class TestAnalyzerAndValidationSnapshots:
         assert store_counters["store_point_queries_total"]["value"] > 0
         payload = json.loads(report.to_json())
         assert payload["metrics"]["store"] is not None
+
+
+class TestPrometheusConformance:
+    """The exposition must satisfy the Prometheus text-format spec:
+    metric names in ``[a-zA-Z_:][a-zA-Z0-9_:]*``, escaped HELP text and
+    label values, cumulative ``_bucket`` series capped by ``+Inf``, and
+    ``# HELP`` preceding ``# TYPE`` preceding the samples."""
+
+    _NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+    def _parse(self, text: str):
+        """Split exposition lines into (comments, samples) with a
+        light-weight sample parser: name{labels} value."""
+        samples = []
+        comments = []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                comments.append(line)
+                continue
+            assert line == line.rstrip(), "no trailing whitespace"
+            metric, _, value = line.rpartition(" ")
+            name, _, labels = metric.partition("{")
+            samples.append((name, labels.rstrip("}"), value))
+        return comments, samples
+
+    def test_sample_names_match_the_grammar(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-with spaces", "x").inc()
+        registry.counter("0starts_with_digit", "x").inc()
+        registry.histogram("lat_seconds", buckets=(0.5,)).observe(0.1)
+        comments, samples = self._parse(
+            prometheus_exposition(registry.snapshot())
+        )
+        assert samples, "exposition produced no samples"
+        for name, _labels, _value in samples:
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+            assert self._NAME.match(name), name
+            assert self._NAME.match(base), base
+
+    def test_help_and_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "escaped_total", 'line\nbreak and back\\slash and "quote"'
+        ).inc()
+        text = prometheus_exposition(registry.snapshot())
+        assert (
+            '# HELP repro_escaped_total line\\nbreak and '
+            'back\\\\slash and "quote"' in text
+        )
+        assert "\nline" not in text  # the raw LF never survives
+
+    def test_buckets_are_cumulative_and_capped_by_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "x", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        _comments, samples = self._parse(
+            prometheus_exposition(registry.snapshot())
+        )
+        buckets = [
+            (labels, float(value))
+            for name, labels, value in samples
+            if name == "repro_lat_seconds_bucket"
+        ]
+        counts = [count for _labels, count in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts == [1.0, 3.0, 4.0, 5.0]
+        assert buckets[-1][0] == 'le="+Inf"'
+        count = next(
+            float(v)
+            for n, _l, v in samples
+            if n == "repro_lat_seconds_count"
+        )
+        assert buckets[-1][1] == count
+
+    def test_help_precedes_type_precedes_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("ordered_total", "helpful").inc(2)
+        lines = prometheus_exposition(registry.snapshot()).splitlines()
+        help_at = lines.index("# HELP repro_ordered_total helpful")
+        type_at = lines.index("# TYPE repro_ordered_total counter")
+        sample_at = lines.index("repro_ordered_total 2")
+        assert help_at < type_at < sample_at
+
+
+class TestMergeSnapshots:
+    """merge_snapshots folds per-process registries into fleet totals."""
+
+    def _registry(self, n: int) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "ops").inc(n)
+        registry.gauge("level", "level").set(n)
+        histogram = registry.histogram(
+            "lat_seconds", "lat", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05 * n)
+        histogram.observe(2.0)
+        return registry
+
+    def test_counters_gauges_and_histograms_sum(self):
+        merged = merge_snapshots(
+            self._registry(1).snapshot(), self._registry(3).snapshot()
+        )
+        assert merged["counters"]["ops_total"]["value"] == 4
+        # Gauges sum too: multi-process gauges are per-shard levels
+        # (queue depths, lag), where the fleet number is the total.
+        assert merged["gauges"]["level"]["value"] == 4
+        histogram = merged["histograms"]["lat_seconds"]
+        assert histogram["count"] == 4
+        assert histogram["sum"] == pytest.approx(0.05 + 0.15 + 4.0)
+        # Cumulative per input: 0.05 ≤ 0.1 but 0.15 is not, and both
+        # 2.0 observations fall only in the implicit +Inf bucket.
+        assert histogram["buckets"] == [[0.1, 1], [1.0, 2]]
+        assert histogram["min"] == pytest.approx(0.05)
+        assert histogram["max"] == pytest.approx(2.0)
+
+    def test_merge_is_union_over_names(self):
+        left = MetricsRegistry()
+        left.counter("only_left_total", "l").inc()
+        right = MetricsRegistry()
+        right.counter("only_right_total", "r").inc(2)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["counters"]["only_left_total"]["value"] == 1
+        assert merged["counters"]["only_right_total"]["value"] == 2
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_snapshots()
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}

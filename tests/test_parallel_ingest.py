@@ -247,22 +247,37 @@ _CHILD_SCRIPT = textwrap.dedent(
 
     def main():
         from repro.core.parallel_ingest import ParallelIngestCoordinator
+        from repro.core.tracing import (
+            JsonlSpanExporter, Tracer, set_tracer, span,
+        )
 
-        directory, state_path, writers, n, universe = sys.argv[1:6]
+        directory, state_path, writers, n, universe, trace_dir = (
+            sys.argv[1:7]
+        )
         writers, n, universe = int(writers), int(n), int(universe)
         ids = (np.arange(n) * 7) % universe
         ts = np.arange(n, dtype=np.float64) * 0.5
+        # Same wiring as the CLI: the coordinator process owns its own
+        # tracer; the writers build theirs from the shipped config.
+        set_tracer(Tracer(
+            exporters=[JsonlSpanExporter(
+                os.path.join(trace_dir, "spans-coordinator.jsonl")
+            )],
+            process="coordinator",
+        ))
         coordinator = ParallelIngestCoordinator(
             directory,
             writers=writers,
             fsync="never",
             seal_elements=400,
             queue_depth=4,
+            trace_dir=trace_dir,
         )
         batch = 137
         for start in range(0, n, batch):
             stop = min(start + batch, n)
-            coordinator.extend_batch(ids[start:stop], ts[start:stop])
+            with span("ingest.batch"):
+                coordinator.extend_batch(ids[start:stop], ts[start:stop])
             # Snapshot the acknowledged prefixes (only ever an
             # UNDER-estimate of what is durable: an ack is sent after
             # the WAL append returned) plus the writer pids so the
@@ -310,6 +325,8 @@ class TestSigkillTorture:
     def test_acknowledged_prefixes_survive(self, tmp_path):
         directory = tmp_path / "store"
         state_path = tmp_path / "state.json"
+        trace_dir = tmp_path / "trace"
+        trace_dir.mkdir()
         script = tmp_path / "torture_child.py"
         script.write_text(_CHILD_SCRIPT)
         env = dict(os.environ)
@@ -326,6 +343,7 @@ class TestSigkillTorture:
                 str(self.WRITERS),
                 str(self.N),
                 str(UNIVERSE),
+                str(trace_dir),
             ],
             env=env,
         )
@@ -393,3 +411,43 @@ class TestSigkillTorture:
                     oracle.bursty_time_query(event, THETA, TAU)
                 ), (index, event)
         recovered.close()
+        self._check_trace_survives_the_kill(trace_dir)
+
+    def _check_trace_survives_the_kill(self, trace_dir):
+        """Span logs are torn-write safe: a SIGKILL'd process loses at
+        most the final, newline-less line of its own span file, and the
+        surviving spans still stitch across the process boundary."""
+        from repro.core.tracing import read_span_file, stitch_spans
+
+        files = sorted(trace_dir.glob("spans-*.jsonl"))
+        assert len(files) == 1 + self.WRITERS, files
+        spans = []
+        for path in files:
+            # strict=True: a torn *tail* is fine, a mid-file tear is
+            # corruption and raises.
+            spans.extend(read_span_file(path, strict=True))
+        assert spans, "no spans survived the kill"
+        tree = stitch_spans(spans)
+        by_id = tree["by_id"]
+        # Orphans are allowed — their parents were in flight (a span is
+        # only exported when it *closes*) — but whatever has a surviving
+        # parent must chain upward without cycles.
+        for span_dict in spans:
+            walk, seen = span_dict, set()
+            while (
+                walk["parent_id"] is not None
+                and walk["parent_id"] in by_id
+            ):
+                assert walk["span_id"] not in seen, "parent cycle"
+                seen.add(walk["span_id"])
+                walk = by_id[walk["parent_id"]]
+        # And the stitching is cross-process: some writer span's parent
+        # survived in the coordinator's file.
+        stitched = [
+            s
+            for s in spans
+            if s["process"].startswith("writer-")
+            and s["parent_id"] in by_id
+            and by_id[s["parent_id"]]["process"] == "coordinator"
+        ]
+        assert stitched, "no surviving cross-process span edges"
