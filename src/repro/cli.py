@@ -21,6 +21,11 @@ ingest (alias: build)
 recover
     Recover a durable store directory: replay the WAL tail after the
     last sealed segment and print what survived.
+rebalance
+    Rewrite a sharded durable directory to a different shard count
+    offline (``repro rebalance DIR --shards M``): every acknowledged
+    record is streamed through the Fibonacci shard hash into M fresh
+    shard directories, committed by a crash-safe journal swap.
 query
     Answer point / bursty-time queries from a serialized store (either
     the versioned envelope or a legacy v1 blob).
@@ -54,6 +59,11 @@ import sys
 from pathlib import Path
 
 from repro.core.cmpbe import CMPBE
+from repro.core.compaction import (
+    DEFAULT_COMPACT_FANIN,
+    DEFAULT_COMPACT_MIN_SEGMENTS,
+    rebalance as rebalance_directory,
+)
 from repro.core.durable import (
     DEFAULT_MAX_UNSEALED,
     DEFAULT_SEAL_ELEMENTS,
@@ -61,6 +71,7 @@ from repro.core.durable import (
     recover,
 )
 from repro.core.errors import (
+    InvalidParameterError,
     RecoveryError,
     StreamOrderError,
     WriterProcessError,
@@ -208,6 +219,42 @@ def build_parser() -> argparse.ArgumentParser:
             "(default %(default)s)",
         )
         ingest.add_argument(
+            "--compact",
+            action="store_true",
+            help="with --durable: after ingest, merge runs of adjacent "
+            "same-size-tier segments down (size-tiered compaction); "
+            "answers are unchanged, recovery and queries get faster",
+        )
+        ingest.add_argument(
+            "--compact-fanin",
+            type=int,
+            default=DEFAULT_COMPACT_FANIN,
+            help="with --compact: max segments merged per compaction "
+            "pass (default %(default)s)",
+        )
+        ingest.add_argument(
+            "--compact-min-segments",
+            type=int,
+            default=DEFAULT_COMPACT_MIN_SEGMENTS,
+            help="with --compact: leave stores with fewer segments "
+            "alone (default %(default)s)",
+        )
+        ingest.add_argument(
+            "--coalesce-bytes",
+            type=int,
+            metavar="N",
+            help="with --writers: buffer small per-shard sub-batches "
+            "and dispatch them as one frame once N payload bytes "
+            "accumulate (adaptive: backpressure shrinks the budget)",
+        )
+        ingest.add_argument(
+            "--coalesce-ms",
+            type=float,
+            metavar="MS",
+            help="with --coalesce-bytes: dispatch a buffered frame "
+            "after its oldest record has waited MS milliseconds",
+        )
+        ingest.add_argument(
             "--method", choices=["cm-pbe-1", "cm-pbe-2"], default="cm-pbe-1"
         )
         ingest.add_argument("--eta", type=int, default=100)
@@ -279,6 +326,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(FSYNC_POLICIES),
         default="batch",
         help="fsync policy for the reopened WAL (default batch)",
+    )
+
+    rebalance_cmd = commands.add_parser(
+        "rebalance",
+        help="rewrite a sharded durable directory to a different shard "
+        "count (offline, crash-safe)",
+    )
+    rebalance_cmd.add_argument("directory", type=Path)
+    rebalance_cmd.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="M",
+        help="target shard count; records are re-routed through the "
+        "same Fibonacci shard hash queries use",
+    )
+    rebalance_cmd.add_argument(
+        "--fsync",
+        choices=sorted(FSYNC_POLICIES),
+        default="batch",
+        help="fsync policy while writing the new shards "
+        "(default batch)",
     )
 
     query = commands.add_parser(
@@ -527,6 +596,8 @@ def _ingest_parallel(args: argparse.Namespace, cfg: dict) -> int:
             fsync=args.fsync,
             flush_bytes=args.flush_bytes,
             max_unsealed=args.max_unsealed,
+            coalesce_bytes=args.coalesce_bytes,
+            coalesce_ms=args.coalesce_ms,
             resume=args.resume,
             trace_dir=args.trace,
             trace_sample_rate=args.trace_sample_rate,
@@ -544,9 +615,25 @@ def _ingest_parallel(args: argparse.Namespace, cfg: dict) -> int:
         # user where the stream violated the resume horizon.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except RecoveryError as error:
+        # e.g. resuming with a writer count that does not match the
+        # directory's shard layout (ShardCountMismatchError).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except WriterProcessError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.compact:
+        store = recover(args.durable, fsync=args.fsync)
+        with store:
+            runs = sum(
+                child.compact(
+                    fanin=args.compact_fanin,
+                    min_segments=args.compact_min_segments,
+                )
+                for child in (getattr(store, "shards", None) or [store])
+            )
+        print(f"compacted: {runs} merge passes")
     label = f"durable {args.backend} x{args.writers} writers"
     print(
         f"ingested {coordinator.acked_records} mentions -> {label} "
@@ -585,19 +672,25 @@ def _ingest_durable(args: argparse.Namespace) -> int:
 def _ingest_durable_single(
     args: argparse.Namespace, cfg: dict, tracer=None
 ) -> int:
-    store = create_durable(
-        args.durable,
-        backend=args.backend,
-        shards=args.shards or 1,
-        seal_elements=args.seal_elements,
-        fsync=args.fsync,
-        flush_bytes=args.flush_bytes,
-        background_seal=args.background_seal,
-        max_unsealed=args.max_unsealed,
-        resume=args.resume,
-        tracer=tracer,
-        **cfg,
-    )
+    try:
+        store = create_durable(
+            args.durable,
+            backend=args.backend,
+            shards=args.shards or 1,
+            seal_elements=args.seal_elements,
+            fsync=args.fsync,
+            flush_bytes=args.flush_bytes,
+            background_seal=args.background_seal,
+            max_unsealed=args.max_unsealed,
+            resume=args.resume,
+            tracer=tracer,
+            **cfg,
+        )
+    except RecoveryError as error:
+        # e.g. resuming with a shard count that does not match the
+        # directory (ShardCountMismatchError points at `repro rebalance`).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     instrumented = (
         InstrumentedStore(store) if args.metrics_json is not None else None
     )
@@ -619,6 +712,15 @@ def _ingest_durable_single(
             # any snapshot) reflects everything frozen so far.
             for child in getattr(store, "shards", None) or [store]:
                 child.drain_seals()
+        if args.compact:
+            runs = sum(
+                child.compact(
+                    fanin=args.compact_fanin,
+                    min_segments=args.compact_min_segments,
+                )
+                for child in (getattr(store, "shards", None) or [store])
+            )
+            print(f"compacted: {runs} merge passes")
         if args.out is not None:
             written = write_store(store, args.out)
             print(f"snapshot: {written} bytes -> {args.out}")
@@ -661,6 +763,25 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         if args.out is not None:
             written = write_store(store, args.out)
             print(f"snapshot: {written} bytes -> {args.out}")
+    return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    with _trace_session(args) as tracer:
+        try:
+            result = rebalance_directory(
+                args.directory,
+                shards=args.shards,
+                fsync=args.fsync,
+                tracer=tracer,
+            )
+        except (RecoveryError, InvalidParameterError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    print(
+        f"rebalanced {result['records']} mentions -> "
+        f"{result['shards']} shards -> {args.directory}"
+    )
     return 0
 
 
@@ -977,6 +1098,7 @@ _HANDLERS = {
     "ingest": _cmd_build,
     "build": _cmd_build,
     "recover": _cmd_recover,
+    "rebalance": _cmd_rebalance,
     "query": _cmd_query,
     "inspect": _cmd_inspect,
     "stats": _cmd_stats,

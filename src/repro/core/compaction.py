@@ -1,0 +1,677 @@
+"""Segment compaction and shard rebalancing for durable stores.
+
+The durable lifecycle (:mod:`repro.core.durable`) only ever *adds*
+sealed ``segment-NNNNNN.beds`` files, so a long-running ingest degrades:
+queries fold an ever-growing list of small segments and ``recover()``
+reopens all of them.  This module is the maintenance half of that
+lifecycle — the merge-down of immutable sketch snapshots that
+Hokusai-style stores use to keep unbounded streams bounded:
+
+* :func:`plan_compaction` — the pure tiering policy.  Segments are
+  bucketed into factor-of-four byte-size tiers (:func:`size_tier`);
+  the plan picks the leftmost maximal run of *adjacent* same-tier
+  segments on the smallest tier, capped at ``fanin`` inputs.  Only
+  adjacent segments may merge: the read path folds segments left to
+  right over consecutive disjoint time ranges, and store merges are
+  associative, so replacing an adjacent run with its merge preserves
+  every fold result bit-for-bit.
+* :class:`Compactor` — one merge pass (:meth:`Compactor.run_once`)
+  merges the planned run through :func:`~repro.core.parallel.merge_stores`
+  (which dispatches to the lazy zero-copy ``merge_pbe1``/``merge_pbe2``
+  fast paths for PBE children), writes the merged segment atomically
+  under a *reserved* name, then commits one atomic manifest swap: new
+  segment in, inputs out, inputs listed in the manifest's
+  ``tombstones`` field.  Only after the swap are the input files
+  unlinked and the tombstones cleared.
+
+  Crash windows, by construction:
+
+  - crash before the manifest swap → the reserved output is an orphan
+    segment never referenced by any manifest; recovery's stale-file
+    sweep reaps it, and the store answers from the untouched inputs;
+  - crash after the swap, before the input unlinks → the manifest
+    already serves the merged segment; recovery drains ``tombstones``
+    (and the stale sweep backstops it) by deleting the inputs;
+  - crash mid-manifest-write → ``os.replace`` leaves the old manifest
+    intact, which is the "before" case.
+
+* :func:`rebalance` — offline shard-count changes for
+  ``sharded-durable`` directories (CLI: ``repro rebalance DIR --shards
+  M``).  Every acknowledged record is exported from the old layout,
+  streamed through the same Fibonacci shard hash the sharded store
+  routes with, and written into ``M`` fresh shard directories built in
+  a staging area.  The commit point is one atomic journal write
+  (``REBALANCE-COMMIT.json``); :func:`_redo_rebalance` then replays a
+  fully idempotent sequence (drop old dirs, rename staged dirs in,
+  rewrite the top manifest, clear staging, drop the journal) so a
+  crash at *any* step either leaves the old layout intact (journal
+  absent: staging is swept as garbage) or completes on the next
+  :func:`repro.core.durable.recover` (journal present: the redo runs
+  to the end).  Staged directories carry a per-run nonce file so the
+  redo can always tell "new layout, keep" from "old layout, replace".
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import shutil
+import threading
+
+import numpy as np
+
+from repro.core import tracing as _tracing
+from repro.core.errors import (
+    CompactionError,
+    InvalidParameterError,
+    RecoveryError,
+)
+from repro.core.metrics import global_registry
+from repro.core.parallel import merge_stores
+from repro.core.serialize import (
+    _fsync_directory,
+    atomic_write_bytes,
+    open_store,
+    save_store,
+)
+from repro.core.store import _FIB_MIX
+
+__all__ = [
+    "DEFAULT_COMPACT_FANIN",
+    "DEFAULT_COMPACT_MIN_SEGMENTS",
+    "Compactor",
+    "plan_compaction",
+    "rebalance",
+    "size_tier",
+]
+
+_logger = logging.getLogger("repro.core.compaction")
+
+DEFAULT_COMPACT_FANIN = 8
+DEFAULT_COMPACT_MIN_SEGMENTS = 4
+
+REBALANCE_JOURNAL = "REBALANCE-COMMIT.json"
+REBALANCE_STAGING = "rebalance-staging"
+_NONCE_NAME = ".rebalance-nonce"
+_SHARD_DIR_RE = re.compile(r"^shard-\d{3}$")
+
+
+# ----------------------------------------------------------------------
+# Tiering policy (pure)
+# ----------------------------------------------------------------------
+def size_tier(size: int) -> int:
+    """Bucket a segment byte size into a factor-of-four tier.
+
+    Tier ``t`` covers sizes in ``[4**t, 4**(t+1))`` (zero and negative
+    sizes clamp to tier 0), so segments within one tier are within 4x
+    of each other — merging a run of them costs at most ``fanin``
+    times the smallest member, the bound that keeps write
+    amplification logarithmic.
+    """
+    return max(int(size), 1).bit_length() // 2
+
+
+def plan_compaction(
+    sizes,
+    *,
+    fanin: int = DEFAULT_COMPACT_FANIN,
+    min_segments: int = DEFAULT_COMPACT_MIN_SEGMENTS,
+):
+    """Pick the next adjacent run of segments to merge, or ``None``.
+
+    ``sizes`` are the byte sizes of the committed segments in time
+    order.  Returns a half-open index range ``(start, stop)`` of at
+    least two adjacent segments on the smallest tier that has such a
+    run (leftmost on ties), capped at ``fanin`` inputs; ``None`` when
+    fewer than ``min_segments`` segments exist or no tier has two
+    adjacent members.  Each committed plan strictly reduces the
+    segment count, so repeated planning always terminates.
+    """
+    fanin = int(fanin)
+    min_segments = int(min_segments)
+    if fanin < 2:
+        raise InvalidParameterError(
+            f"compact_fanin must be >= 2, got {fanin}"
+        )
+    if min_segments < 2:
+        raise InvalidParameterError(
+            f"compact_min_segments must be >= 2, got {min_segments}"
+        )
+    sizes = [int(size) for size in sizes]
+    if len(sizes) < min_segments:
+        return None
+    tiers = [size_tier(size) for size in sizes]
+    best = None
+    index = 0
+    while index < len(tiers):
+        stop = index
+        while stop < len(tiers) and tiers[stop] == tiers[index]:
+            stop += 1
+        if stop - index >= 2 and (best is None or tiers[index] < best[0]):
+            best = (tiers[index], index, stop)
+        index = stop
+    if best is None:
+        return None
+    _, start, stop = best
+    return (start, min(stop, start + fanin))
+
+
+# ----------------------------------------------------------------------
+# Background compactor
+# ----------------------------------------------------------------------
+class Compactor:
+    """Size-tiered segment compactor for one ``DurableBurstStore``.
+
+    Constructed for every directory-backed durable store (so the
+    compaction metric families are always registered); the background
+    thread only runs when the store was opened with ``compact=True``,
+    and :meth:`run_once` can always be driven synchronously via
+    ``store.compact()``.
+
+    Locking: :meth:`run_once` holds ``_run_lock`` end to end (manual
+    and background compaction never interleave), takes the store's
+    seal condition only to snapshot/plan and to commit the swap, and
+    performs the expensive merge + atomic segment write outside any
+    store lock — sealed segments are immutable, and the seal thread
+    only ever *appends* to the segment list, so the planned slice
+    positions stay valid across the unlocked window.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        fanin: int = DEFAULT_COMPACT_FANIN,
+        min_segments: int = DEFAULT_COMPACT_MIN_SEGMENTS,
+    ) -> None:
+        if int(fanin) < 2:
+            raise InvalidParameterError(
+                f"compact_fanin must be >= 2, got {fanin}"
+            )
+        if int(min_segments) < 2:
+            raise InvalidParameterError(
+                f"compact_min_segments must be >= 2, got {min_segments}"
+            )
+        self.store = store
+        self.fanin = int(fanin)
+        self.min_segments = int(min_segments)
+        self._run_lock = threading.Lock()
+        self._wake = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._dirty = False
+        self._running = False
+        self._stop_flag = False
+        self._error: BaseException | None = None
+        self._reserved: str | None = None
+        self._bytes_rewritten = 0
+        metrics = global_registry()
+        self._runs_total = metrics.counter(
+            "compaction_runs_total", "segment compaction runs committed"
+        )
+        self._bytes_rewritten_total = metrics.counter(
+            "compaction_bytes_rewritten_total",
+            "segment bytes rewritten by compaction merges",
+        )
+        self._segments_merged_total = metrics.counter(
+            "compaction_segments_merged_total",
+            "input segments retired by compaction",
+        )
+        self._segments_live_gauge = metrics.gauge(
+            "compaction_segments_live",
+            "committed segments after the last compaction scan",
+        )
+        self._write_amp_gauge = metrics.gauge(
+            "compaction_write_amplification",
+            "(sealed + rewritten) / sealed segment bytes, this process",
+        )
+
+    # -- stale-sweep protection ----------------------------------------
+    def protected_names(self) -> set[str]:
+        """Segment file names a stale-file sweep must not delete.
+
+        While a merge is in flight its reserved output name is on disk
+        (or about to be) but not yet in any manifest; sweeping it away
+        would race the manifest swap exactly the way an uncommitted
+        background-seal segment would.
+        """
+        reserved = self._reserved
+        return {reserved} if reserved is not None else set()
+
+    # -- one merge pass -------------------------------------------------
+    def run_once(self, *, fanin=None, min_segments=None) -> bool:
+        """Plan and commit one compaction merge; ``True`` if one ran."""
+        store = self.store
+        if store.directory is None:
+            raise InvalidParameterError(
+                "compaction requires a directory-backed store"
+            )
+        use_fanin = self.fanin if fanin is None else int(fanin)
+        use_min = self.min_segments if min_segments is None else int(min_segments)
+        with self._run_lock:
+            with store._seal_cv:
+                names_all = list(store._segment_names)
+                try:
+                    sizes = [
+                        os.path.getsize(
+                            os.path.join(store.directory, name)
+                        )
+                        for name in names_all
+                    ]
+                except OSError:
+                    return False
+                self._segments_live_gauge.set(len(names_all))
+                plan = plan_compaction(
+                    sizes, fanin=use_fanin, min_segments=use_min
+                )
+                if plan is None:
+                    return False
+                start, stop = plan
+                names = names_all[start:stop]
+                parts = list(store._segments[start:stop])
+                out_name = f"segment-{store._next_segment:06d}.beds"
+                store._next_segment += 1
+                self._reserved = out_name
+            out_path = os.path.join(store.directory, out_name)
+            try:
+                with store._span(
+                    "compact.merge",
+                    inputs=len(parts),
+                    segment=out_name,
+                    bytes_in=int(sum(sizes[start:stop])),
+                ):
+                    payload = save_store(merge_stores(parts))
+                written = atomic_write_bytes(
+                    out_path,
+                    payload,
+                    fsync=store.fsync_policy != "never",
+                )
+                segment = open_store(out_path, lazy=True)
+            except BaseException as exc:
+                # The reserved output (if it got written) is an orphan
+                # no manifest references; the next recovery reaps it.
+                self._reserved = None
+                raise CompactionError(
+                    f"compaction of {names} failed: {exc!r}"
+                ) from exc
+            with store._span(
+                "compact.manifest_swap", segment=out_name, inputs=len(names)
+            ):
+                with store._seal_cv:
+                    if store._segment_names[start:stop] != names:
+                        # Defensive: only this (run-locked) compactor
+                        # removes entries and the sealer only appends,
+                        # so the slice cannot move — but never swap on
+                        # a stale plan.
+                        self._reserved = None
+                        try:
+                            os.unlink(out_path)
+                        except OSError:
+                            pass
+                        raise CompactionError(
+                            "segment list changed during compaction"
+                        )
+                    store._segments[start:stop] = [segment]
+                    store._segment_names[start:stop] = [out_name]
+                    store._tombstones = list(names)
+                    store._write_manifest()
+                    # The incremental sealed-segment fold assumes an
+                    # append-only list; a splice invalidates it.
+                    store._sealed_view = None
+                    store._sealed_folded = 0
+                    store._view = None
+                    store._view_version = -1
+                    store._version += 1
+                    store._segment_gauge.set(len(store._segments))
+                    live = len(store._segments)
+                    self._reserved = None
+            for name in names:
+                try:
+                    os.unlink(os.path.join(store.directory, name))
+                except OSError:
+                    pass
+            with store._seal_cv:
+                store._tombstones = []
+                store._write_manifest(
+                    durable=store.fsync_policy == "always"
+                )
+            self._bytes_rewritten += int(written)
+            self._runs_total.inc()
+            self._bytes_rewritten_total.inc(int(written))
+            self._segments_merged_total.inc(len(names))
+            self._segments_live_gauge.set(live)
+            sealed = max(int(getattr(store, "_segment_bytes_sealed", 0)), 1)
+            self._write_amp_gauge.set(
+                (sealed + self._bytes_rewritten) / sealed
+            )
+            return True
+
+    def run_until_stable(self, *, fanin=None, min_segments=None) -> int:
+        """Compact until the tiering policy is satisfied; returns runs."""
+        runs = 0
+        while self.run_once(fanin=fanin, min_segments=min_segments):
+            runs += 1
+        return runs
+
+    # -- background thread ----------------------------------------------
+    def start(self) -> None:
+        """Start the background compaction thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop_flag = False
+        # Compact any backlog left by a previous session immediately.
+        self._dirty = True
+        self._thread = threading.Thread(
+            target=self._worker, name="durable-compact", daemon=True
+        )
+        self._thread.start()
+
+    def notify(self) -> None:
+        """Wake the background thread (called after each seal commit)."""
+        if self._thread is None:
+            return
+        with self._wake:
+            self._dirty = True
+            self._wake.notify_all()
+
+    def stop(self) -> None:
+        """Stop and join the background thread (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        with self._wake:
+            self._stop_flag = True
+            self._wake.notify_all()
+        thread.join()
+        self._thread = None
+
+    def drain(self) -> None:
+        """Block until the background thread is idle (or has failed)."""
+        thread = self._thread
+        if thread is None:
+            self._raise_error()
+            return
+        with self._wake:
+            while (self._dirty or self._running) and self._error is None:
+                if not thread.is_alive():
+                    break
+                self._wake.wait(0.05)
+        self._raise_error()
+
+    def _raise_error(self) -> None:
+        if self._error is not None:
+            raise self._error
+
+    def _worker(self) -> None:
+        while True:
+            with self._wake:
+                while not self._dirty and not self._stop_flag:
+                    self._wake.wait()
+                if self._stop_flag:
+                    return
+                self._dirty = False
+                self._running = True
+            error: BaseException | None = None
+            try:
+                while not self._stop_flag and self.run_once():
+                    pass
+            except CompactionError as exc:
+                _logger.warning(
+                    "background compaction failed in %s: %r "
+                    "(the store stays consistent; the orphan output is "
+                    "reaped at the next recovery)",
+                    self.store.directory,
+                    exc,
+                )
+                error = exc
+            with self._wake:
+                self._running = False
+                if error is not None:
+                    self._error = error
+                    self._wake.notify_all()
+                    return
+                self._wake.notify_all()
+
+
+# ----------------------------------------------------------------------
+# Offline shard rebalancing
+# ----------------------------------------------------------------------
+def _dump_json(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode()
+
+
+def _read_nonce(path: str) -> str | None:
+    try:
+        with open(os.path.join(path, _NONCE_NAME), "rb") as handle:
+            return handle.read().decode("utf-8", "replace").strip()
+    except OSError:
+        return None
+
+
+def _redo_rebalance(directory: str, journal: dict) -> None:
+    """Idempotently finish a committed rebalance.
+
+    Safe to re-run from any crash point after the journal write: every
+    step checks the on-disk state (via the per-run nonce marking each
+    staged directory) before acting, and the journal is deleted only
+    after the new layout and manifest are fully in place.
+    """
+    nonce = str(journal["nonce"])
+    staging = os.path.join(
+        directory, str(journal.get("staging", REBALANCE_STAGING))
+    )
+    # 1. Old-layout shard directories (no matching nonce) are doomed
+    #    the instant the journal commits; staged/renamed ones survive.
+    for name in journal.get("old_dirs", []):
+        path = os.path.join(directory, os.path.basename(str(name)))
+        if os.path.isdir(path) and _read_nonce(path) != nonce:
+            shutil.rmtree(path)
+    # 2. Rename staged shards into place (skipping any already moved
+    #    by a previous attempt).
+    if os.path.isdir(staging):
+        for name in sorted(os.listdir(staging)):
+            source = os.path.join(staging, name)
+            if not os.path.isdir(source):
+                continue
+            target = os.path.join(directory, name)
+            if os.path.isdir(target):
+                if _read_nonce(target) == nonce:
+                    shutil.rmtree(source)
+                    continue
+                shutil.rmtree(target)
+            os.replace(source, target)
+    # 3. Publish the new top-level manifest (idempotent rewrite).
+    from repro.core.durable import MANIFEST_NAME
+
+    atomic_write_bytes(
+        os.path.join(directory, MANIFEST_NAME),
+        _dump_json(journal["manifest"]),
+        fsync=True,
+    )
+    # 4-5. Clear staging, then retire the journal; only after the
+    #    journal is gone may the nonce markers go (a redo must always
+    #    be able to tell the new directories apart).
+    shutil.rmtree(staging, ignore_errors=True)
+    try:
+        os.unlink(os.path.join(directory, REBALANCE_JOURNAL))
+    except OSError:
+        pass
+    _fsync_directory(directory)
+    for name in os.listdir(directory):
+        if _SHARD_DIR_RE.match(name):
+            try:
+                os.unlink(os.path.join(directory, name, _NONCE_NAME))
+            except OSError:
+                pass
+
+
+def _drain_rebalance(directory) -> bool:
+    """Finish (journal present) or discard (no journal) a rebalance.
+
+    Called by :func:`repro.core.durable.recover` before it reads the
+    manifest, so a directory killed mid-rebalance always recovers to
+    a consistent layout: pre-commit crashes leave the old layout and
+    garbage staging; post-commit crashes complete to the new layout.
+    Returns ``True`` when a committed rebalance was replayed.
+    """
+    directory = os.fspath(directory)
+    journal_path = os.path.join(directory, REBALANCE_JOURNAL)
+    if os.path.exists(journal_path):
+        try:
+            with open(journal_path, "rb") as handle:
+                journal = json.loads(handle.read().decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RecoveryError(
+                f"unreadable rebalance journal in {directory}: {exc}"
+            ) from None
+        if (
+            not isinstance(journal, dict)
+            or "nonce" not in journal
+            or not isinstance(journal.get("manifest"), dict)
+        ):
+            raise RecoveryError(
+                f"malformed rebalance journal in {directory}"
+            )
+        _redo_rebalance(directory, journal)
+        return True
+    staging = os.path.join(directory, REBALANCE_STAGING)
+    if os.path.isdir(staging):
+        shutil.rmtree(staging, ignore_errors=True)
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return False
+    for name in names:
+        if _SHARD_DIR_RE.match(name):
+            try:
+                os.unlink(os.path.join(directory, name, _NONCE_NAME))
+            except OSError:
+                pass
+    return False
+
+
+def rebalance(directory, *, shards: int, fsync: str = "batch", tracer=None) -> dict:
+    """Rewrite a ``sharded-durable`` directory to ``shards`` shards.
+
+    Offline maintenance (no writer may hold the directory open):
+    recovers the old layout, exports every acknowledged record
+    (requires a record-retaining child backend such as ``exact``),
+    routes them through the same Fibonacci shard hash the sharded
+    store queries with, and builds the new shard directories in a
+    staging area.  The switch to the new layout is a single atomic
+    journal write; a crash at any point either leaves the old layout
+    fully intact or is completed by the next :func:`recover`.
+
+    Returns ``{"shards": M, "records": N}``.
+    """
+    from repro.core.durable import (
+        DEFAULT_SEAL_ELEMENTS,
+        MANIFEST_NAME,
+        DurableBurstStore,
+        recover,
+    )
+
+    directory = os.fspath(directory)
+    shards = int(shards)
+    if shards <= 0:
+        raise InvalidParameterError(f"shards must be > 0, got {shards}")
+    _drain_rebalance(directory)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "rb") as handle:
+            manifest = json.loads(handle.read().decode("utf-8"))
+    except FileNotFoundError:
+        raise RecoveryError(f"no durable manifest in {directory}") from None
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RecoveryError(
+            f"unreadable durable manifest in {directory}: {exc}"
+        ) from None
+    kind = manifest.get("kind") if isinstance(manifest, dict) else None
+    if kind != "sharded-durable":
+        raise InvalidParameterError(
+            f"{directory} holds a {kind!r} manifest; rebalance operates "
+            "on sharded-durable directories (created with shards > 1)"
+        )
+    backend = manifest["backend"]
+    child_cfg = dict(manifest.get("child_cfg", {}))
+    seal_elements = int(
+        manifest.get("seal_elements", DEFAULT_SEAL_ELEMENTS)
+    )
+    store = recover(directory, fsync=fsync, tracer=tracer)
+    try:
+        ids, ts = store.export_records()
+    finally:
+        store.close()
+    if ids.size:
+        mixed = ids.astype(np.uint64) * np.uint64(_FIB_MIX)
+        routes = (mixed % np.uint64(shards)).astype(np.int64)
+    else:
+        routes = np.empty(0, dtype=np.int64)
+    old_dirs = sorted(
+        name
+        for name in os.listdir(directory)
+        if _SHARD_DIR_RE.match(name)
+        and os.path.isdir(os.path.join(directory, name))
+    )
+    staging = os.path.join(directory, REBALANCE_STAGING)
+    if os.path.isdir(staging):
+        shutil.rmtree(staging)
+    os.makedirs(staging)
+    nonce = os.urandom(8).hex()
+    for index in range(shards):
+        mask = routes == index
+        sub_ids = ids[mask]
+        sub_ts = ts[mask]
+        shard_dir = os.path.join(staging, f"shard-{index:03d}")
+        with _tracing.span(
+            "rebalance.shard",
+            tracer=tracer,
+            shard=index,
+            records=int(sub_ids.size),
+        ):
+            child = DurableBurstStore(
+                shard_dir,
+                backend=backend,
+                seal_elements=seal_elements,
+                fsync=fsync,
+                tracer=tracer,
+                **child_cfg,
+            )
+            try:
+                if sub_ids.size:
+                    # Records are globally time-ordered, so each
+                    # routed subsequence is too — one batch suffices
+                    # (internal splitting handles seal boundaries).
+                    child.extend_batch(sub_ids, sub_ts)
+            finally:
+                child.close()
+        atomic_write_bytes(
+            os.path.join(shard_dir, _NONCE_NAME),
+            (nonce + "\n").encode(),
+            fsync=fsync != "never",
+        )
+    journal = {
+        "format": 1,
+        "nonce": nonce,
+        "staging": REBALANCE_STAGING,
+        "old_dirs": old_dirs,
+        "manifest": {
+            "format": int(manifest.get("format", 1)),
+            "kind": "sharded-durable",
+            "shards": shards,
+            "backend": backend,
+            "child_cfg": child_cfg,
+            "seal_elements": seal_elements,
+        },
+    }
+    # THE commit point: before this write a crash preserves the old
+    # layout untouched; after it the redo below (or the one recovery
+    # runs) completes the switch.
+    atomic_write_bytes(
+        os.path.join(directory, REBALANCE_JOURNAL),
+        _dump_json(journal),
+        fsync=True,
+    )
+    _redo_rebalance(directory, journal)
+    return {"shards": shards, "records": int(ids.size)}

@@ -63,6 +63,14 @@ Sharded operation: :func:`create_durable` with ``shards=N`` builds a
 stores in per-shard subdirectories (per-shard WALs), recorded in a
 top-level manifest so :func:`recover` can rebuild the whole composite.
 
+Maintenance (``compact=True`` or ``store.compact()``): sealed segments
+never stop accumulating on their own, so a size-tiered compactor
+(:mod:`repro.core.compaction`) merges adjacent runs of small segments
+into one and retires the inputs through a single atomic manifest swap
+whose ``tombstones`` field recovery drains — see that module for the
+crash-window analysis.  Shard counts are changed offline with
+:func:`repro.core.compaction.rebalance` (CLI: ``repro rebalance``).
+
 Note on sketch-backed memtables: snapshotting (and sealing) flushes the
 child's buffered state, exactly like calling ``finalize``/``to_bytes``
 on it directly — approximation guarantees are unaffected, but the
@@ -76,6 +84,7 @@ import io
 import json
 import logging
 import os
+import re
 import struct
 import threading
 import time
@@ -85,10 +94,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import tracing as _tracing
+from repro.core.compaction import (
+    DEFAULT_COMPACT_FANIN,
+    DEFAULT_COMPACT_MIN_SEGMENTS,
+    Compactor,
+    _drain_rebalance,
+)
 from repro.core.errors import (
     InvalidParameterError,
     RecoveryError,
     SerializationError,
+    ShardCountMismatchError,
+    ShardLayoutError,
     StreamOrderError,
 )
 from repro.core.metrics import global_registry
@@ -129,6 +146,18 @@ DEFAULT_SEAL_ELEMENTS = 100_000
 DEFAULT_MAX_UNSEALED = 2
 
 _NEG_INF = float("-inf")
+
+_SEGMENT_RE = re.compile(r"^segment-(\d+)\.beds$")
+_SHARD_DIR_RE = re.compile(r"^shard-\d{3}$")
+
+
+def _segment_index(name: str) -> int:
+    match = _SEGMENT_RE.match(name)
+    if match is None:
+        raise RecoveryError(
+            f"manifest lists malformed segment name {name!r}"
+        )
+    return int(match.group(1))
 
 
 def _dump_manifest(manifest: dict) -> bytes:
@@ -185,6 +214,9 @@ class DurableBurstStore(_StoreBase):
         flush_records: int | None = None,
         background_seal: bool = False,
         max_unsealed: int = DEFAULT_MAX_UNSEALED,
+        compact: bool = False,
+        compact_fanin: int = DEFAULT_COMPACT_FANIN,
+        compact_min_segments: int = DEFAULT_COMPACT_MIN_SEGMENTS,
         resume: bool = False,
         tracer=None,
         _segments=None,
@@ -213,6 +245,11 @@ class DurableBurstStore(_StoreBase):
             raise InvalidParameterError(
                 "background sealing requires a directory (ephemeral seals "
                 "are just a list append; there is nothing to deamortize)"
+            )
+        if compact and self.directory is None:
+            raise InvalidParameterError(
+                "background compaction requires a directory (ephemeral "
+                "stores hold their segments in memory only)"
             )
         if int(max_unsealed) <= 0:
             raise InvalidParameterError(
@@ -260,6 +297,23 @@ class DurableBurstStore(_StoreBase):
         self._view_version = -1
         self._sealed_view = None
         self._sealed_folded = 0
+        # Inputs of a committed compaction swap whose files are not yet
+        # deleted; persisted in the manifest so recovery drains them.
+        self._tombstones: list[str] = []
+        self._segment_bytes_sealed = 0
+        self.compact_enabled = bool(compact)
+        # Constructed for every directory store (keeps the compaction
+        # metric families registered); the thread starts only when
+        # ``compact=True``, and ``store.compact()`` drives it manually.
+        self._compactor = (
+            None
+            if self.directory is None
+            else Compactor(
+                self,
+                fanin=compact_fanin,
+                min_segments=compact_min_segments,
+            )
+        )
         metrics = global_registry()
         self._seal_seconds = metrics.histogram(
             "durable_seal_seconds", "memtable seal latency (seconds)"
@@ -293,6 +347,10 @@ class DurableBurstStore(_StoreBase):
             "durable_backpressure_waits_total",
             "ingest blocks caused by the unsealed-memtable cap",
         )
+        self._segment_bytes_total = metrics.counter(
+            "durable_segment_bytes_total",
+            "bytes first-written to sealed segment files",
+        )
         if self.directory is not None:
             self._attach(resume=resume)
         if self.background_seal:
@@ -302,6 +360,8 @@ class DurableBurstStore(_StoreBase):
                 daemon=True,
             )
             self._seal_thread.start()
+        if self.compact_enabled:
+            self._compactor.start()
 
     def _span(self, name: str, *, parent=None, **attrs):
         """A tracing span on the store's tracer (or the process one)."""
@@ -374,6 +434,15 @@ class DurableBurstStore(_StoreBase):
         self._memtable = create_store(self.child_backend, **self.child_cfg)
         self._empty = create_store(self.child_backend, **self.child_cfg)
         self._memtable_elements = 0
+        # Drain compaction tombstones first: inputs of a committed
+        # manifest swap whose deletion did not finish before a crash.
+        # They are not in ``segments`` anymore, so unlinking them can
+        # never touch a live file.
+        for name in manifest.get("tombstones", []):
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                pass
         for name in manifest.get("segments", []):
             path = os.path.join(self.directory, name)
             try:
@@ -388,7 +457,14 @@ class DurableBurstStore(_StoreBase):
                 ) from None
             self._segment_names.append(name)
         self._wal_seq = int(manifest["wal_seq"])
-        self._next_segment = len(self._segment_names)
+        # Compaction makes segment names non-dense (a merged segment
+        # takes a fresh index while its inputs vanish), so the next
+        # index is one past the largest committed one — never the
+        # list length.
+        self._next_segment = 1 + max(
+            (_segment_index(name) for name in self._segment_names),
+            default=-1,
+        )
         # Replay every WAL still backing unsealed records, oldest first.
         # Backward compatibility: manifests written before background
         # sealing have no ``live_wals`` — the active log is the only one.
@@ -455,35 +531,50 @@ class DurableBurstStore(_StoreBase):
         sp.set_attribute("segments", len(self._segments))
 
     def _cleanup_stale_wals(self) -> None:
-        # Every log backing unsealed records (replayed seqs + active) is
-        # live; anything else is a leftover from a crash window.  Orphan
-        # segment files never committed to the manifest are garbage too
-        # (a later seal would overwrite them anyway).
-        live = {
-            os.path.basename(self._wal_path(seq))
-            for seq in (*self._memtable_wal_seqs, self._wal_seq)
-        }
-        committed = set(self._segment_names)
-        try:
-            names = os.listdir(self.directory)
-        except OSError:
-            return
-        for name in names:
-            stale_wal = (
-                name.startswith("wal-")
-                and name.endswith(".log")
-                and name not in live
-            )
-            stale_segment = (
-                name.startswith("segment-")
-                and name.endswith(".beds")
-                and name not in committed
-            )
-            if stale_wal or stale_segment:
-                try:
-                    os.unlink(os.path.join(self.directory, name))
-                except OSError:
-                    pass
+        # Every log backing unsealed records (replayed seqs + active +
+        # frozen pending generations) is live; anything else is a
+        # leftover from a crash window.  Orphan segment files never
+        # committed to the manifest are garbage too — EXCEPT the ones a
+        # concurrent background seal or compaction merge has already
+        # written but not yet committed: sweeping those would race the
+        # manifest commit and delete a file the very next manifest
+        # references.  The sweep therefore runs under the seal lock and
+        # protects every pending-seal name and the compactor's reserved
+        # output explicitly.
+        with self._seal_cv:
+            live = {
+                os.path.basename(self._wal_path(seq))
+                for seq in (*self._memtable_wal_seqs, self._wal_seq)
+            }
+            protected = set(self._segment_names)
+            for job in self._pending:
+                live.update(
+                    os.path.basename(self._wal_path(seq))
+                    for seq in job.wal_seqs
+                )
+                protected.add(job.name)
+            if self._compactor is not None:
+                protected.update(self._compactor.protected_names())
+            try:
+                names = os.listdir(self.directory)
+            except OSError:
+                return
+            for name in names:
+                stale_wal = (
+                    name.startswith("wal-")
+                    and name.endswith(".log")
+                    and name not in live
+                )
+                stale_segment = (
+                    name.startswith("segment-")
+                    and name.endswith(".beds")
+                    and name not in protected
+                )
+                if stale_wal or stale_segment:
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
 
     def _write_manifest(self, *, durable: bool | None = None) -> None:
         # ``live_wals`` lists every log whose records are not yet in a
@@ -511,6 +602,7 @@ class DurableBurstStore(_StoreBase):
             "child_cfg": self.child_cfg,
             "seal_elements": self.seal_elements,
             "segments": self._segment_names,
+            "tombstones": list(self._tombstones),
             "wal_seq": self._wal_seq,
             "live_wals": live_wals,
             "t_end": None if self._t_end == _NEG_INF else self._t_end,
@@ -654,11 +746,13 @@ class DurableBurstStore(_StoreBase):
                     segment=name,
                     elements=self._memtable_elements,
                 ):
-                    atomic_write_bytes(
+                    written = atomic_write_bytes(
                         path,
                         save_store(self._memtable),
                         fsync=self.fsync_policy != "never",
                     )
+                self._segment_bytes_sealed += written
+                self._segment_bytes_total.inc(written)
                 new_seq = self._wal_seq + 1
                 new_wal = self._open_wal(new_seq, truncate=True)
                 old_wal = self._wal
@@ -684,6 +778,8 @@ class DurableBurstStore(_StoreBase):
         self._seals_total.inc()
         self._segment_gauge.set(len(self._segments))
         self._version += 1
+        if self.directory is not None and self._compactor is not None:
+            self._compactor.notify()
 
     def _freeze_locked(self) -> None:
         """Hot-path half of a background seal: finalize the memtable,
@@ -796,7 +892,7 @@ class DurableBurstStore(_StoreBase):
                 segment=job.name,
                 elements=job.elements,
             ):
-                atomic_write_bytes(
+                written = atomic_write_bytes(
                     path,
                     save_store(job.store),
                     fsync=self.fsync_policy != "never",
@@ -813,8 +909,12 @@ class DurableBurstStore(_StoreBase):
                     self._version += 1
                     self._seals_total.inc()
                     self._segment_gauge.set(len(self._segments))
+                    self._segment_bytes_sealed += written
+                    self._segment_bytes_total.inc(written)
                     self._update_seal_gauges_locked()
                     self._seal_cv.notify_all()
+        if self._compactor is not None:
+            self._compactor.notify()
         if job.old_wal is not None:
             job.old_wal.close()
         for seq in job.wal_seqs:
@@ -849,6 +949,32 @@ class DurableBurstStore(_StoreBase):
             while self._pending and self._seal_error is None:
                 self._seal_cv.wait()
             self._raise_seal_error()
+
+    # -- compaction ----------------------------------------------------
+    def compact(self, *, fanin=None, min_segments=None) -> int:
+        """Synchronously compact sealed segments until stable.
+
+        Runs the size-tiered merge policy (see
+        :mod:`repro.core.compaction`) until no adjacent same-tier run
+        remains; returns the number of merge passes committed.  The
+        optional overrides apply to this call only.
+        """
+        if self._compactor is None:
+            raise InvalidParameterError(
+                "compaction requires a directory-backed store"
+            )
+        return self._compactor.run_until_stable(
+            fanin=fanin, min_segments=min_segments
+        )
+
+    def drain_compaction(self) -> None:
+        """Block until the background compactor (if any) is idle.
+
+        Re-raises a background compaction failure; no-op on stores
+        opened without ``compact=True``.
+        """
+        if self._compactor is not None:
+            self._compactor.drain()
 
     @property
     def seal_queue_depth(self) -> int:
@@ -895,6 +1021,10 @@ class DurableBurstStore(_StoreBase):
                 self._seal_cv.notify_all()
             thread.join()
             self._seal_thread = None
+        if self._compactor is not None:
+            # Joined without any store lock held: a mid-run merge pass
+            # finishes its commit (or its cleanup) and the thread exits.
+            self._compactor.stop()
         with self._lock:
             if self._wal is not None:
                 self._wal.close()
@@ -984,6 +1114,10 @@ class DurableBurstStore(_StoreBase):
 
     def cumulative_frequency(self, event_id: int, t: float) -> float:
         return self._read_view().cumulative_frequency(event_id, t)
+
+    def export_records(self) -> tuple[np.ndarray, np.ndarray]:
+        """Enumerate every acknowledged record (exact children only)."""
+        return self._read_view().export_records()
 
     @property
     def piecewise(self):  # type: ignore[override]
@@ -1142,6 +1276,9 @@ def create_durable(
     flush_records: int | None = None,
     background_seal: bool = False,
     max_unsealed: int = DEFAULT_MAX_UNSEALED,
+    compact: bool = False,
+    compact_fanin: int = DEFAULT_COMPACT_FANIN,
+    compact_min_segments: int = DEFAULT_COMPACT_MIN_SEGMENTS,
     resume: bool = False,
     tracer=None,
     **child_cfg,
@@ -1168,6 +1305,9 @@ def create_durable(
         flush_records=flush_records,
         background_seal=background_seal,
         max_unsealed=max_unsealed,
+        compact=compact,
+        compact_fanin=compact_fanin,
+        compact_min_segments=compact_min_segments,
         tracer=tracer,
         **child_cfg,
     )
@@ -1180,6 +1320,22 @@ def create_durable(
                 f"{directory} already holds a durable store; pass "
                 "resume=True or use recover()"
             )
+        try:
+            with open(manifest_path, "rb") as handle:
+                existing = json.loads(handle.read().decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            existing = None  # recover() raises the precise error
+        if (
+            isinstance(existing, dict)
+            and existing.get("kind") == "sharded-durable"
+            and int(existing.get("shards", 0)) != int(shards)
+        ):
+            have = int(existing.get("shards", 0))
+            raise ShardCountMismatchError(
+                f"{directory} holds {have} shards but {int(shards)} were "
+                f"requested; shard counts change offline with "
+                f"`repro rebalance {directory} --shards {int(shards)}`"
+            )
         return recover(
             directory,
             fsync=fsync,
@@ -1187,6 +1343,9 @@ def create_durable(
             flush_records=flush_records,
             background_seal=background_seal,
             max_unsealed=max_unsealed,
+            compact=compact,
+            compact_fanin=compact_fanin,
+            compact_min_segments=compact_min_segments,
             tracer=tracer,
         )
     os.makedirs(directory, exist_ok=True)
@@ -1219,6 +1378,9 @@ def recover(
     flush_records: int | None = None,
     background_seal: bool = False,
     max_unsealed: int = DEFAULT_MAX_UNSEALED,
+    compact: bool = False,
+    compact_fanin: int = DEFAULT_COMPACT_FANIN,
+    compact_min_segments: int = DEFAULT_COMPACT_MIN_SEGMENTS,
     parallel: bool = True,
     tracer=None,
 ):
@@ -1227,14 +1389,21 @@ def recover(
     Reads the manifest, reopens every sealed segment, replays each live
     WAL and returns a ready store (single or sharded, per the
     manifest).  Idempotent: recovering an already-clean directory — or
-    recovering twice — yields identical query answers.
+    recovering twice — yields identical query answers.  A rebalance
+    journal left by a crashed ``repro rebalance`` run is drained first
+    (completing the committed layout switch, or sweeping the
+    uncommitted staging area).
 
     Sharded layouts recover every shard concurrently on a thread pool
     (``parallel=False`` forces the sequential path); each recovered
     store exposes ``replayed_records``, and the sharded wrapper's
-    children do so per shard.
+    children do so per shard.  The on-disk ``shard-NNN`` directory set
+    is validated against the manifest first — a missing or extra shard
+    directory raises :class:`~repro.core.errors.ShardLayoutError`
+    instead of silently answering from a partial store.
     """
     directory = os.fspath(directory)
+    _drain_rebalance(directory)
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     try:
         with open(manifest_path, "rb") as handle:
@@ -1254,6 +1423,9 @@ def recover(
         flush_records=flush_records,
         background_seal=background_seal,
         max_unsealed=max_unsealed,
+        compact=compact,
+        compact_fanin=compact_fanin,
+        compact_min_segments=compact_min_segments,
         tracer=tracer,
     )
     if kind == "durable":
@@ -1265,6 +1437,33 @@ def recover(
             manifest.get("seal_elements", DEFAULT_SEAL_ELEMENTS)
         )
         n_shards = int(manifest["shards"])
+        # Never trust the shard count blindly: a missing shard dir
+        # would silently drop acknowledged records from answers, an
+        # extra one holds acknowledged records nothing would consult.
+        expected = {f"shard-{index:03d}" for index in range(n_shards)}
+        try:
+            present = {
+                name
+                for name in os.listdir(directory)
+                if _SHARD_DIR_RE.match(name)
+                and os.path.isdir(os.path.join(directory, name))
+            }
+        except OSError as exc:
+            raise RecoveryError(
+                f"cannot list shard directories in {directory}: {exc}"
+            ) from None
+        missing = sorted(expected - present)
+        extra = sorted(present - expected)
+        if missing or extra:
+            detail = []
+            if missing:
+                detail.append(f"missing {', '.join(missing)}")
+            if extra:
+                detail.append(f"extra {', '.join(extra)}")
+            raise ShardLayoutError(
+                f"{directory} manifest declares {n_shards} shards but "
+                f"the directory layout disagrees: {'; '.join(detail)}"
+            )
 
         def _recover_shard(index: int) -> DurableBurstStore:
             return DurableBurstStore(
@@ -1276,6 +1475,18 @@ def recover(
                 **child_cfg,
             )
 
+        # A failing shard must not leak the ones already recovered
+        # (their WAL handles and background threads): collect per-shard
+        # outcomes, and close every success before the error propagates.
+        children: list = [None] * n_shards
+        failures: list[tuple[int, BaseException]] = []
+
+        def _recover_shard_safe(index: int) -> None:
+            try:
+                children[index] = _recover_shard(index)
+            except BaseException as exc:
+                failures.append((index, exc))
+
         if parallel and n_shards > 1:
             # WAL replay alternates parsing (CPU) with reads (IO); a
             # thread pool overlaps the IO stalls across shards.
@@ -1283,9 +1494,25 @@ def recover(
                 max_workers=min(n_shards, 8),
                 thread_name_prefix="recover-shard",
             ) as pool:
-                children = list(pool.map(_recover_shard, range(n_shards)))
+                list(pool.map(_recover_shard_safe, range(n_shards)))
         else:
-            children = [_recover_shard(i) for i in range(n_shards)]
+            for index in range(n_shards):
+                _recover_shard_safe(index)
+                if failures:
+                    break
+        if failures:
+            for child in children:
+                if child is not None:
+                    try:
+                        child.close()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+            index, exc = min(failures, key=lambda pair: pair[0])
+            if isinstance(exc, RecoveryError):
+                raise exc
+            raise RecoveryError(
+                f"shard {index} failed to recover: {exc!r}"
+            ) from exc
         return _wrap_shards(children)
     raise RecoveryError(f"unknown durable manifest kind {kind!r}")
 

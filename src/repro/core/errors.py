@@ -79,6 +79,40 @@ class RecoveryError(ReproError):
     """
 
 
+class ShardLayoutError(RecoveryError):
+    """A sharded-durable directory disagrees with its manifest.
+
+    The manifest says N shards but the on-disk ``shard-NNN`` directory
+    set differs: *missing* shards mean acknowledged data would silently
+    vanish from query answers; *extra* shard directories mean someone's
+    acknowledged records exist on disk but would never be consulted.
+    Either way recovery must stop instead of answering queries from a
+    partial store.  The message names the offending shards.
+    """
+
+
+class ShardCountMismatchError(RecoveryError):
+    """A durable directory was opened expecting a different shard count.
+
+    One writer owns exactly one shard, so resuming a 4-shard layout
+    with ``writers=2`` (or ``shards=2``) cannot work in place.  The
+    shard count of an existing store is changed offline with
+    ``repro rebalance DIR --shards M``
+    (:func:`repro.core.compaction.rebalance`), which streams every
+    record through the Fibonacci shard hash into the new layout.
+    """
+
+
+class CompactionError(ReproError):
+    """A segment-compaction or rebalancing maintenance run failed.
+
+    The store itself stays consistent: compaction only publishes its
+    merged segment in a single atomic manifest swap, so a failed run
+    leaves (at worst) an orphan segment file that the next recovery
+    reaps.
+    """
+
+
 # ----------------------------------------------------------------------
 # Shared parameter validation
 #

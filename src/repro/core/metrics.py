@@ -14,7 +14,16 @@ the whole observability substrate:
   and a Prometheus-style text :meth:`~MetricsRegistry.exposition`,
 * a process-wide default registry (:func:`global_registry`) that the
   first-party hot paths (CM-PBE hash-column LRU, sharded fan-out, the
-  live monitor, the batched stream readers) report into,
+  live monitor, the batched stream readers, the durable lifecycle)
+  report into — including the segment-compaction families
+  (``compaction_runs_total``, ``compaction_bytes_rewritten_total``,
+  ``compaction_segments_merged_total``, ``compaction_segments_live``,
+  ``compaction_write_amplification``), the sealed-byte accounting
+  counter ``durable_segment_bytes_total`` behind the write-amp gauge,
+  and the coordinator's adaptive-batching families
+  (``parallel_coalesced_batches_total``,
+  ``parallel_coalesce_flushes_total``,
+  ``parallel_coalesce_budget_bytes``),
 * :class:`InstrumentedStore` — a :class:`~repro.core.store.BurstStore`
   wrapper, registered in the backend registry under ``instrumented``,
   that transparently accounts ingest volume, query counts, batch sizes,

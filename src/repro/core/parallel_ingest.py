@@ -93,6 +93,7 @@ from repro.core.durable import (
 from repro.core.errors import (
     InvalidParameterError,
     RecoveryError,
+    ShardCountMismatchError,
     StreamOrderError,
     WriterProcessError,
 )
@@ -127,6 +128,11 @@ _MANIFEST_FORMAT = 1
 #: the coordinator's acknowledged prefix stays fresh under light load
 #: and cheap under heavy load.
 _ACK_EVERY = 8
+
+#: Adaptive-batching floor: backpressure halves the effective coalesce
+#: budget (AIMD) but never below this, so a congested fleet still
+#: amortizes the per-frame IPC cost over a few KiB of records.
+_COALESCE_FLOOR_BYTES = 4096
 
 
 def _shard_routes(ids: np.ndarray, n_shards: int) -> np.ndarray:
@@ -329,6 +335,19 @@ class ParallelIngestCoordinator:
 
     queue_depth:
         Bounded per-writer work-queue depth — the backpressure window.
+    coalesce_bytes / coalesce_ms:
+        Adaptive batching (off by default).  Small per-shard sub-batches
+        are buffered per writer and dispatched as one frame once the
+        buffer reaches ``coalesce_bytes`` of record payload or its
+        oldest record has waited ``coalesce_ms`` milliseconds — the
+        classic amortization of per-frame IPC/pickling cost under
+        fine-grained ingest.  Backpressure shrinks the effective byte
+        budget multiplicatively (and smooth dispatch grows it back
+        additively), so coalescing never deepens a stall it did not
+        cause.  Buffered records are dispatched by :meth:`flush` and
+        :meth:`close` before their barriers, so durability semantics
+        are unchanged — only records *between* barriers may sit in the
+        coordinator buffer instead of a writer queue.
     start_method:
         ``"spawn"`` (default, portable and what the tests prove) or any
         other :mod:`multiprocessing` start method available locally.
@@ -352,6 +371,8 @@ class ParallelIngestCoordinator:
         background_seal: bool = True,
         max_unsealed: int = DEFAULT_MAX_UNSEALED,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        coalesce_bytes: int | None = None,
+        coalesce_ms: float | None = None,
         resume: bool = False,
         start_method: str = "spawn",
         trace_dir=None,
@@ -367,6 +388,19 @@ class ParallelIngestCoordinator:
             raise InvalidParameterError(
                 f"queue_depth must be > 0, got {queue_depth}"
             )
+        if coalesce_bytes is not None and int(coalesce_bytes) <= 0:
+            raise InvalidParameterError(
+                f"coalesce_bytes must be > 0, got {coalesce_bytes}"
+            )
+        if coalesce_ms is not None and float(coalesce_ms) <= 0:
+            raise InvalidParameterError(
+                f"coalesce_ms must be > 0, got {coalesce_ms}"
+            )
+        if coalesce_ms is not None and coalesce_bytes is None:
+            raise InvalidParameterError(
+                "coalesce_ms requires coalesce_bytes (the latency "
+                "budget bounds how long a byte-budget buffer may wait)"
+            )
         _require_policy(fsync)
         self.directory = os.fspath(directory)
         self.n_writers = int(writers)
@@ -377,6 +411,19 @@ class ParallelIngestCoordinator:
         self._batch_seq = 0
         self._flush_seq = 0
         self._sent: list[int] = [0] * self.n_writers
+        # Adaptive batching state: per-writer frame buffers, their
+        # payload byte totals, and the arrival time of each buffer's
+        # oldest frame (None when empty).
+        self._coalesce_budget = (
+            None if coalesce_bytes is None else int(coalesce_bytes)
+        )
+        self._coalesce_ms = (
+            None if coalesce_ms is None else float(coalesce_ms)
+        )
+        self._coalesce_effective = self._coalesce_budget or 0
+        self._buffers: list[list] = [[] for _ in range(self.n_writers)]
+        self._buffer_bytes: list[int] = [0] * self.n_writers
+        self._buffer_first: list[float | None] = [None] * self.n_writers
         self._acked: list[int] = [0] * self.n_writers
         self._done: list[bool] = [False] * self.n_writers
         self._writer_stats: list[tuple[int, int, float]] = [
@@ -423,6 +470,20 @@ class ParallelIngestCoordinator:
             "parallel_seal_lag_elements",
             "unsealed frozen elements across writers (last acks)",
         )
+        self._coalesced_frames = metrics.counter(
+            "parallel_coalesced_batches_total",
+            "sub-batch frames absorbed into coalesced dispatches",
+        )
+        self._coalesce_flushes = metrics.counter(
+            "parallel_coalesce_flushes_total",
+            "coalesce-buffer dispatches to writer queues",
+        )
+        self._coalesce_budget_gauge = metrics.gauge(
+            "parallel_coalesce_budget_bytes",
+            "effective adaptive-batching byte budget (AIMD)",
+        )
+        if self._coalesce_budget is not None:
+            self._coalesce_budget_gauge.set(self._coalesce_effective)
         self._prepare_directory(
             seal_elements=int(seal_elements), resume=resume
         )
@@ -495,10 +556,12 @@ class ParallelIngestCoordinator:
                     f"layouts, found {manifest.get('kind')!r}"
                 )
             if int(manifest.get("shards", -1)) != self.n_writers:
-                raise InvalidParameterError(
+                raise ShardCountMismatchError(
                     f"{self.directory} was created with "
                     f"{manifest.get('shards')} shards; writer count "
-                    "must match (one writer per shard)"
+                    "must match (one writer per shard) — change the "
+                    "shard count offline with `repro rebalance "
+                    f"{self.directory} --shards {self.n_writers}`"
                 )
             if manifest.get("backend") != self.backend:
                 raise InvalidParameterError(
@@ -576,27 +639,133 @@ class ParallelIngestCoordinator:
                 sub_ids = ids[mask]
                 sub_ts = ts[mask]
                 sub_counts = None if counts is None else counts[mask]
-                n_records = int(
-                    sub_ids.size
-                    if sub_counts is None
-                    else sub_counts.sum()
-                )
-                self._batch_seq += 1
-                self._put(
-                    writer_id,
-                    (
-                        "batch",
-                        self._batch_seq,
-                        sub_ids,
-                        sub_ts,
-                        sub_counts,
-                        trace_ctx,
-                    ),
-                )
-                self._sent[writer_id] += n_records
-                self._batches_total.inc()
-                self._records_total.inc(n_records)
+                if self._coalesce_budget is not None:
+                    self._buffer_frame(
+                        writer_id, sub_ids, sub_ts, sub_counts, trace_ctx
+                    )
+                else:
+                    self._dispatch_frame(
+                        writer_id, sub_ids, sub_ts, sub_counts, trace_ctx
+                    )
+        self._flush_aged_buffers()
         self._t_end = max(self._t_end, float(ts[-1]))
+
+    # -- adaptive batching ---------------------------------------------
+    def _dispatch_frame(
+        self, writer_id, sub_ids, sub_ts, sub_counts, trace_ctx
+    ) -> None:
+        n_records = int(
+            sub_ids.size if sub_counts is None else sub_counts.sum()
+        )
+        self._batch_seq += 1
+        self._put(
+            writer_id,
+            (
+                "batch",
+                self._batch_seq,
+                sub_ids,
+                sub_ts,
+                sub_counts,
+                trace_ctx,
+            ),
+        )
+        self._sent[writer_id] += n_records
+        self._batches_total.inc()
+        self._records_total.inc(n_records)
+
+    def _buffer_frame(
+        self, writer_id, sub_ids, sub_ts, sub_counts, trace_ctx
+    ) -> None:
+        self._buffers[writer_id].append(
+            (sub_ids, sub_ts, sub_counts, trace_ctx)
+        )
+        self._buffer_bytes[writer_id] += (
+            sub_ids.nbytes
+            + sub_ts.nbytes
+            + (0 if sub_counts is None else sub_counts.nbytes)
+        )
+        if self._buffer_first[writer_id] is None:
+            self._buffer_first[writer_id] = time.perf_counter()
+        if self._buffer_bytes[writer_id] >= self._coalesce_effective:
+            self._flush_buffer(writer_id)
+
+    def _flush_buffer(self, writer_id: int) -> None:
+        """Dispatch a writer's buffered frames as one coalesced frame.
+
+        Frames were appended in stream order and each carries a
+        non-decreasing per-shard timestamp run, so their concatenation
+        is a valid batch for the writer's store.
+        """
+        frames = self._buffers[writer_id]
+        if not frames:
+            return
+        self._buffers[writer_id] = []
+        self._buffer_bytes[writer_id] = 0
+        self._buffer_first[writer_id] = None
+        if len(frames) == 1:
+            sub_ids, sub_ts, sub_counts, trace_ctx = frames[0]
+        else:
+            sub_ids = np.concatenate([frame[0] for frame in frames])
+            sub_ts = np.concatenate([frame[1] for frame in frames])
+            if any(frame[2] is not None for frame in frames):
+                sub_counts = np.concatenate(
+                    [
+                        frame[2]
+                        if frame[2] is not None
+                        else np.ones(frame[0].size, dtype=np.int64)
+                        for frame in frames
+                    ]
+                )
+            else:
+                sub_counts = None
+            trace_ctx = frames[-1][3]
+            self._coalesced_frames.inc(len(frames))
+        self._coalesce_flushes.inc()
+        self._dispatch_frame(
+            writer_id, sub_ids, sub_ts, sub_counts, trace_ctx
+        )
+
+    def _flush_aged_buffers(self) -> None:
+        if self._coalesce_budget is None or self._coalesce_ms is None:
+            return
+        now = time.perf_counter()
+        for writer_id in range(self.n_writers):
+            first = self._buffer_first[writer_id]
+            if (
+                first is not None
+                and (now - first) * 1000.0 >= self._coalesce_ms
+            ):
+                self._flush_buffer(writer_id)
+
+    def _flush_all_buffers(self) -> None:
+        if self._coalesce_budget is None:
+            return
+        for writer_id in range(self.n_writers):
+            self._flush_buffer(writer_id)
+
+    def _shrink_coalesce_budget(self) -> None:
+        """Multiplicative decrease on backpressure: a full writer queue
+        means dispatches outpace the fleet — larger frames only deepen
+        the stall, so halve toward the floor."""
+        if self._coalesce_budget is None:
+            return
+        self._coalesce_effective = max(
+            _COALESCE_FLOOR_BYTES, self._coalesce_effective // 2
+        )
+        self._coalesce_budget_gauge.set(self._coalesce_effective)
+
+    def _grow_coalesce_budget(self) -> None:
+        if (
+            self._coalesce_budget is None
+            or self._coalesce_effective >= self._coalesce_budget
+        ):
+            return
+        self._coalesce_effective = min(
+            self._coalesce_budget,
+            self._coalesce_effective
+            + max(self._coalesce_budget // 8, 1),
+        )
+        self._coalesce_budget_gauge.set(self._coalesce_effective)
 
     def _put(self, writer_id: int, message) -> None:
         """Blocking bounded-queue put, with liveness checks.
@@ -609,9 +778,10 @@ class ParallelIngestCoordinator:
         queue = self._work_queues[writer_id]
         try:
             queue.put_nowait(message)
+            self._grow_coalesce_budget()
             return
         except queue_module.Full:
-            pass
+            self._shrink_coalesce_budget()
         start = time.perf_counter()
         try:
             with _trace_span("backpressure.wait", writer=writer_id):
@@ -637,6 +807,7 @@ class ParallelIngestCoordinator:
         """
         self._check_open()
         self._raise_failure()
+        self._flush_all_buffers()
         self._flush_seq += 1
         flush_id = self._flush_seq
         with _trace_span("coordinator.flush"):
@@ -815,6 +986,12 @@ class ParallelIngestCoordinator:
             return self.acked_records
         self._closed = True
         for writer_id in range(self.n_writers):
+            try:
+                # Buffered frames precede the stop sentinel so no
+                # accepted record is dropped by adaptive batching.
+                self._flush_buffer(writer_id)
+            except Exception:
+                pass
             try:
                 self._work_queues[writer_id].put(None, timeout=timeout)
             except Exception:

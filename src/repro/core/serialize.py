@@ -1077,7 +1077,7 @@ def _write_and_sync(handle, data, *, fsync: bool) -> None:
         os.fsync(handle.fileno())
 
 
-def atomic_write_bytes(path, data, *, fsync: bool = True) -> None:
+def atomic_write_bytes(path, data, *, fsync: bool = True) -> int:
     """Write a file so readers see either the old bytes or all new ones.
 
     The payload lands in a temp file *in the target directory* (rename
@@ -1086,6 +1086,10 @@ def atomic_write_bytes(path, data, *, fsync: bool = True) -> None:
     either untouched or fully written, never torn.  With ``fsync=True``
     both the temp file and the directory entry are flushed, so the
     guarantee extends from process crashes to power loss.
+
+    Returns the number of bytes written, so byte-accounting call sites
+    (seal/compaction write-amplification counters) need no second
+    ``len`` of a payload they may not hold anymore.
     """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
@@ -1104,6 +1108,7 @@ def atomic_write_bytes(path, data, *, fsync: bool = True) -> None:
         raise
     if fsync:
         _fsync_directory(directory)
+    return len(data)
 
 
 def write_store(store, path, *, fsync: bool = True) -> int:
@@ -1113,8 +1118,7 @@ def write_store(store, path, *, fsync: bool = True) -> int:
     old file (if any) stays intact until the new one is complete.
     """
     payload = save_store(store)
-    atomic_write_bytes(path, payload, fsync=fsync)
-    return len(payload)
+    return atomic_write_bytes(path, payload, fsync=fsync)
 
 
 def _load_v1_blob(data: bytes):

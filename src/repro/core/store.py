@@ -517,6 +517,23 @@ class _StoreBase:
     def _restore_config(self, config: dict) -> None:
         self._t_end = float(config.get("t_end", float("-inf")))
 
+    def export_records(self) -> tuple[np.ndarray, np.ndarray]:
+        """Enumerate the ingested records as ``(ids, timestamps)``.
+
+        Returns int64 event ids and float64 timestamps sorted by
+        timestamp (ties broken by event id), with ``count > 1``
+        ingests expanded to repeated rows.  Only backends that retain
+        their raw records implement this — it is what offline shard
+        rebalancing (:func:`repro.core.compaction.rebalance`) streams
+        through the shard hash; sketch backends cannot enumerate the
+        ids they have already folded away and raise instead.
+        """
+        raise InvalidParameterError(
+            f"backend {self.backend_key!r} cannot enumerate its records "
+            "(only record-retaining backends such as 'exact' support "
+            "export_records / rebalancing)"
+        )
+
     # Subclass hooks ---------------------------------------------------
     def _inner_update(self, event_id, timestamp, count) -> None:
         raise NotImplementedError
@@ -615,6 +632,27 @@ class ExactStore(_StoreBase):
 
     def cumulative_frequency(self, event_id: int, t: float) -> float:
         return float(self.inner.cumulative_frequency(event_id, t))
+
+    def export_records(self) -> tuple[np.ndarray, np.ndarray]:
+        items = sorted(self.inner._timestamps.items())
+        if not items:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        ids = np.concatenate(
+            [np.full(len(times), event_id, dtype=np.int64)
+             for event_id, times in items]
+        )
+        ts = np.concatenate(
+            [np.asarray(times, dtype=np.float64) for _, times in items]
+        )
+        # Timestamp-major, id-minor: per-event lists are already
+        # non-decreasing (stream order), so this canonical order is a
+        # valid ingest order and is deterministic regardless of how the
+        # original stream interleaved equal timestamps.
+        order = np.lexsort((ids, ts))
+        return ids[order], ts[order]
 
     # -- accounting ----------------------------------------------------
     @property
@@ -1447,6 +1485,19 @@ class ShardedBurstStore(_StoreBase):
 
     def cumulative_frequency(self, event_id: int, t: float) -> float:
         return self._owner(event_id).cumulative_frequency(event_id, t)
+
+    def export_records(self) -> tuple[np.ndarray, np.ndarray]:
+        exports = [shard.export_records() for shard in self.shards]
+        exports = [(ids, ts) for ids, ts in exports if ids.size]
+        if not exports:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        ids = np.concatenate([pair[0] for pair in exports])
+        ts = np.concatenate([pair[1] for pair in exports])
+        order = np.lexsort((ids, ts))
+        return ids[order], ts[order]
 
     # -- accounting ----------------------------------------------------
     @property

@@ -28,6 +28,12 @@ spans into the coordinator's trace (see
 :mod:`repro.core.parallel_ingest`, which carries the context in its
 work frames).
 
+Maintenance paths are traced too: the background compactor wraps each
+merge in ``compact.merge`` (inputs, bytes read) and the commit in
+``compact.manifest_swap`` (segments before/after), and offline shard
+rebalancing emits one ``rebalance.shard`` span per staged shard
+(shard index, record count) — see :mod:`repro.core.compaction`.
+
 Enabling: pass a :class:`Tracer` explicitly (``create_store("durable",
 tracer=...)``), install one process-wide with :func:`set_tracer`, or
 export ``REPRO_TRACE=/path/to/dir`` (plus optional

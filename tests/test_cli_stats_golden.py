@@ -60,6 +60,8 @@ STEPS: list[list[str]] = [
     [
         "ingest", str(DATA), "--durable", "<DUR>",
         "--backend", "cm-pbe-1", "--seal-elements", "64",
+        "--compact", "--compact-fanin", "2",
+        "--compact-min-segments", "2",
         "--universe-size", "48", "--eta", "24",
         "--buffer-size", "64", "--width", "8", "--depth", "3",
         "--metrics-json", "<M-durable>",

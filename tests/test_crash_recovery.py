@@ -164,7 +164,7 @@ class _FailingAtomicWrite:
         self.calls += 1
         if self.calls == self.fail_on_call:
             raise _InjectedCrash(f"injected on call {self.calls}: {path}")
-        atomic_write_bytes(path, data, fsync=fsync)
+        return atomic_write_bytes(path, data, fsync=fsync)
 
 
 class TestCrashMidSeal:
@@ -416,3 +416,135 @@ class TestSigkillTorture:
             universe=self.UNIVERSE,
         )
         recovered.close()
+
+
+class TestCompactionCrashInjection:
+    """Kill a compaction merge at each of its three crash windows.
+
+    Whatever the window, a recovered directory must answer the full
+    query surface bit-identically to the uncompacted oracle: the merge
+    either never happened (orphan output reaped) or fully happened
+    (tombstoned inputs drained) — never half.
+    """
+
+    def _fifty_segment_store(self, path, n=300):
+        ids, ts = _stream(n)
+        store = create_durable(path, seal_elements=10, fsync="never")
+        store.extend_batch(ids, ts)
+        store.seal()
+        return store, ids, ts
+
+    def _assert_recovers_identically(self, crashed, ids, ts):
+        recovered = recover(crashed)
+        assert_matrix_identical(recovered, _oracle(ids, ts))
+        recovered.close()
+        # And again: recovery over the drained debris is idempotent.
+        again = recover(crashed)
+        assert_matrix_identical(again, _oracle(ids, ts))
+        again.close()
+
+    def test_crash_mid_merge_write(self, tmp_path, monkeypatch):
+        """Die inside the merged-segment write: inputs must win."""
+        import repro.core.compaction as compaction_mod
+        from repro.core.errors import CompactionError
+
+        live = tmp_path / "live"
+        crashed = tmp_path / "crashed"
+        store, ids, ts = self._fifty_segment_store(live)
+        with store:
+            before = list(store._segment_names)
+            failer = _FailingAtomicWrite(1)
+            monkeypatch.setattr(
+                compaction_mod, "atomic_write_bytes", failer
+            )
+            with pytest.raises(CompactionError):
+                store.compact(fanin=4, min_segments=2)
+            monkeypatch.undo()
+            # The failed run changed nothing the reader can see.
+            assert list(store._segment_names) == before
+            assert_matrix_identical(store, _oracle(ids, ts))
+            shutil.copytree(live, crashed)
+        self._assert_recovers_identically(crashed, ids, ts)
+
+    def test_crash_after_segment_before_manifest_swap(
+        self, tmp_path, monkeypatch
+    ):
+        """Die between the merged-segment write and the manifest swap:
+        the output is an orphan the next recovery must reap."""
+        live = tmp_path / "live"
+        crashed = tmp_path / "crashed"
+        store, ids, ts = self._fifty_segment_store(live)
+        try:
+            manifest_before = (live / "MANIFEST.json").read_bytes()
+            failer = _FailingAtomicWrite(1)  # first manifest write dies
+            monkeypatch.setattr(durable_mod, "atomic_write_bytes", failer)
+            with pytest.raises(_InjectedCrash):
+                store.compact(fanin=4, min_segments=2)
+            monkeypatch.undo()
+            # The old manifest survived the torn swap ...
+            assert (live / "MANIFEST.json").read_bytes() == manifest_before
+            # ... and the merged segment is on disk but unreferenced.
+            import json as json_mod
+
+            manifest = json_mod.loads(manifest_before)
+            on_disk = {
+                p.name for p in live.glob("segment-*.beds")
+            }
+            orphans = on_disk - set(manifest["segments"])
+            assert len(orphans) == 1
+            shutil.copytree(live, crashed)
+        finally:
+            store._closed = True  # memtable state is torn; skip close
+        self._assert_recovers_identically(crashed, ids, ts)
+        # Recovery reaped the orphan output.
+        assert not (
+            {p.name for p in crashed.glob("segment-*.beds")} & orphans
+        )
+
+    def test_crash_after_swap_before_input_delete(
+        self, tmp_path, monkeypatch
+    ):
+        """Die after the manifest swap, before the input unlinks: the
+        tombstoned inputs must be drained by recovery."""
+        import os as os_mod
+
+        live = tmp_path / "live"
+        crashed = tmp_path / "crashed"
+        store, ids, ts = self._fifty_segment_store(live)
+        try:
+            doomed = set()
+            real_unlink = os.unlink
+
+            def tripwire(path, *args, **kwargs):
+                name = os.path.basename(os.fspath(path))
+                if name.startswith("segment-") and name.endswith(".beds"):
+                    doomed.add(name)
+                    raise _InjectedCrash(f"unlink {name}")
+                return real_unlink(path, *args, **kwargs)
+
+            monkeypatch.setattr(os_mod, "unlink", tripwire)
+            with pytest.raises(_InjectedCrash):
+                store.compact(fanin=4, min_segments=2)
+            monkeypatch.undo()
+            # The swap committed: manifest lists the merged segment and
+            # tombstones the inputs, which are still on disk.
+            import json as json_mod
+
+            manifest = json_mod.loads(
+                (live / "MANIFEST.json").read_bytes()
+            )
+            assert doomed
+            assert set(manifest["tombstones"]) >= doomed
+            for name in doomed:
+                assert (live / name).exists()
+            shutil.copytree(live, crashed)
+        finally:
+            store._closed = True
+        self._assert_recovers_identically(crashed, ids, ts)
+        # Recovery drained the tombstones: inputs gone, none listed.
+        import json as json_mod
+
+        manifest = json_mod.loads((crashed / "MANIFEST.json").read_bytes())
+        assert manifest["tombstones"] == []
+        for name in doomed:
+            assert not (crashed / name).exists()

@@ -664,3 +664,137 @@ class TestContextManagers:
         for child in store.shards:
             with pytest.raises(InvalidParameterError, match="closed"):
                 child.append(1, 99.0)
+
+
+class TestRecoveryLeakAndLayout:
+    """Satellite bugfixes: failing sharded recovery must not leak the
+    shards that already opened, and the manifest's shard count is
+    validated against the directory layout before any shard opens."""
+
+    def _build(self, path, shards=3):
+        store = create_durable(path, shards=shards, seal_elements=5)
+        ids, ts = _stream(45, universe=11)
+        store.extend_batch(ids, ts)
+        store.close()
+        return ids, ts
+
+    @pytest.mark.parametrize("parallel", [True, False])
+    def test_failing_shard_closes_already_opened_shards(
+        self, tmp_path, monkeypatch, parallel
+    ):
+        self._build(tmp_path / "s")
+        # Doctor one shard so its recovery raises after the others
+        # (parallel) or after shard-000 (sequential) have opened.
+        bad_manifest = tmp_path / "s" / "shard-002" / MANIFEST_NAME
+        bad_manifest.write_bytes(b"{this is not json")
+
+        created = []
+        real_cls = durable_mod.DurableBurstStore
+
+        class Tracking(real_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                # Only fully-constructed stores can leak; the doctored
+                # shard raises inside __init__ and never lands here.
+                created.append(self)
+
+        monkeypatch.setattr(durable_mod, "DurableBurstStore", Tracking)
+        with pytest.raises(RecoveryError):
+            recover(
+                tmp_path / "s",
+                parallel=parallel,
+                background_seal=True,
+            )
+        opened = [
+            child for child in created if hasattr(child, "_closed")
+        ]
+        assert opened, "no shard opened before the doctored one failed"
+        # Every successfully opened shard was closed before the error
+        # propagated: no leaked WAL handles, no leaked seal threads.
+        assert all(child._closed for child in opened)
+        assert not [
+            t
+            for t in threading.enumerate()
+            if t.name.startswith("durable-seal")
+        ]
+
+    def test_missing_shard_dir_raises_named_layout_error(self, tmp_path):
+        import shutil
+
+        from repro.core.errors import ShardLayoutError
+
+        self._build(tmp_path / "s")
+        shutil.rmtree(tmp_path / "s" / "shard-001")
+        with pytest.raises(ShardLayoutError, match="missing shard-001"):
+            recover(tmp_path / "s")
+
+    def test_extra_shard_dir_raises_named_layout_error(self, tmp_path):
+        from repro.core.errors import ShardLayoutError
+
+        self._build(tmp_path / "s")
+        (tmp_path / "s" / "shard-003").mkdir()
+        with pytest.raises(ShardLayoutError, match="extra shard-003"):
+            recover(tmp_path / "s")
+
+    def test_layout_error_is_a_recovery_error(self):
+        from repro.core.errors import ShardLayoutError
+
+        assert issubclass(ShardLayoutError, RecoveryError)
+
+
+class TestStaleSweepVsBackgroundSeal:
+    """Satellite bugfix: the stale-file sweep must not reap a segment a
+    background seal has written but not yet committed to the manifest."""
+
+    def test_sweep_protects_mid_seal_segment(self, tmp_path, monkeypatch):
+        from repro.core.serialize import atomic_write_bytes as real_write
+
+        barrier = threading.Event()
+        release = threading.Event()
+
+        def gated(path, data, *, fsync=True):
+            written = real_write(path, data, fsync=fsync)
+            name = os.path.basename(os.fspath(path))
+            if name.startswith("segment-"):
+                # Freeze the sealer in the window between "segment file
+                # on disk" and "segment committed to the manifest".
+                barrier.set()
+                release.wait(timeout=10.0)
+            return written
+
+        store = create_durable(
+            tmp_path / "s",
+            seal_elements=8,
+            fsync="never",
+            background_seal=True,
+        )
+        try:
+            monkeypatch.setattr(
+                durable_mod, "atomic_write_bytes", gated
+            )
+            ids, ts = _stream(16)
+            store.extend_batch(ids, ts)
+            assert barrier.wait(5.0), "background seal never started"
+            on_disk = {
+                name
+                for name in os.listdir(tmp_path / "s")
+                if name.startswith("segment-")
+            }
+            assert on_disk, "sealer signalled before writing a segment"
+            # The uncommitted segment is invisible to the manifest; a
+            # sweep racing the seal must still leave it alone.
+            store._cleanup_stale_wals()
+            still_there = {
+                name
+                for name in os.listdir(tmp_path / "s")
+                if name.startswith("segment-")
+            }
+            assert on_disk <= still_there
+        finally:
+            release.set()
+        store.drain_seals()
+        monkeypatch.undo()
+        store.close()
+        recovered = recover(tmp_path / "s")
+        assert recovered.count == 16
+        recovered.close()

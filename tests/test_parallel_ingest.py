@@ -214,8 +214,12 @@ class TestValidation:
             )
 
     def test_resume_checks_shape_before_spawning(self, tmp_path):
+        from repro.core.errors import ShardCountMismatchError
+
         _ingest_parallel(tmp_path / "s", *_stream(50), writers=2)
-        with pytest.raises(InvalidParameterError, match="must match"):
+        # A shard-count mismatch is no longer a dead end: the named
+        # error points at the offline `repro rebalance` fix.
+        with pytest.raises(ShardCountMismatchError, match="must match"):
             ParallelIngestCoordinator(
                 tmp_path / "s", writers=3, fsync="never", resume=True
             )
@@ -451,3 +455,111 @@ class TestSigkillTorture:
             and by_id[s["parent_id"]]["process"] == "coordinator"
         ]
         assert stitched, "no surviving cross-process span edges"
+
+
+class TestAdaptiveCoalescing:
+    """Small-frame coalescing: many tiny ``extend_batch`` calls collapse
+    into few writer-queue dispatches, with answers — and per-shard
+    routing — identical to an uncoalesced ingest."""
+
+    def test_tiny_batches_coalesce_and_round_trip(self, tmp_path):
+        ids, ts = _stream(1000)
+        with ParallelIngestCoordinator(
+            tmp_path / "co",
+            writers=2,
+            fsync="never",
+            seal_elements=200,
+            coalesce_bytes=1 << 20,
+        ) as coordinator:
+            dispatched_before = coordinator._batches_total._value
+            absorbed_before = coordinator._coalesced_frames._value
+            for start in range(0, 1000, 5):  # 200 five-record frames
+                coordinator.extend_batch(
+                    ids[start : start + 5], ts[start : start + 5]
+                )
+            acked = coordinator.flush()
+            dispatched = (
+                coordinator._batches_total._value - dispatched_before
+            )
+            absorbed = (
+                coordinator._coalesced_frames._value - absorbed_before
+            )
+        assert acked == 1000
+        # 200 frames fanned out over 2 writers collapsed into (far)
+        # fewer queue dispatches than frames; the rest were absorbed.
+        assert dispatched <= 8
+        assert absorbed >= 200 - dispatched
+        recovered = recover(tmp_path / "co")
+        _assert_matrix_identical(recovered, _oracle(ids, ts))
+        counts_coalesced = [child.count for child in recovered.shards]
+        recovered.close()
+
+        # Identical per-shard routing to an uncoalesced run.
+        _ingest_parallel(
+            tmp_path / "plain", ids, ts, writers=2, batch=5
+        )
+        plain = recover(tmp_path / "plain")
+        assert [c.count for c in plain.shards] == counts_coalesced
+        plain.close()
+
+    def test_mixed_counts_frames_coalesce_exactly(self, tmp_path):
+        ids = np.asarray([1, 2, 3, 4, 5, 6], dtype=np.int64)
+        ts = np.arange(6, dtype=np.float64)
+        counts = np.asarray([2, 1, 3, 1, 4, 2], dtype=np.int64)
+        with ParallelIngestCoordinator(
+            tmp_path / "s",
+            writers=2,
+            fsync="never",
+            seal_elements=50,
+            coalesce_bytes=1 << 20,
+        ) as coordinator:
+            # Alternate counted and plain frames so the coalescer has
+            # to normalize the missing counts column on concatenation.
+            coordinator.extend_batch(ids[:3], ts[:3], counts[:3])
+            coordinator.extend_batch(ids[3:], ts[3:])
+            acked = coordinator.flush()
+        assert acked == int(counts[:3].sum()) + 3
+        recovered = recover(tmp_path / "s")
+        oracle = ExactStore()
+        oracle.extend_batch(ids[:3], ts[:3], counts[:3])
+        oracle.extend_batch(ids[3:], ts[3:])
+        _assert_matrix_identical(recovered, oracle, universe=7)
+        recovered.close()
+
+    def test_latency_budget_flushes_aged_buffers(self, tmp_path):
+        ids, ts = _stream(40)
+        with ParallelIngestCoordinator(
+            tmp_path / "s",
+            writers=1,
+            fsync="never",
+            seal_elements=200,
+            coalesce_bytes=1 << 20,
+            coalesce_ms=0.0001,
+        ) as coordinator:
+            before = coordinator._batches_total._value
+            coordinator.extend_batch(ids[:20], ts[:20])
+            time.sleep(0.01)
+            # The aged buffer drains at the next batch boundary, well
+            # before any byte budget is reached.
+            coordinator.extend_batch(ids[20:], ts[20:])
+            mid = coordinator._batches_total._value
+            assert mid - before >= 1
+            coordinator.flush()
+        recovered = recover(tmp_path / "s")
+        _assert_matrix_identical(recovered, _oracle(ids, ts))
+        recovered.close()
+
+    def test_coalesce_validation(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            ParallelIngestCoordinator(
+                tmp_path / "a", writers=1, coalesce_bytes=0
+            )
+        with pytest.raises(InvalidParameterError):
+            ParallelIngestCoordinator(
+                tmp_path / "b", writers=1, coalesce_ms=-1.0
+            )
+        with pytest.raises(InvalidParameterError):
+            # A latency budget without a byte budget is meaningless.
+            ParallelIngestCoordinator(
+                tmp_path / "c", writers=1, coalesce_ms=5.0
+            )
